@@ -1,0 +1,271 @@
+//! A simulated B+tree index.
+//!
+//! Databases in this reproduction (silo, masstree) index their tables with
+//! B+trees whose *nodes live in the simulated address space*. The tree is
+//! shape-only: node addresses are computed arithmetically from the key
+//! space, so a lookup descends `depth` levels, loading each node and
+//! executing the data-dependent comparison branches a real binary-search
+//! descent would — which is what drives cache and branch behaviour.
+
+use crate::engine::CodeRegion;
+use datamime_sim::{Addr, Machine, Segment, SimAlloc};
+
+/// Bytes per B+tree node (four cache lines, typical of in-memory trees).
+pub const NODE_BYTES: u64 = 256;
+
+/// A B+tree over keys `0..n` with a fixed fanout.
+///
+/// # Examples
+///
+/// ```
+/// use datamime_apps::BTreeIndex;
+/// use datamime_sim::{Machine, MachineConfig, SimAlloc};
+/// use datamime_apps::{CodeLayout, CodeRegion};
+///
+/// let mut alloc = SimAlloc::new();
+/// let code = CodeLayout::new(&mut alloc).region(4096);
+/// let idx = BTreeIndex::new(&mut alloc, 100_000, 16);
+/// let mut m = Machine::new(MachineConfig::broadwell());
+/// idx.lookup(&mut m, &code, 42);
+/// assert!(m.counters().busy_cycles > 0);
+/// assert_eq!(idx.depth(), 5); // ceil(log16(100_000)) + leaf level
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    n: u64,
+    fanout: u64,
+    /// One `(base_addr, node_count)` per level, root first.
+    levels: Vec<(Addr, u64)>,
+}
+
+impl BTreeIndex {
+    /// Builds an index over `n` keys with the given `fanout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `fanout < 2`.
+    pub fn new(alloc: &mut SimAlloc, n: u64, fanout: u64) -> Self {
+        assert!(n > 0, "index needs at least one key");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        // Build levels bottom-up, then reverse to root-first.
+        let mut counts = Vec::new();
+        let mut nodes = n.div_ceil(fanout);
+        loop {
+            counts.push(nodes);
+            if nodes == 1 {
+                break;
+            }
+            nodes = nodes.div_ceil(fanout);
+        }
+        counts.reverse();
+        let levels = counts
+            .into_iter()
+            .map(|c| {
+                let base = alloc
+                    .alloc(Segment::Heap, c * NODE_BYTES)
+                    .expect("btree level allocation");
+                (base, c)
+            })
+            .collect();
+        BTreeIndex { n, fanout, levels }
+    }
+
+    /// Number of levels (root to leaf, inclusive).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if the index holds no keys (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total bytes of node storage.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.levels.iter().map(|(_, c)| c * NODE_BYTES).sum()
+    }
+
+    /// Descends root-to-leaf for `key`, loading each node and executing the
+    /// binary-search comparison branches inside `code`.
+    ///
+    /// Keys are clamped into range so stale ids never panic.
+    pub fn lookup(&self, machine: &mut Machine, code: &CodeRegion, key: u64) {
+        let key = key.min(self.n - 1);
+        let cmp_branches = 64 - (self.fanout - 1).leading_zeros() as u64; // log2(fanout)
+        for (depth, &(base, count)) in self.levels.iter().enumerate() {
+            // Which node at this level covers `key`: keys are spread evenly
+            // across the level's nodes.
+            let node = ((key as u128 * count as u128) / self.n as u128) as u64;
+            machine.load(base + node * NODE_BYTES, NODE_BYTES);
+            code.call_span(machine, 0, 512, 30 + 8 * cmp_branches);
+            // Binary-search branches: outcome depends on the key bits, so
+            // uniformly random keys mispredict and skewed keys do not.
+            for b in 0..cmp_branches {
+                let taken = (key >> b) & 1 == 1;
+                code.branch(machine, 64 + depth as u64 * 8 + b, taken);
+            }
+        }
+    }
+
+    /// A lookup followed by a write into the leaf (index update).
+    pub fn update(&self, machine: &mut Machine, code: &CodeRegion, key: u64) {
+        self.lookup(machine, code, key);
+        let key = key.min(self.n - 1);
+        let (base, count) = *self.levels.last().expect("at least one level");
+        let node = ((key as u128 * count as u128) / self.n as u128) as u64;
+        machine.store(base + node * NODE_BYTES + (key * 16) % NODE_BYTES, 16);
+    }
+}
+
+/// A fixed-stride record array in simulated memory (one table's tuples).
+#[derive(Debug, Clone, Copy)]
+pub struct RecordArray {
+    base: Addr,
+    record_bytes: u64,
+    n: u64,
+}
+
+impl RecordArray {
+    /// Allocates an array of `n` records of `record_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `record_bytes == 0`.
+    pub fn new(alloc: &mut SimAlloc, n: u64, record_bytes: u64) -> Self {
+        assert!(n > 0 && record_bytes > 0, "empty record array");
+        // Pad records to 8-byte slots like a real row store.
+        let stride = record_bytes.div_ceil(8) * 8;
+        let base = alloc
+            .alloc(Segment::Heap, n * stride)
+            .expect("record array");
+        RecordArray {
+            base,
+            record_bytes: stride,
+            n,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if the array has no records (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.n * self.record_bytes
+    }
+
+    /// Address of record `i` (clamped into range).
+    pub fn addr(&self, i: u64) -> Addr {
+        self.base + (i % self.n) * self.record_bytes
+    }
+
+    /// Reads record `i` in full.
+    pub fn read(&self, machine: &mut Machine, i: u64) {
+        machine.load(self.addr(i), self.record_bytes);
+    }
+
+    /// Writes `bytes` of record `i` (clamped to the record size).
+    pub fn write(&self, machine: &mut Machine, i: u64, bytes: u64) {
+        machine.store(self.addr(i), bytes.min(self.record_bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CodeLayout;
+    use datamime_sim::MachineConfig;
+
+    fn setup() -> (SimAlloc, CodeRegion) {
+        let mut alloc = SimAlloc::new();
+        let code = CodeLayout::new(&mut alloc).region(4096);
+        (alloc, code)
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let (mut alloc, _) = setup();
+        let small = BTreeIndex::new(&mut alloc, 16, 16);
+        let large = BTreeIndex::new(&mut alloc, 1_000_000, 16);
+        assert_eq!(small.depth(), 1);
+        assert!(large.depth() >= 5);
+        assert!(large.depth() <= 7);
+    }
+
+    #[test]
+    fn lookup_touches_depth_nodes() {
+        let (mut alloc, code) = setup();
+        let idx = BTreeIndex::new(&mut alloc, 100_000, 16);
+        let mut m = Machine::new(MachineConfig::broadwell());
+        idx.lookup(&mut m, &code, 5);
+        // Each level loads a 256 B node = 4 lines; first touch misses.
+        assert!(m.counters().l1d_misses >= idx.depth() as u64);
+    }
+
+    #[test]
+    fn random_keys_mispredict_more_than_fixed_key() {
+        let (mut alloc, code) = setup();
+        let idx = BTreeIndex::new(&mut alloc, 1 << 20, 16);
+        let mut fixed = Machine::new(MachineConfig::broadwell());
+        let mut random = Machine::new(MachineConfig::broadwell());
+        let mut rng = datamime_stats::Rng::with_seed(7);
+        for _ in 0..3000 {
+            idx.lookup(&mut fixed, &code, 12345);
+            idx.lookup(&mut random, &code, rng.below(1 << 20));
+        }
+        assert!(random.counters().branch_mispredicts > fixed.counters().branch_mispredicts * 3);
+    }
+
+    #[test]
+    fn out_of_range_keys_are_clamped() {
+        let (mut alloc, code) = setup();
+        let idx = BTreeIndex::new(&mut alloc, 100, 16);
+        let mut m = Machine::new(MachineConfig::broadwell());
+        idx.lookup(&mut m, &code, u64::MAX);
+        idx.update(&mut m, &code, u64::MAX);
+    }
+
+    #[test]
+    fn record_array_addresses_are_strided() {
+        let mut alloc = SimAlloc::new();
+        let arr = RecordArray::new(&mut alloc, 100, 306);
+        assert_eq!(arr.addr(1) - arr.addr(0), 312); // padded to 8B
+        assert_eq!(arr.len(), 100);
+        assert_eq!(arr.footprint_bytes(), 100 * 312);
+    }
+
+    #[test]
+    fn record_array_wraps_indices() {
+        let mut alloc = SimAlloc::new();
+        let arr = RecordArray::new(&mut alloc, 10, 64);
+        assert_eq!(arr.addr(10), arr.addr(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn empty_index_panics() {
+        let mut alloc = SimAlloc::new();
+        BTreeIndex::new(&mut alloc, 0, 16);
+    }
+
+    #[test]
+    fn footprint_scales_with_keys() {
+        let (mut alloc, _) = setup();
+        let small = BTreeIndex::new(&mut alloc, 1_000, 16);
+        let large = BTreeIndex::new(&mut alloc, 1_000_000, 16);
+        assert!(large.footprint_bytes() > small.footprint_bytes() * 100);
+    }
+}

@@ -1,0 +1,668 @@
+//! A memcached-like in-memory key-value store.
+//!
+//! Structure mirrors memcached: a chained hash table of items, each item a
+//! header + key + value allocated from a slab-style allocator; GET requests
+//! hash the key, walk the chain comparing keys, and copy the value out;
+//! SET requests replace the value (possibly reallocating into a different
+//! slab class). Code paths modeled as [`CodeRegion`]s include the event-loop
+//! frontend, protocol parsing, hashing, per-slab-class item handling, the
+//! value memcpy loop, and the response path — so datasets with diverse
+//! request types and sizes exercise a larger instruction footprint, exactly
+//! the mechanism behind the paper's ICache-MPKI observations.
+
+use crate::content::ContentModel;
+use crate::dataset::SizeDist;
+use crate::engine::{App, CodeLayout, CodeRegion, ServicePaths};
+use datamime_sim::{Addr, Machine, Segment, SimAlloc};
+use datamime_stats::dist::Zipf;
+use datamime_stats::Rng;
+
+/// Dataset + request-mix configuration for [`KvStore`].
+///
+/// The six tunables of the paper's Table III `memcached` generator are
+/// `get_ratio` and the key/value size distributions (QPS lives in the
+/// load-generator spec); the remaining fields define the fixed aspects of
+/// the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvConfig {
+    /// Number of distinct keys resident in the store.
+    pub n_keys: usize,
+    /// Key size distribution (bytes, clamped to `[1, 250]` as in memcached).
+    pub key_size: SizeDist,
+    /// Value size distribution (bytes, clamped to `[1, 1 MiB]`).
+    pub value_size: SizeDist,
+    /// Fraction of GET requests (the rest are SETs).
+    pub get_ratio: f64,
+    /// Zipf skew of key popularity.
+    pub popularity_skew: f64,
+    /// Whether requests traverse the modeled kernel network stack
+    /// (client/server on separate machines, Sec. V-F) instead of the
+    /// integrated shared-memory harness.
+    pub networked: bool,
+    /// Redundancy of generated value *contents* in `[0, 1]`; `None` skips
+    /// content generation. Supports the Sec. III-D compressibility
+    /// extension: profiles can then include a memory-snapshot compression
+    /// ratio.
+    pub value_redundancy: Option<f64>,
+    /// Fraction of GETs issued as multigets (one request fetching 4–16
+    /// keys, as Facebook's memcached clients do). Lengthens a subset of
+    /// requests, widening the service-time distribution.
+    pub multiget_fraction: f64,
+    /// Seed for dataset construction.
+    pub seed: u64,
+}
+
+impl KvConfig {
+    /// A dataset representative of Facebook's memcached environment
+    /// (`mem-fb` in the paper): small Gaussian keys, generalized-Pareto
+    /// values, 97% GETs, mild skew, footprint well beyond the LLC.
+    pub fn facebook_like() -> Self {
+        KvConfig {
+            n_keys: 120_000,
+            key_size: SizeDist::Normal {
+                mean: 31.0,
+                std: 9.0,
+            },
+            value_size: SizeDist::GeneralizedPareto {
+                mu: 15.0,
+                sigma: 220.0,
+                xi: 0.25,
+            },
+            get_ratio: 0.97,
+            popularity_skew: 1.01,
+            networked: false,
+            value_redundancy: None,
+            multiget_fraction: 0.12,
+            seed: 0xFB,
+        }
+    }
+
+    /// A dataset following Twitter's Twemcache trace analyses
+    /// (`mem-twtr`): larger keys, moderate values, more writes, heavier
+    /// skew.
+    pub fn twitter_like() -> Self {
+        KvConfig {
+            n_keys: 200_000,
+            key_size: SizeDist::Normal {
+                mean: 42.0,
+                std: 18.0,
+            },
+            value_size: SizeDist::GeneralizedPareto {
+                mu: 10.0,
+                sigma: 120.0,
+                xi: 0.15,
+            },
+            get_ratio: 0.8,
+            popularity_skew: 1.2,
+            networked: false,
+            value_redundancy: None,
+            multiget_fraction: 0.05,
+            seed: 0x7717,
+        }
+    }
+
+    /// TailBench's default public dataset (YCSB-like): fixed-size keys and
+    /// large fixed-size values, 50/50 GET/SET — the unrepresentative
+    /// baseline of the paper's Fig. 1.
+    pub fn ycsb_like() -> Self {
+        KvConfig {
+            n_keys: 30_000,
+            key_size: SizeDist::Fixed(23.0),
+            value_size: SizeDist::Fixed(1000.0),
+            get_ratio: 0.5,
+            popularity_skew: 0.99,
+            networked: false,
+            value_redundancy: None,
+            multiget_fraction: 0.0, // YCSB issues single-key operations
+            seed: 0x4C5B,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    addr: Addr,
+    key_bytes: u64,
+    value_bytes: u64,
+}
+
+const ITEM_HEADER_BYTES: u64 = 56;
+const MAX_KEY: u64 = 250;
+const MAX_VALUE: u64 = 1 << 20;
+
+/// The memcached-like store (see module docs).
+#[derive(Debug)]
+pub struct KvStore {
+    cfg: KvConfig,
+    alloc: SimAlloc,
+    items: Vec<Item>,
+    buckets: Vec<Vec<u32>>,
+    bucket_table: Addr,
+    popularity: Zipf,
+    /// Maps popularity rank -> key id, so hot keys are scattered over buckets.
+    rank_to_key: Vec<u32>,
+    footprint: u64,
+    /// Sampled value contents for memory-snapshot profiling.
+    content_sample: Vec<Vec<u8>>,
+    /// Wall-clock cycle of the last LRU-reaper pass.
+    last_reap_cycles: u64,
+    // Code regions.
+    frontend: CodeRegion,
+    netstack: CodeRegion,
+    parse: CodeRegion,
+    hash_fn: CodeRegion,
+    copy_loop: CodeRegion,
+    respond: CodeRegion,
+    store_path: CodeRegion,
+    reaper: CodeRegion,
+    slab_classes: Vec<CodeRegion>,
+    aux_paths: ServicePaths,
+}
+
+/// How often the background LRU reaper (memcached's `lru_crawler`) runs,
+/// in wall-clock cycles.
+const REAP_INTERVAL_CYCLES: u64 = 4_000_000;
+/// Items scanned per reaper pass.
+const REAP_SCAN_ITEMS: usize = 192;
+
+fn slab_class_of(bytes: u64) -> usize {
+    // memcached-style geometric size classes starting at 64 B.
+    let mut class = 0usize;
+    let mut cap = 64u64;
+    while cap < bytes && class < 15 {
+        cap = cap * 3 / 2;
+        class += 1;
+    }
+    class
+}
+
+impl KvStore {
+    /// Builds and populates the store from a dataset configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero keys, invalid
+    /// distributions, or a non-finite/negative skew).
+    pub fn new(cfg: KvConfig) -> Self {
+        assert!(cfg.n_keys > 0, "store needs at least one key");
+        assert!(
+            (0.0..=1.0).contains(&cfg.get_ratio),
+            "get_ratio must be in [0,1]"
+        );
+        let mut rng = Rng::with_seed(cfg.seed);
+        let mut alloc = SimAlloc::new();
+
+        let mut layout = CodeLayout::new(&mut alloc);
+        let frontend = layout.region(12 * 1024); // event loop + syscalls
+        let netstack = layout.region(32 * 1024); // kernel TCP path (networked mode)
+        let parse = layout.region(3 * 1024);
+        let hash_fn = layout.region(1024);
+        let copy_loop = layout.region_with_ilp(512, 3.0); // streaming memcpy
+        let respond = layout.region(4 * 1024);
+        let store_path = layout.region(12 * 1024);
+        let reaper = layout.region(4 * 1024);
+        let slab_classes = layout.regions(16, 2 * 1024);
+        let aux_paths = ServicePaths::new(&mut layout, 16, 2 * 1024);
+
+        let n_buckets = cfg.n_keys.next_power_of_two();
+        let bucket_table = alloc
+            .alloc(Segment::Heap, (n_buckets as u64) * 8)
+            .expect("bucket table");
+
+        let mut items = Vec::with_capacity(cfg.n_keys);
+        let mut buckets = vec![Vec::new(); n_buckets];
+        let mut footprint = (n_buckets as u64) * 8;
+        for id in 0..cfg.n_keys {
+            let key_bytes = cfg.key_size.sample_bytes(&mut rng, 1, MAX_KEY);
+            let value_bytes = cfg.value_size.sample_bytes(&mut rng, 1, MAX_VALUE);
+            let total = ITEM_HEADER_BYTES + key_bytes + value_bytes;
+            let addr = alloc.alloc(Segment::Heap, total).expect("item");
+            items.push(Item {
+                addr,
+                key_bytes,
+                value_bytes,
+            });
+            // Bucket by a mixed hash of the id (stands in for the key hash).
+            let h = (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            buckets[(h as usize) & (n_buckets - 1)].push(id as u32);
+            footprint += total;
+        }
+
+        let popularity =
+            Zipf::new(cfg.n_keys, cfg.popularity_skew).expect("invalid popularity skew");
+        let mut rank_to_key: Vec<u32> = (0..cfg.n_keys as u32).collect();
+        rng.shuffle(&mut rank_to_key);
+
+        // Generate value contents for a sample of items so a profiler can
+        // measure the dataset's compressibility without materializing
+        // every value.
+        let content_sample = match cfg.value_redundancy {
+            Some(red) => {
+                let model = ContentModel::new(red);
+                (0..192.min(items.len()))
+                    .map(|_| {
+                        let it = items[rng.index(items.len())];
+                        model.generate(it.value_bytes as usize, &mut rng)
+                    })
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+
+        KvStore {
+            cfg,
+            alloc,
+            items,
+            buckets,
+            bucket_table,
+            popularity,
+            rank_to_key,
+            footprint,
+            content_sample,
+            last_reap_cycles: 0,
+            frontend,
+            netstack,
+            parse,
+            hash_fn,
+            copy_loop,
+            respond,
+            store_path,
+            reaper,
+            slab_classes,
+            aux_paths,
+        }
+    }
+
+    /// memcached's background LRU crawler: periodically scans item headers
+    /// looking for expired entries — a recurring burst of pointer-chasing
+    /// work that adds time-varying behaviour on top of the request stream.
+    fn maybe_reap(&mut self, machine: &mut Machine, rng: &mut Rng) {
+        if machine.wall_cycles() - self.last_reap_cycles < REAP_INTERVAL_CYCLES {
+            return;
+        }
+        self.last_reap_cycles = machine.wall_cycles();
+        self.reaper.call(machine, 900);
+        for _ in 0..REAP_SCAN_ITEMS.min(self.items.len()) {
+            let it = self.items[rng.index(self.items.len())];
+            machine.load(it.addr, 64);
+            // Expiry check on the header timestamp: almost never expired.
+            self.reaper.branch(machine, 128, rng.bool(0.02));
+        }
+        self.reaper.call(machine, 400);
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &KvConfig {
+        &self.cfg
+    }
+
+    fn pick_key(&self, rng: &mut Rng) -> u32 {
+        self.rank_to_key[self.popularity.sample_rank(rng)]
+    }
+
+    /// Walks the hash chain to `key`, modeling the bucket-head load, the
+    /// per-entry header loads, and the data-dependent compare branches.
+    fn lookup(&self, machine: &mut Machine, key: u32) -> Item {
+        let n_buckets = self.buckets.len();
+        let h = u64::from(key).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let b = (h as usize) & (n_buckets - 1);
+        machine.load(self.bucket_table + (b as u64) * 8, 8);
+        let chain = &self.buckets[b];
+        let mut found = self.items[key as usize];
+        for &id in chain {
+            let it = self.items[id as usize];
+            // Header contains the hash + key pointer: one line.
+            machine.load(it.addr, 64.min(ITEM_HEADER_BYTES + it.key_bytes));
+            let is_match = id == key;
+            // Compare branch: taken when we keep walking.
+            self.hash_fn.branch(machine, 64, !is_match);
+            if is_match {
+                found = it;
+                break;
+            }
+        }
+        found
+    }
+
+    fn serve_get(&mut self, machine: &mut Machine, key: u32) {
+        let it = self.lookup(machine, key);
+        // Read the full key for the final compare and hash verification.
+        machine.load(it.addr + ITEM_HEADER_BYTES, it.key_bytes);
+        self.hash_fn.call(machine, 150 + it.key_bytes / 4);
+        // Copy the value out through the memcpy loop (8 B/instr).
+        machine.load(it.addr + ITEM_HEADER_BYTES + it.key_bytes, it.value_bytes);
+        self.copy_loop.call(machine, 40 + it.value_bytes / 8);
+        // Slab-class-specific item bookkeeping (LRU bump).
+        let class = slab_class_of(ITEM_HEADER_BYTES + it.key_bytes + it.value_bytes);
+        self.slab_classes[class].call(machine, 250);
+        machine.store(it.addr + 16, 8); // LRU timestamp update
+    }
+
+    fn serve_set(&mut self, machine: &mut Machine, key: u32, rng: &mut Rng) {
+        let old = self.lookup(machine, key);
+        // New value size drawn from the dataset's distribution.
+        let value_bytes = self.cfg.value_size.sample_bytes(rng, 1, MAX_VALUE);
+        let old_total = ITEM_HEADER_BYTES + old.key_bytes + old.value_bytes;
+        let new_total = ITEM_HEADER_BYTES + old.key_bytes + value_bytes;
+        let old_class = slab_class_of(old_total);
+        let new_class = slab_class_of(new_total);
+        // Reallocation branch: taken when the item changes slab class.
+        self.store_path.branch(machine, 128, new_class != old_class);
+        let addr = if new_class != old_class {
+            self.alloc.free(Segment::Heap, old.addr, old_total);
+            self.footprint = self.footprint - old_total + new_total;
+            self.alloc
+                .alloc(Segment::Heap, new_total)
+                .expect("item realloc")
+        } else {
+            old.addr
+        };
+        self.items[key as usize] = Item {
+            addr,
+            key_bytes: old.key_bytes,
+            value_bytes,
+        };
+        // Store-side bookkeeping paths: LRU maintenance, eviction checks,
+        // stats, logging — memcached's write path is much wider than GET.
+        self.aux_paths.touch(machine, rng, 3, 300);
+        // Write header + key + value.
+        machine.store(addr, ITEM_HEADER_BYTES + old.key_bytes);
+        machine.store(addr + ITEM_HEADER_BYTES + old.key_bytes, value_bytes);
+        self.copy_loop.call(machine, 40 + value_bytes / 8);
+        self.store_path.call(machine, 900);
+        self.slab_classes[new_class].call(machine, 300);
+    }
+}
+
+impl App for KvStore {
+    fn name(&self) -> &str {
+        "memcached"
+    }
+
+    fn serve(&mut self, machine: &mut Machine, rng: &mut Rng) {
+        self.frontend.call(machine, 5200);
+        // Connection state machine: each request runs a few of the many
+        // small service functions (epoll arms, logging, stats, timeouts).
+        self.aux_paths.touch(machine, rng, 4, 260);
+        if self.cfg.networked {
+            self.netstack.call(machine, 4200);
+        }
+        let key = self.pick_key(rng);
+        let it = self.items[key as usize];
+        self.parse.call(machine, 350 + it.key_bytes * 3);
+        // Tokenizing the request: one data-dependent branch per few key
+        // bytes (delimiter checks on effectively random characters).
+        for b in 0..(it.key_bytes / 6).max(2) {
+            self.parse.branch(machine, 300 + b * 4, rng.bool(0.3));
+        }
+        let is_get = rng.bool(self.cfg.get_ratio);
+        // Request-type dispatch: data-dependent on the request mix.
+        self.parse.branch(machine, 256, is_get);
+        if is_get {
+            if rng.bool(self.cfg.multiget_fraction) {
+                // Multiget: one request fetching several keys.
+                let n = 4 + rng.index(13);
+                self.serve_get(machine, key);
+                for _ in 1..n {
+                    let extra = self.pick_key(rng);
+                    self.parse.call_span(machine, 512, 256, 120);
+                    self.serve_get(machine, extra);
+                }
+            } else {
+                self.serve_get(machine, key);
+            }
+        } else {
+            self.serve_set(machine, key, rng);
+        }
+        self.respond.call(machine, 700);
+        self.maybe_reap(machine, rng);
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.footprint
+    }
+
+    fn memory_snapshot(&self) -> Option<Vec<u8>> {
+        if self.content_sample.is_empty() {
+            return None;
+        }
+        let mut snap = Vec::new();
+        for v in &self.content_sample {
+            snap.extend_from_slice(v);
+            if snap.len() > 256 * 1024 {
+                break;
+            }
+        }
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamime_sim::MachineConfig;
+
+    fn run(cfg: KvConfig, requests: usize) -> Machine {
+        let mut store = KvStore::new(cfg);
+        let mut machine = Machine::new(MachineConfig::broadwell());
+        let mut rng = Rng::with_seed(99);
+        for _ in 0..requests {
+            store.serve(&mut machine, &mut rng);
+        }
+        machine
+    }
+
+    #[test]
+    fn serves_requests_and_counts_work() {
+        let m = run(KvConfig::ycsb_like(), 200);
+        let c = m.counters();
+        assert!(c.instructions > 200 * 3000);
+        assert!(c.busy_cycles > 0);
+        assert!(c.branches > 200);
+    }
+
+    #[test]
+    fn footprint_tracks_dataset_size() {
+        let small = KvStore::new(KvConfig {
+            n_keys: 1000,
+            value_size: SizeDist::Fixed(100.0),
+            ..KvConfig::ycsb_like()
+        });
+        let large = KvStore::new(KvConfig {
+            n_keys: 1000,
+            value_size: SizeDist::Fixed(10_000.0),
+            ..KvConfig::ycsb_like()
+        });
+        assert!(large.footprint_bytes() > small.footprint_bytes() * 10);
+    }
+
+    #[test]
+    fn bigger_dataset_means_more_llc_misses() {
+        let small = run(
+            KvConfig {
+                n_keys: 2_000,
+                ..KvConfig::facebook_like()
+            },
+            3_000,
+        );
+        let large = run(
+            KvConfig {
+                n_keys: 300_000,
+                ..KvConfig::facebook_like()
+            },
+            3_000,
+        );
+        let small_mpki = small.counters().mpki(small.counters().llc_misses);
+        let large_mpki = large.counters().mpki(large.counters().llc_misses);
+        assert!(
+            large_mpki > small_mpki * 2.0,
+            "large {large_mpki} vs small {small_mpki}"
+        );
+    }
+
+    #[test]
+    fn higher_skew_improves_locality() {
+        let flat = run(
+            KvConfig {
+                popularity_skew: 0.0,
+                ..KvConfig::facebook_like()
+            },
+            3_000,
+        );
+        let skewed = run(
+            KvConfig {
+                popularity_skew: 1.4,
+                ..KvConfig::facebook_like()
+            },
+            3_000,
+        );
+        let flat_mpki = flat.counters().mpki(flat.counters().llc_misses);
+        let skew_mpki = skewed.counters().mpki(skewed.counters().llc_misses);
+        assert!(
+            skew_mpki < flat_mpki,
+            "skewed {skew_mpki} vs flat {flat_mpki}"
+        );
+    }
+
+    #[test]
+    fn set_heavy_mix_writes_more_memory() {
+        // Disable multigets so the comparison isolates the GET/SET ratio.
+        let base = KvConfig {
+            multiget_fraction: 0.0,
+            ..KvConfig::facebook_like()
+        };
+        let reads = run(
+            KvConfig {
+                get_ratio: 1.0,
+                ..base.clone()
+            },
+            2_000,
+        );
+        let writes = run(
+            KvConfig {
+                get_ratio: 0.0,
+                ..base
+            },
+            2_000,
+        );
+        assert!(writes.counters().memory_bytes > reads.counters().memory_bytes);
+    }
+
+    #[test]
+    fn multigets_lengthen_the_service_time_tail() {
+        let single = run(
+            KvConfig {
+                multiget_fraction: 0.0,
+                ..KvConfig::facebook_like()
+            },
+            2_000,
+        );
+        let multi = run(
+            KvConfig {
+                multiget_fraction: 0.3,
+                ..KvConfig::facebook_like()
+            },
+            2_000,
+        );
+        assert!(
+            multi.counters().instructions > single.counters().instructions * 23 / 20,
+            "multigets must add work: {} vs {}",
+            multi.counters().instructions,
+            single.counters().instructions
+        );
+    }
+
+    #[test]
+    fn reaper_runs_periodically() {
+        // Drive enough wall-clock time (requests + idle) to trigger the
+        // reaper several times; its scan touches item headers.
+        let mut store = KvStore::new(KvConfig {
+            n_keys: 2_000,
+            ..KvConfig::ycsb_like()
+        });
+        let mut machine = Machine::new(MachineConfig::broadwell());
+        let mut rng = Rng::with_seed(3);
+        for _ in 0..40 {
+            store.serve(&mut machine, &mut rng);
+            machine.idle(1_000_000);
+        }
+        // 40 M idle cycles + busy time -> at least 8 reaper passes, each
+        // with REAP_SCAN_ITEMS branch checks.
+        assert!(
+            machine.counters().branches > 40 * 10 + 8 * 150,
+            "reaper branches missing: {}",
+            machine.counters().branches
+        );
+    }
+
+    #[test]
+    fn value_size_spread_touches_more_slab_classes() {
+        let narrow = run(
+            KvConfig {
+                value_size: SizeDist::Normal {
+                    mean: 300.0,
+                    std: 1.0,
+                },
+                ..KvConfig::facebook_like()
+            },
+            2_000,
+        );
+        let wide = run(
+            KvConfig {
+                value_size: SizeDist::Normal {
+                    mean: 300.0,
+                    std: 2000.0,
+                },
+                ..KvConfig::facebook_like()
+            },
+            2_000,
+        );
+        let narrow_mpki = narrow.counters().mpki(narrow.counters().l1i_misses);
+        let wide_mpki = wide.counters().mpki(wide.counters().l1i_misses);
+        assert!(
+            wide_mpki > narrow_mpki,
+            "wide {wide_mpki} vs narrow {narrow_mpki}"
+        );
+    }
+
+    #[test]
+    fn networked_mode_adds_instruction_footprint() {
+        let local = run(KvConfig::facebook_like(), 1_000);
+        let net = run(
+            KvConfig {
+                networked: true,
+                ..KvConfig::facebook_like()
+            },
+            1_000,
+        );
+        assert!(net.counters().instructions > local.counters().instructions);
+        assert!(
+            net.counters().l1i_misses > local.counters().l1i_misses,
+            "network stack must add icache pressure"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = run(KvConfig::facebook_like(), 500);
+        let b = run(KvConfig::facebook_like(), 500);
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn slab_class_boundaries() {
+        assert_eq!(slab_class_of(1), 0);
+        assert_eq!(slab_class_of(64), 0);
+        assert_eq!(slab_class_of(65), 1);
+        assert!(slab_class_of(1 << 20) <= 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_keys_panics() {
+        KvStore::new(KvConfig {
+            n_keys: 0,
+            ..KvConfig::ycsb_like()
+        });
+    }
+}

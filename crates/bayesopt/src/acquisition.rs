@@ -1,0 +1,101 @@
+//! Acquisition functions for Bayesian optimization.
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt()
+}
+
+/// Expected improvement of a *minimization* objective at a point with
+/// posterior `(mean, var)`, relative to the incumbent `best`.
+///
+/// `xi` is the exploration margin (typically `0.01`).
+///
+/// # Examples
+///
+/// ```
+/// use datamime_bayesopt::acquisition::expected_improvement;
+/// // A point predicted well below the incumbent with some uncertainty has
+/// // high EI; one far above with no uncertainty has none.
+/// assert!(expected_improvement(0.2, 0.05, 1.0, 0.01) >
+///         expected_improvement(2.0, 1e-12, 1.0, 0.01));
+/// ```
+pub fn expected_improvement(mean: f64, var: f64, best: f64, xi: f64) -> f64 {
+    let sigma = var.max(0.0).sqrt();
+    let improvement = best - mean - xi;
+    if sigma < 1e-12 {
+        return improvement.max(0.0);
+    }
+    let z = improvement / sigma;
+    improvement * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+/// Lower confidence bound (for minimization): `mean − beta · sigma`.
+/// Lower is better; provided for the acquisition ablation.
+pub fn lower_confidence_bound(mean: f64, var: f64, beta: f64) -> f64 {
+    mean - beta * var.max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_properties() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!(normal_cdf(3.0) > 0.998);
+        assert!(normal_cdf(-3.0) < 0.002);
+    }
+
+    #[test]
+    fn ei_is_nonnegative() {
+        for mean in [-1.0, 0.0, 2.0] {
+            for var in [0.0, 0.1, 2.0] {
+                assert!(expected_improvement(mean, var, 0.5, 0.01) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ei_prefers_lower_mean_at_equal_variance() {
+        let lo = expected_improvement(0.2, 0.1, 1.0, 0.01);
+        let hi = expected_improvement(0.8, 0.1, 1.0, 0.01);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn ei_values_exploration_at_equal_mean() {
+        let certain = expected_improvement(1.0, 1e-6, 1.0, 0.01);
+        let uncertain = expected_improvement(1.0, 1.0, 1.0, 0.01);
+        assert!(uncertain > certain);
+    }
+
+    #[test]
+    fn lcb_drops_with_uncertainty() {
+        assert!(lower_confidence_bound(1.0, 1.0, 2.0) < lower_confidence_bound(1.0, 0.01, 2.0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Gaussian-process regression with marginal-likelihood hyperparameter
+//! fitting.
+
+use crate::kernel::Kernel;
+use crate::linalg::{dot, Cholesky, SquareMatrix};
+use crate::neldermead::nelder_mead;
+use datamime_stats::Rng;
+use std::fmt;
+
+/// Error returned when a GP cannot be fit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpError {
+    /// No observations were provided.
+    NoData,
+    /// Observation dimensions are inconsistent with the kernel.
+    DimensionMismatch {
+        /// Expected input dimension.
+        expected: usize,
+        /// Dimension found in the data.
+        found: usize,
+    },
+    /// The covariance matrix was not positive definite even after jitter.
+    IllConditioned,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NoData => write!(f, "gaussian process requires at least one observation"),
+            GpError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "input dimension mismatch: expected {expected}, found {found}"
+                )
+            }
+            GpError::IllConditioned => write!(f, "covariance matrix is ill-conditioned"),
+        }
+    }
+}
+
+impl std::error::Error for GpError {}
+
+/// A fitted Gaussian-process posterior over a standardized target.
+///
+/// Targets are standardized internally (zero mean, unit variance), so the
+/// kernel's unit signal variance is a sensible default and predictions are
+/// returned on the original scale.
+///
+/// # Examples
+///
+/// ```
+/// use datamime_bayesopt::{GaussianProcess, Kernel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+/// let ys = vec![0.0, 1.0, 0.0];
+/// let gp = GaussianProcess::fit(Kernel::matern52(1, 0.5), 1e-6, xs, ys)?;
+/// let (mean, var) = gp.predict(&[0.5]);
+/// assert!((mean - 1.0).abs() < 0.05);
+/// assert!(var >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    xs: Vec<Vec<f64>>,
+    y_mean: f64,
+    y_std: f64,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    lml: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP with fixed hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the data is empty, dimensions mismatch, or the
+    /// covariance matrix cannot be factorized even with jitter.
+    pub fn fit(
+        kernel: Kernel,
+        noise: f64,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+    ) -> Result<Self, GpError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(GpError::NoData);
+        }
+        let dims = kernel.dims();
+        if let Some(bad) = xs.iter().find(|x| x.len() != dims) {
+            return Err(GpError::DimensionMismatch {
+                expected: dims,
+                found: bad.len(),
+            });
+        }
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let var = ys.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-9);
+        let y_norm: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        let mut k = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.eval(&xs[i], &xs[j]);
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        k.add_diagonal(noise.max(1e-10));
+
+        // Retry with growing jitter if needed.
+        let mut jitter = 1e-10;
+        let chol = loop {
+            match Cholesky::new(&k) {
+                Ok(c) => break c,
+                Err(_) if jitter < 1e-2 => {
+                    k.add_diagonal(jitter);
+                    jitter *= 10.0;
+                }
+                Err(_) => return Err(GpError::IllConditioned),
+            }
+        };
+        let alpha = chol.solve(&y_norm);
+        // log p(y) = -0.5 yᵀ α − 0.5 log|K| − n/2 log 2π  (standardized y).
+        let lml = -0.5 * dot(&y_norm, &alpha)
+            - 0.5 * chol.log_determinant()
+            - 0.5 * n as f64 * (std::f64::consts::TAU).ln();
+
+        Ok(GaussianProcess {
+            kernel,
+            noise,
+            xs,
+            y_mean,
+            y_std,
+            chol,
+            alpha,
+            lml,
+        })
+    }
+
+    /// Fits hyperparameters (log lengthscales, log variance, log noise) by
+    /// maximizing the log marginal likelihood with multi-start Nelder–Mead,
+    /// then returns the GP fit at the best parameters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GaussianProcess::fit`].
+    pub fn fit_hyperparams(
+        kernel_family: Kernel,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        rng: &mut Rng,
+    ) -> Result<Self, GpError> {
+        let dims = kernel_family.dims();
+        let objective = |theta: &[f64]| -> f64 {
+            // theta = [log ls_0.. log ls_d-1, log var, log noise]
+            let ls: Vec<f64> = theta[..dims]
+                .iter()
+                .map(|t| t.exp().clamp(1e-3, 1e3))
+                .collect();
+            let var = theta[dims].exp().clamp(1e-4, 1e4);
+            let noise = theta[dims + 1].exp().clamp(1e-8, 1.0);
+            let k = kernel_family.with_params(var, ls);
+            match GaussianProcess::fit(k, noise, xs.clone(), ys.clone()) {
+                Ok(gp) => -gp.lml, // minimize negative LML
+                Err(_) => 1e12,
+            }
+        };
+
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for start in 0..4 {
+            let mut x0 = vec![0.0; dims + 2];
+            for (d, v) in x0.iter_mut().enumerate().take(dims) {
+                *v = if start == 0 {
+                    (0.3f64).ln()
+                } else {
+                    (0.05 + rng.f64() * 1.5).ln()
+                };
+                let _ = d;
+            }
+            x0[dims] = 0.0; // log var = 0
+            x0[dims + 1] = (1e-3f64).ln();
+            let (xopt, fopt) = nelder_mead(&objective, &x0, 0.5, 120);
+            if best.as_ref().is_none_or(|(bf, _)| fopt < *bf) {
+                best = Some((fopt, xopt));
+            }
+        }
+        let (_, theta) = best.expect("at least one start");
+        let ls: Vec<f64> = theta[..dims]
+            .iter()
+            .map(|t| t.exp().clamp(1e-3, 1e3))
+            .collect();
+        let var = theta[dims].exp().clamp(1e-4, 1e4);
+        let noise = theta[dims + 1].exp().clamp(1e-8, 1.0);
+        GaussianProcess::fit(kernel_family.with_params(var, ls), noise, xs, ys)
+    }
+
+    /// Posterior mean and variance at `x`, on the original target scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.kernel.dims(), "query dimension mismatch");
+        let kx: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(x, xi)).collect();
+        let mean_std = dot(&kx, &self.alpha);
+        let v = self.chol.solve_lower(&kx);
+        let var_std = (self.kernel.variance() + self.noise - dot(&v, &v)).max(0.0);
+        (
+            self.y_mean + self.y_std * mean_std,
+            var_std * self.y_std * self.y_std,
+        )
+    }
+
+    /// Log marginal likelihood of the (standardized) observations.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.lml
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Observation noise variance.
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points_with_low_noise() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 6.0).sin()).collect();
+        let gp =
+            GaussianProcess::fit(Kernel::matern52(1, 0.3), 1e-8, xs.clone(), ys.clone()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 1e-3, "mean {m} vs {y}");
+            assert!(v < 1e-3, "var {v}");
+        }
+    }
+
+    #[test]
+    fn variance_grows_away_from_data() {
+        let xs = vec![vec![0.2], vec![0.4]];
+        let ys = vec![1.0, 2.0];
+        let gp = GaussianProcess::fit(Kernel::matern52(1, 0.15), 1e-6, xs, ys).unwrap();
+        let (_, v_near) = gp.predict(&[0.3]);
+        let (_, v_far) = gp.predict(&[0.95]);
+        assert!(v_far > v_near * 3.0, "far {v_far} near {v_near}");
+    }
+
+    #[test]
+    fn prediction_reverts_to_prior_mean_far_away() {
+        let xs = vec![vec![0.1]];
+        let ys = vec![5.0];
+        let gp = GaussianProcess::fit(Kernel::matern52(1, 0.05), 1e-6, xs, ys).unwrap();
+        let (m, _) = gp.predict(&[0.99]);
+        assert!((m - 5.0).abs() < 0.2, "reverts to the data mean, got {m}");
+    }
+
+    #[test]
+    fn hyperparameter_fitting_improves_lml() {
+        let mut rng = Rng::with_seed(5);
+        let xs: Vec<Vec<f64>> = (0..20).map(|_| vec![rng.f64()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 12.0).sin() + 0.05).collect();
+        let fixed =
+            GaussianProcess::fit(Kernel::matern52(1, 5.0), 1e-2, xs.clone(), ys.clone()).unwrap();
+        let fitted =
+            GaussianProcess::fit_hyperparams(Kernel::matern52(1, 1.0), xs, ys, &mut rng).unwrap();
+        assert!(
+            fitted.log_marginal_likelihood() > fixed.log_marginal_likelihood(),
+            "fitted {} vs fixed {}",
+            fitted.log_marginal_likelihood(),
+            fixed.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn fitted_gp_generalizes() {
+        let mut rng = Rng::with_seed(9);
+        let xs: Vec<Vec<f64>> = (0..25).map(|_| vec![rng.f64()]).collect();
+        let f = |x: f64| (x * 7.0).sin() * 2.0 + 1.0;
+        let ys: Vec<f64> = xs.iter().map(|x| f(x[0])).collect();
+        let gp =
+            GaussianProcess::fit_hyperparams(Kernel::matern52(1, 1.0), xs, ys, &mut rng).unwrap();
+        let mut max_err: f64 = 0.0;
+        for i in 0..50 {
+            let x = i as f64 / 49.0;
+            let (m, _) = gp.predict(&[x]);
+            max_err = max_err.max((m - f(x)).abs());
+        }
+        assert!(max_err < 0.5, "max interpolation error {max_err}");
+    }
+
+    #[test]
+    fn noisy_duplicate_observations_are_handled() {
+        // Same x with different y: only possible with a noise term.
+        let xs = vec![vec![0.5], vec![0.5], vec![0.5]];
+        let ys = vec![1.0, 1.2, 0.8];
+        let gp = GaussianProcess::fit(Kernel::matern52(1, 0.3), 1e-2, xs, ys).unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!(
+            (m - 1.0).abs() < 0.05,
+            "mean of noisy observations, got {m}"
+        );
+    }
+
+    #[test]
+    fn empty_data_is_error() {
+        assert_eq!(
+            GaussianProcess::fit(Kernel::matern52(1, 0.3), 1e-6, vec![], vec![]).unwrap_err(),
+            GpError::NoData
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let err = GaussianProcess::fit(Kernel::matern52(2, 0.3), 1e-6, vec![vec![0.1]], vec![1.0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GpError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
+    }
+}

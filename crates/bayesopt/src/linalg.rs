@@ -1,0 +1,237 @@
+//! Minimal dense linear algebra for Gaussian-process regression.
+//!
+//! Only what a GP needs: a symmetric positive-definite solve via Cholesky
+//! factorization, with forward/backward triangular substitution. Matrices
+//! are row-major `Vec<f64>` with explicit dimension — at the ≤ 200 × 200
+//! sizes a 200-iteration Datamime search produces, this outperforms any
+//! dependency it would replace.
+
+use std::fmt;
+
+/// A dense, row-major, square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned when a matrix is not positive definite (Cholesky fails).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotPositiveDefiniteError {
+    /// Pivot index where factorization failed.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotPositiveDefiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefiniteError {}
+
+impl SquareMatrix {
+    /// Creates an `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        SquareMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Adds `v` to the diagonal (jitter / noise term).
+    pub fn add_diagonal(&mut self, v: f64) {
+        for i in 0..self.n {
+            self.data[i * self.n + i] += v;
+        }
+    }
+}
+
+/// The lower-triangular Cholesky factor `L` of a symmetric positive
+/// definite matrix `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: SquareMatrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a` (reads only the lower triangle).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `a` is not (numerically) positive definite.
+    pub fn new(a: &SquareMatrix) -> Result<Self, NotPositiveDefiniteError> {
+        let n = a.dim();
+        let mut l = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(NotPositiveDefiniteError { pivot: i });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.l.dim()
+    }
+
+    /// Solves `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (k, zk) in z.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * zk;
+            }
+            z[i] = sum / self.l.get(i, i);
+        }
+        z
+    }
+
+    /// Solves `Lᵀ x = z` (backward substitution).
+    pub fn solve_upper(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(z.len(), n, "rhs length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = z[i];
+            for (k, xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log det A = 2 Σ log Lᵢᵢ`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> SquareMatrix {
+        let n = rows.len();
+        let mut m = SquareMatrix::zeros(n);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn cholesky_of_identity() {
+        let mut a = SquareMatrix::zeros(3);
+        a.add_diagonal(1.0);
+        let c = Cholesky::new(&a).unwrap();
+        assert_eq!(c.solve(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert!((c.log_determinant()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_known_factor() {
+        // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+        let a = from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&[8.0, 7.0]); // A x = b -> x = [1.25, 1.5]
+        assert!((x[0] - 1.25).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 1.5).abs() < 1e-12);
+        // det A = 8.
+        assert!((c.log_determinant() - 8.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_roundtrip_random_spd() {
+        use datamime_stats::Rng;
+        let n = 12;
+        let mut rng = Rng::with_seed(3);
+        // Build SPD as B Bᵀ + n I.
+        let b: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.f64() - 0.5).collect())
+            .collect();
+        let mut a = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(i, j, dot(&b[i], &b[j]));
+            }
+        }
+        a.add_diagonal(n as f64);
+        let c = Cholesky::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let rhs: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a.get(i, j) * x_true[j]).sum())
+            .collect();
+        let x = c.solve(&rhs);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_panics() {
+        SquareMatrix::zeros(0);
+    }
+}

@@ -1,0 +1,515 @@
+//! The Bayesian optimization loop (and a random-search baseline).
+//!
+//! Datamime's search (paper Sec. III-C) is a minimization of a noisy,
+//! expensive, black-box error function over a unit-normalized parameter
+//! space of ≤ ~20 dimensions, run for ~200 iterations. [`BayesOpt`]
+//! implements the standard recipe: Latin-hypercube initial design, a
+//! Matérn-5/2 GP surrogate with periodic hyperparameter refits, and
+//! expected-improvement acquisition maximized over random + local
+//! candidates.
+
+use crate::acquisition::{expected_improvement, lower_confidence_bound};
+use crate::gp::GaussianProcess;
+use crate::kernel::Kernel;
+use datamime_stats::Rng;
+
+/// Samples an `n × dims` Latin hypercube design on the unit cube: each
+/// dimension is stratified into `n` equal bins with one sample per bin.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dims == 0`.
+pub fn latin_hypercube(n: usize, dims: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+    assert!(n > 0 && dims > 0, "degenerate design");
+    let mut design = vec![vec![0.0; dims]; n];
+    let mut bins: Vec<usize> = (0..n).collect();
+    for d in 0..dims {
+        rng.shuffle(&mut bins);
+        for (row, &bin) in design.iter_mut().zip(bins.iter()) {
+            row[d] = (bin as f64 + rng.f64()) / n as f64;
+        }
+    }
+    design
+}
+
+/// A black-box minimizer over the unit hypercube, with a
+/// suggest–evaluate–observe interface.
+///
+/// This is object-safe so experiment code can swap optimizers for the
+/// BO-vs-random ablation.
+pub trait BlackBoxOptimizer {
+    /// Proposes the next point to evaluate, in `[0, 1]^dims`.
+    fn suggest(&mut self) -> Vec<f64>;
+
+    /// Records an evaluated point.
+    fn observe(&mut self, x: Vec<f64>, y: f64);
+
+    /// The best observation so far, if any.
+    fn best(&self) -> Option<(&[f64], f64)>;
+
+    /// All observations, in evaluation order.
+    fn history(&self) -> &[(Vec<f64>, f64)];
+}
+
+/// Acquisition function selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquisition {
+    /// Expected improvement (the default).
+    ExpectedImprovement,
+    /// Lower confidence bound (for the acquisition ablation).
+    LowerConfidenceBound,
+}
+
+/// Configuration of a [`BayesOpt`] run.
+#[derive(Debug, Clone)]
+pub struct BoConfig {
+    /// Size of the Latin-hypercube initial design.
+    pub init_points: usize,
+    /// Number of random candidates scored by the acquisition per round.
+    pub candidates: usize,
+    /// Number of local (perturbation-of-best) candidates per round.
+    pub local_candidates: usize,
+    /// Refit GP hyperparameters every this many observations.
+    pub refit_every: usize,
+    /// Acquisition function.
+    pub acquisition: Acquisition,
+    /// Kernel family (lengthscales/variance are refit).
+    pub kernel: Kernel,
+    /// EI exploration margin.
+    pub xi: f64,
+}
+
+impl BoConfig {
+    /// A sensible default configuration for `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn for_dims(dims: usize) -> Self {
+        assert!(dims > 0, "need at least one dimension");
+        BoConfig {
+            init_points: (2 * dims).clamp(6, 20),
+            candidates: 1024,
+            local_candidates: 256,
+            refit_every: 10,
+            acquisition: Acquisition::ExpectedImprovement,
+            kernel: Kernel::matern52(dims, 0.3),
+            xi: 0.01,
+        }
+    }
+}
+
+/// Gaussian-process Bayesian optimization (minimization) on the unit cube.
+///
+/// # Examples
+///
+/// ```
+/// use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig};
+///
+/// // Minimize a noisy quadratic with minimum at (0.3, 0.7).
+/// let mut bo = BayesOpt::new(BoConfig::for_dims(2), 1);
+/// for _ in 0..30 {
+///     let x = bo.suggest();
+///     let y = (x[0] - 0.3f64).powi(2) + (x[1] - 0.7f64).powi(2);
+///     bo.observe(x, y);
+/// }
+/// let (xb, yb) = bo.best().unwrap();
+/// assert!(yb < 0.05, "best {yb} at {xb:?}");
+/// ```
+#[derive(Debug)]
+pub struct BayesOpt {
+    cfg: BoConfig,
+    dims: usize,
+    rng: Rng,
+    init_design: Vec<Vec<f64>>,
+    history: Vec<(Vec<f64>, f64)>,
+    gp: Option<GaussianProcess>,
+    observed_since_fit: usize,
+}
+
+impl BayesOpt {
+    /// Creates an optimizer with the given configuration and seed.
+    pub fn new(cfg: BoConfig, seed: u64) -> Self {
+        let dims = cfg.kernel.dims();
+        let mut rng = Rng::with_seed(seed);
+        let mut init_design = latin_hypercube(cfg.init_points, dims, &mut rng);
+        init_design.reverse(); // pop() yields the design in order
+        BayesOpt {
+            cfg,
+            dims,
+            rng,
+            init_design,
+            history: Vec::new(),
+            gp: None,
+            observed_since_fit: 0,
+        }
+    }
+
+    /// Number of dimensions searched.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn refit(&mut self) {
+        let xs: Vec<Vec<f64>> = self.history.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = self.history.iter().map(|(_, y)| *y).collect();
+        let need_hyper_fit = self.gp.is_none() || self.observed_since_fit >= self.cfg.refit_every;
+        let gp = if need_hyper_fit {
+            self.observed_since_fit = 0;
+            GaussianProcess::fit_hyperparams(self.cfg.kernel.clone(), xs, ys, &mut self.rng).ok()
+        } else if let Some(prev) = &self.gp {
+            GaussianProcess::fit(prev.kernel().clone(), prev.noise(), xs, ys).ok()
+        } else {
+            None
+        };
+        if let Some(gp) = gp {
+            self.gp = Some(gp);
+        }
+    }
+
+    /// Proposes a *batch* of `k` points for parallel evaluation using the
+    /// constant-liar strategy: after each suggestion the incumbent value is
+    /// temporarily recorded as a pseudo-observation so subsequent
+    /// suggestions spread out instead of piling onto one optimum. The
+    /// pseudo-observations are removed before returning.
+    ///
+    /// This is the parallel-Bayesian-optimization extension the paper
+    /// defers to future work (Sec. IV cites batch BO as the mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn suggest_batch(&mut self, k: usize) -> Vec<Vec<f64>> {
+        assert!(k > 0, "batch must be non-empty");
+        let lie = self
+            .history
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min)
+            .min(1e6); // finite even with no history yet
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            let x = self.suggest();
+            batch.push(x.clone());
+            self.history
+                .push((x, if lie.is_finite() { lie } else { 0.0 }));
+            self.observed_since_fit += 1;
+        }
+        // Remove the lies; the caller will observe the real values.
+        self.history.truncate(self.history.len() - k);
+        self.observed_since_fit = self.observed_since_fit.saturating_sub(k);
+        batch
+    }
+
+    fn score(&self, gp: &GaussianProcess, x: &[f64], best: f64) -> f64 {
+        let (mean, var) = gp.predict(x);
+        match self.cfg.acquisition {
+            Acquisition::ExpectedImprovement => expected_improvement(mean, var, best, self.cfg.xi),
+            // LCB: lower is better, so negate to keep "higher is better".
+            Acquisition::LowerConfidenceBound => -lower_confidence_bound(mean, var, 2.0),
+        }
+    }
+}
+
+impl BlackBoxOptimizer for BayesOpt {
+    fn suggest(&mut self) -> Vec<f64> {
+        // Initial design first.
+        if let Some(x) = self.init_design.pop() {
+            return x;
+        }
+        self.refit();
+        let Some(gp) = &self.gp else {
+            // Surrogate fit failed: fall back to random.
+            return (0..self.dims).map(|_| self.rng.f64()).collect();
+        };
+        let (best_x, best_y) = self
+            .history
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(x, y)| (x.clone(), *y))
+            .expect("history is non-empty after the initial design");
+
+        let mut best_cand: Option<(f64, Vec<f64>)> = None;
+        let n_global = self.cfg.candidates;
+        let n_local = self.cfg.local_candidates;
+        for i in 0..n_global + n_local {
+            let cand: Vec<f64> = if i < n_global {
+                (0..self.dims).map(|_| self.rng.f64()).collect()
+            } else {
+                // Gaussian perturbation of the incumbent.
+                best_x
+                    .iter()
+                    .map(|&v| {
+                        let u1 = 1.0 - self.rng.f64();
+                        let u2 = self.rng.f64();
+                        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        (v + 0.05 * z).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            };
+            let s = self.score(gp, &cand, best_y);
+            if best_cand.as_ref().is_none_or(|(bs, _)| s > *bs) {
+                best_cand = Some((s, cand));
+            }
+        }
+        best_cand.expect("at least one candidate").1
+    }
+
+    fn observe(&mut self, x: Vec<f64>, y: f64) {
+        assert_eq!(x.len(), self.dims, "observation dimension mismatch");
+        assert!(y.is_finite(), "objective must be finite");
+        self.history.push((x, y));
+        self.observed_since_fit += 1;
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.history
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(x, y)| (x.as_slice(), *y))
+    }
+
+    fn history(&self) -> &[(Vec<f64>, f64)] {
+        &self.history
+    }
+}
+
+/// Uniform random search — the baseline the paper's optimizer is implicitly
+/// compared against (and our convergence-ablation comparator).
+#[derive(Debug)]
+pub struct RandomSearch {
+    dims: usize,
+    rng: Rng,
+    history: Vec<(Vec<f64>, f64)>,
+}
+
+impl RandomSearch {
+    /// Creates a random searcher over `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize, seed: u64) -> Self {
+        assert!(dims > 0, "need at least one dimension");
+        RandomSearch {
+            dims,
+            rng: Rng::with_seed(seed),
+            history: Vec::new(),
+        }
+    }
+}
+
+impl BlackBoxOptimizer for RandomSearch {
+    fn suggest(&mut self) -> Vec<f64> {
+        (0..self.dims).map(|_| self.rng.f64()).collect()
+    }
+
+    fn observe(&mut self, x: Vec<f64>, y: f64) {
+        assert_eq!(x.len(), self.dims, "observation dimension mismatch");
+        self.history.push((x, y));
+    }
+
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.history
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(x, y)| (x.as_slice(), *y))
+    }
+
+    fn history(&self) -> &[(Vec<f64>, f64)] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<O: BlackBoxOptimizer>(opt: &mut O, f: impl Fn(&[f64]) -> f64, iters: usize) -> f64 {
+        for _ in 0..iters {
+            let x = opt.suggest();
+            let y = f(&x);
+            opt.observe(x, y);
+        }
+        opt.best().unwrap().1
+    }
+
+    #[test]
+    fn latin_hypercube_stratifies() {
+        let mut rng = Rng::with_seed(1);
+        let d = latin_hypercube(10, 2, &mut rng);
+        assert_eq!(d.len(), 10);
+        for dim in 0..2 {
+            let mut bins = vec![false; 10];
+            for x in &d {
+                assert!((0.0..1.0).contains(&x[dim]));
+                bins[(x[dim] * 10.0) as usize] = true;
+            }
+            assert!(bins.iter().all(|&b| b), "each bin occupied in dim {dim}");
+        }
+    }
+
+    #[test]
+    fn bo_finds_quadratic_minimum() {
+        let f = |x: &[f64]| (x[0] - 0.6f64).powi(2) + (x[1] - 0.2f64).powi(2);
+        let mut bo = BayesOpt::new(BoConfig::for_dims(2), 3);
+        let best = run(&mut bo, f, 35);
+        assert!(best < 0.01, "best {best}");
+        let (x, _) = bo.best().unwrap();
+        assert!(
+            (x[0] - 0.6).abs() < 0.15 && (x[1] - 0.2).abs() < 0.15,
+            "{x:?}"
+        );
+    }
+
+    #[test]
+    fn bo_beats_random_search_on_smooth_function() {
+        // Branin-like smooth 2-D function; average over seeds.
+        let f = |x: &[f64]| {
+            let (a, b) = (x[0] * 3.0 - 1.0, x[1] * 3.0 - 1.0);
+            (a * a + b - 1.1).powi(2) + (a + b * b - 0.7).powi(2)
+        };
+        let mut bo_wins = 0;
+        for seed in 0..5 {
+            let mut bo = BayesOpt::new(BoConfig::for_dims(2), seed);
+            let mut rs = RandomSearch::new(2, seed + 100);
+            let b = run(&mut bo, f, 30);
+            let r = run(&mut rs, f, 30);
+            if b <= r {
+                bo_wins += 1;
+            }
+        }
+        assert!(
+            bo_wins >= 3,
+            "BO won only {bo_wins}/5 against random search"
+        );
+    }
+
+    #[test]
+    fn bo_handles_noisy_objective() {
+        let mut noise_rng = Rng::with_seed(77);
+        let mut bo = BayesOpt::new(BoConfig::for_dims(1), 5);
+        for _ in 0..30 {
+            let x = bo.suggest();
+            let y = (x[0] - 0.5f64).powi(2) + 0.01 * (noise_rng.f64() - 0.5);
+            bo.observe(x, y);
+        }
+        let (x, _) = bo.best().unwrap();
+        assert!((x[0] - 0.5).abs() < 0.2, "{x:?}");
+    }
+
+    #[test]
+    fn bo_handles_higher_dimensions() {
+        // 8-D sphere: the paper notes BO handles up to ~20 dims.
+        let f = |x: &[f64]| x.iter().map(|v| (v - 0.5).powi(2)).sum::<f64>();
+        let mut bo = BayesOpt::new(BoConfig::for_dims(8), 9);
+        let best = run(&mut bo, f, 60);
+        let mut rs = RandomSearch::new(8, 9);
+        let rand_best = run(&mut rs, f, 60);
+        assert!(best < rand_best, "bo {best} vs random {rand_best}");
+    }
+
+    #[test]
+    fn lcb_acquisition_also_converges() {
+        let mut cfg = BoConfig::for_dims(2);
+        cfg.acquisition = Acquisition::LowerConfidenceBound;
+        let f = |x: &[f64]| (x[0] - 0.4f64).powi(2) + (x[1] - 0.6f64).powi(2);
+        let mut bo = BayesOpt::new(cfg, 11);
+        let best = run(&mut bo, f, 35);
+        assert!(best < 0.02, "best {best}");
+    }
+
+    #[test]
+    fn suggestions_stay_in_unit_cube() {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(3), 13);
+        for i in 0..25 {
+            let x = bo.suggest();
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)), "iter {i}: {x:?}");
+            bo.observe(x, (i as f64).sin().abs());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = |x: &[f64]| (x[0] - 0.3f64).powi(2);
+        let mut a = BayesOpt::new(BoConfig::for_dims(1), 21);
+        let mut b = BayesOpt::new(BoConfig::for_dims(1), 21);
+        for _ in 0..15 {
+            let xa = a.suggest();
+            let xb = b.suggest();
+            assert_eq!(xa, xb);
+            a.observe(xa.clone(), f(&xa));
+            b.observe(xb.clone(), f(&xb));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "objective must be finite")]
+    fn nan_observation_panics() {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(1), 1);
+        let x = bo.suggest();
+        bo.observe(x, f64::NAN);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    #[test]
+    fn batch_points_are_diverse_and_in_bounds() {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(2), 31);
+        // Seed with some observations first.
+        for _ in 0..12 {
+            let x = bo.suggest();
+            let y = (x[0] - 0.5f64).powi(2) + (x[1] - 0.5f64).powi(2);
+            bo.observe(x, y);
+        }
+        let batch = bo.suggest_batch(4);
+        assert_eq!(batch.len(), 4);
+        for x in &batch {
+            assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        // Constant liar must prevent identical suggestions.
+        for i in 0..batch.len() {
+            for j in i + 1..batch.len() {
+                let d: f64 = batch[i]
+                    .iter()
+                    .zip(&batch[j])
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt();
+                assert!(d > 1e-6, "batch points {i} and {j} identical");
+            }
+        }
+        // History was restored (no lies left behind).
+        assert_eq!(bo.history().len(), 12);
+    }
+
+    #[test]
+    fn batched_optimization_still_converges() {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(2), 33);
+        for _ in 0..10 {
+            let batch = bo.suggest_batch(3);
+            for x in batch {
+                let y = (x[0] - 0.7f64).powi(2) + (x[1] - 0.3f64).powi(2);
+                bo.observe(x, y);
+            }
+        }
+        assert!(bo.best().unwrap().1 < 0.02, "best {}", bo.best().unwrap().1);
+    }
+
+    #[test]
+    fn batch_works_during_initial_design() {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(3), 35);
+        let batch = bo.suggest_batch(5);
+        assert_eq!(batch.len(), 5);
+        assert!(bo.history().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-empty")]
+    fn empty_batch_panics() {
+        BayesOpt::new(BoConfig::for_dims(1), 1).suggest_batch(0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the optimizer stack.
+
+use datamime_bayesopt::{
+    latin_hypercube, BayesOpt, BlackBoxOptimizer, BoConfig, GaussianProcess, Kernel,
+};
+use datamime_stats::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn latin_hypercube_always_stratified(n in 1usize..64, dims in 1usize..8, seed in any::<u64>()) {
+        let mut rng = Rng::with_seed(seed);
+        let d = latin_hypercube(n, dims, &mut rng);
+        prop_assert_eq!(d.len(), n);
+        for dim in 0..dims {
+            let mut bins = vec![false; n];
+            for x in &d {
+                prop_assert!((0.0..1.0).contains(&x[dim]));
+                bins[((x[dim] * n as f64) as usize).min(n - 1)] = true;
+            }
+            prop_assert!(bins.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn gp_interpolates_and_stays_finite(
+        ys in prop::collection::vec(-100.0f64..100.0, 3..12),
+        probe in 0.0f64..1.0,
+    ) {
+        let n = ys.len();
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let gp = GaussianProcess::fit(Kernel::matern52(1, 0.2), 1e-6, xs.clone(), ys.clone()).unwrap();
+        let (m, v) = gp.predict(&[probe]);
+        prop_assert!(m.is_finite() && v.is_finite() && v >= 0.0);
+        // Training points are reproduced closely.
+        for (x, y) in xs.iter().zip(&ys) {
+            let (mi, _) = gp.predict(x);
+            prop_assert!((mi - y).abs() < 1e-2 * (1.0 + y.abs()), "{mi} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gp_variance_never_exceeds_prior(
+        xs_raw in prop::collection::vec(0.0f64..1.0, 2..10),
+        probe in 0.0f64..1.0,
+    ) {
+        let xs: Vec<Vec<f64>> = xs_raw.iter().map(|&x| vec![x]).collect();
+        let ys: Vec<f64> = xs_raw.iter().map(|x| x.sin()).collect();
+        let kernel = Kernel::matern52(1, 0.3);
+        let noise = 1e-4;
+        let prior_var = kernel.variance() + noise;
+        let gp = GaussianProcess::fit(kernel, noise, xs, ys).unwrap();
+        let (_, v) = gp.predict(&[probe]);
+        // Variance is on the standardized scale times y_std^2; compare on
+        // the standardized scale by normalizing out the data variance.
+        let n = xs_raw.len() as f64;
+        let mean = xs_raw.iter().map(|x| x.sin()).sum::<f64>() / n;
+        let y_var = xs_raw.iter().map(|x| (x.sin() - mean).powi(2)).sum::<f64>() / n;
+        let y_var = y_var.max(1e-18);
+        prop_assert!(v / y_var <= prior_var * 1.01 + 1e-6, "v={v} y_var={y_var}");
+    }
+
+    #[test]
+    fn bo_suggestions_always_in_unit_cube(dims in 1usize..6, seed in any::<u64>()) {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(dims), seed);
+        for i in 0..20 {
+            let x = bo.suggest();
+            prop_assert_eq!(x.len(), dims);
+            prop_assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+            let y = x.iter().sum::<f64>() + (i as f64 * 0.37).sin();
+            bo.observe(x, y);
+        }
+    }
+
+    #[test]
+    fn bo_best_equals_minimum_of_history(seed in any::<u64>()) {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(2), seed);
+        for i in 0..15 {
+            let x = bo.suggest();
+            let y = ((i * 7919) % 13) as f64;
+            bo.observe(x, y);
+        }
+        let best = bo.best().unwrap().1;
+        let min = bo
+            .history()
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(best, min);
+    }
+
+    #[test]
+    fn kernel_gram_diag_dominates(points in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..8)) {
+        // k(x,x) >= |k(x,y)| for PSD stationary kernels with max at 0.
+        let k = Kernel::matern52(2, 0.4);
+        for (i, a) in points.iter().enumerate() {
+            for b in points.iter().skip(i + 1) {
+                let xa = [a.0, a.1];
+                let xb = [b.0, b.1];
+                prop_assert!(k.eval(&xa, &xa) + 1e-12 >= k.eval(&xa, &xb).abs());
+            }
+        }
+    }
+}

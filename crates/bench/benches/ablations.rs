@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices DESIGN.md calls out: kernel
+//! family, acquisition function, replacement policy, and the cost of the
+//! stream-prefetcher model. (Quality ablations — BO vs random, EMD vs KS —
+//! are measured by the `ablations` experiment binary; these benches cover
+//! the *cost* side.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use datamime_bayesopt::{
+    Acquisition, BayesOpt, BlackBoxOptimizer, BoConfig, GaussianProcess, Kernel,
+};
+use datamime_sim::{Cache, CacheConfig, Machine, MachineConfig, Replacement};
+use datamime_stats::Rng;
+
+fn kernel_families(c: &mut Criterion) {
+    let mut rng = Rng::with_seed(1);
+    let xs: Vec<Vec<f64>> = (0..120)
+        .map(|_| (0..6).map(|_| rng.f64()).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 5.0).sin() + x[1]).collect();
+    for (name, kernel) in [
+        ("matern52", Kernel::matern52(6, 0.3)),
+        ("squared-exp", Kernel::squared_exp(6, 0.3)),
+    ] {
+        c.bench_function(&format!("ablation/gp-fit-{name}"), |b| {
+            b.iter_batched(
+                || (kernel.clone(), xs.clone(), ys.clone()),
+                |(k, xs, ys)| GaussianProcess::fit(k, 1e-4, xs, ys).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn acquisition_functions(c: &mut Criterion) {
+    for (name, acq) in [
+        ("ei", Acquisition::ExpectedImprovement),
+        ("lcb", Acquisition::LowerConfidenceBound),
+    ] {
+        c.bench_function(&format!("ablation/suggest-{name}"), |b| {
+            let mut cfg = BoConfig::for_dims(4);
+            cfg.acquisition = acq;
+            let mut bo = BayesOpt::new(cfg, 3);
+            for _ in 0..40 {
+                let x = bo.suggest();
+                let y = x.iter().map(|v| (v - 0.5).powi(2)).sum::<f64>();
+                bo.observe(x, y);
+            }
+            b.iter(|| std::hint::black_box(bo.suggest()))
+        });
+    }
+}
+
+fn replacement_policies(c: &mut Criterion) {
+    // LLC policy ablation: access-stream cost under LRU vs DRRIP.
+    for (name, rep) in [("lru", Replacement::Lru), ("drrip", Replacement::Drrip)] {
+        c.bench_function(&format!("ablation/llc-{name}-stream"), |b| {
+            let mut cache = Cache::new(CacheConfig {
+                size_bytes: 1 << 20,
+                ways: 16,
+                line_bytes: 64,
+                replacement: rep,
+            });
+            let mut addr = 0u64;
+            b.iter(|| {
+                for _ in 0..1024 {
+                    cache.access(addr, false);
+                    addr = addr.wrapping_add(64) % (4 << 20);
+                }
+                cache.misses()
+            })
+        });
+    }
+}
+
+fn prefetcher_model(c: &mut Criterion) {
+    // Cost of the machine's per-access work on streaming vs random
+    // patterns (the stream table is consulted either way).
+    let mut machine = Machine::new(MachineConfig::broadwell());
+    c.bench_function("ablation/machine-sequential-loads", |b| {
+        let mut addr = 0x10_0000_0000u64;
+        b.iter(|| {
+            for _ in 0..512 {
+                machine.load(addr, 8);
+                addr += 64;
+            }
+        })
+    });
+    let mut machine2 = Machine::new(MachineConfig::broadwell());
+    let mut rng = Rng::with_seed(5);
+    c.bench_function("ablation/machine-random-loads", |b| {
+        b.iter(|| {
+            for _ in 0..512 {
+                machine2.load(0x10_0000_0000 + rng.below(1 << 28), 8);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Keep runs short: each bench exercises a full simulation pipeline.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = kernel_families, acquisition_functions, replacement_policies, prefetcher_model
+}
+criterion_main!(benches);

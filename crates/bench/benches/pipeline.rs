@@ -1,0 +1,99 @@
+//! Cost of the Datamime pipeline stages: profiling, the EMD error model,
+//! GP fitting, and optimizer suggestions — the per-iteration budget of the
+//! search loop (paper Sec. V-D: 2–4 minutes per iteration on hardware; a
+//! few hundred milliseconds here).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use datamime::error_model::{profile_error, DistanceKind, MetricWeights};
+use datamime::profiler::{profile_workload, ProfilingConfig};
+use datamime::workload::{AppConfig, Workload};
+use datamime_apps::KvConfig;
+use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, GaussianProcess, Kernel};
+use datamime_sim::MachineConfig;
+use datamime_stats::Rng;
+
+fn small_target() -> Workload {
+    let mut w = Workload::mem_fb();
+    w.app = AppConfig::Kv(KvConfig {
+        n_keys: 10_000,
+        ..KvConfig::facebook_like()
+    });
+    w
+}
+
+fn profiling(c: &mut Criterion) {
+    let machine = MachineConfig::broadwell();
+    let w = small_target();
+    c.bench_function("profile/distributions-only", |b| {
+        let cfg = ProfilingConfig::fast().without_curves();
+        b.iter(|| profile_workload(&w, &machine, &cfg))
+    });
+    c.bench_function("profile/with-curve-sweep", |b| {
+        let cfg = ProfilingConfig::fast();
+        b.iter(|| profile_workload(&w, &machine, &cfg))
+    });
+}
+
+fn error_model(c: &mut Criterion) {
+    let machine = MachineConfig::broadwell();
+    let cfg = ProfilingConfig::fast();
+    let a = profile_workload(&small_target(), &machine, &cfg);
+    let mut w2 = small_target();
+    w2.app = AppConfig::Kv(KvConfig {
+        n_keys: 10_000,
+        ..KvConfig::ycsb_like()
+    });
+    let b2 = profile_workload(&w2, &machine, &cfg);
+
+    c.bench_function("error/emd-10-metrics", |b| {
+        let weights = MetricWeights::equal();
+        b.iter(|| profile_error(&a, &b2, &weights))
+    });
+    c.bench_function("error/ks-10-metrics", |b| {
+        let mut weights = MetricWeights::equal();
+        weights.distance = DistanceKind::KolmogorovSmirnov;
+        b.iter(|| profile_error(&a, &b2, &weights))
+    });
+}
+
+fn optimizer(c: &mut Criterion) {
+    // GP fitting cost at the paper's scale (200 observations).
+    for n in [50usize, 200] {
+        c.bench_function(&format!("gp/fit-fixed-hypers-n{n}"), |b| {
+            let mut rng = Rng::with_seed(1);
+            let xs: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..6).map(|_| rng.f64()).collect())
+                .collect();
+            let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>().sin()).collect();
+            b.iter_batched(
+                || (xs.clone(), ys.clone()),
+                |(xs, ys)| GaussianProcess::fit(Kernel::matern52(6, 0.3), 1e-4, xs, ys).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    c.bench_function("bo/suggest-at-60-observations", |b| {
+        let mut bo = BayesOpt::new(BoConfig::for_dims(6), 7);
+        let mut rng = Rng::with_seed(2);
+        for _ in 0..60 {
+            let x = bo.suggest();
+            let y = x.iter().map(|v| (v - 0.4).powi(2)).sum::<f64>() + 0.01 * rng.f64();
+            bo.observe(x, y);
+        }
+        b.iter(|| {
+            let x = bo.suggest();
+            std::hint::black_box(&x);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Keep runs short: each bench exercises a full simulation pipeline.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = profiling, error_model, optimizer
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Per-request simulation cost of every workload application — the
+//! substrate speed that determines how long each figure takes to
+//! regenerate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use datamime_apps::{
+    App, DnnApp, ImgDnn, ImgDnnConfig, KvConfig, KvStore, Masstree, MasstreeConfig, NetSpec,
+    SearchConfig, SearchEngine, SiloConfig, SiloDb,
+};
+use datamime_sim::{Machine, MachineConfig};
+use datamime_stats::Rng;
+
+fn bench_app<A: App>(c: &mut Criterion, name: &str, mut app: A, batch: u64) {
+    let mut machine = Machine::new(MachineConfig::broadwell());
+    let mut rng = Rng::with_seed(1);
+    // Warm up caches and predictors.
+    for _ in 0..200 {
+        app.serve(&mut machine, &mut rng);
+    }
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            for _ in 0..batch {
+                app.serve(&mut machine, &mut rng);
+            }
+        })
+    });
+}
+
+fn workloads(c: &mut Criterion) {
+    bench_app(
+        c,
+        "serve/memcached-fb",
+        KvStore::new(KvConfig {
+            n_keys: 30_000,
+            ..KvConfig::facebook_like()
+        }),
+        16,
+    );
+    bench_app(
+        c,
+        "serve/silo-bidding",
+        SiloDb::new(SiloConfig {
+            n_bid_items: 500_000,
+            ..SiloConfig::bidding_target()
+        }),
+        16,
+    );
+    bench_app(
+        c,
+        "serve/xapian-wiki",
+        SearchEngine::new(SearchConfig {
+            n_docs: 8_000,
+            n_terms: 6_000,
+            ..SearchConfig::wikipedia_target()
+        }),
+        8,
+    );
+    bench_app(
+        c,
+        "serve/dnn-generator-net",
+        DnnApp::new(NetSpec::from_generator_params(3, 2, 1, 1, 16)),
+        1,
+    );
+    bench_app(
+        c,
+        "serve/masstree-ycsb",
+        Masstree::new(MasstreeConfig {
+            n_keys: 200_000,
+            ..MasstreeConfig::ycsb_target()
+        }),
+        16,
+    );
+    bench_app(
+        c,
+        "serve/img-dnn-mnist",
+        ImgDnn::new(ImgDnnConfig::mnist_target()),
+        1,
+    );
+}
+
+fn dataset_build(c: &mut Criterion) {
+    c.bench_function("build/kvstore-120k-items", |b| {
+        b.iter_batched(
+            KvConfig::facebook_like,
+            |cfg| KvStore::new(cfg),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("build/resnet50-scaled", |b| {
+        b.iter_batched(NetSpec::resnet50_scaled, DnnApp::new, BatchSize::LargeInput)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Keep runs short: each bench exercises a full simulation pipeline.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = workloads, dataset_build
+}
+criterion_main!(benches);

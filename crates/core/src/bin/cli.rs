@@ -1,0 +1,367 @@
+//! The `datamime` command-line tool: profile workloads and synthesize
+//! representative benchmarks from the terminal.
+//!
+//! ```text
+//! datamime list                          # available workloads
+//! datamime machines                      # the Table-II platforms
+//! datamime profile mem-fb --machine zen2 # print a profile
+//! datamime clone mem-fb --iters 60       # run the Datamime search
+//! ```
+
+use datamime::generator::generator_for_program;
+use datamime::metrics::DistMetric;
+use datamime::profiler::{profile_workload, ProfilingConfig};
+use datamime::search::{search, search_parallel, SearchConfig};
+use datamime::workload::Workload;
+use datamime_sim::MachineConfig;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+datamime — generate representative benchmarks by synthesizing datasets
+
+USAGE:
+    datamime <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                       list available target workloads
+    machines                   describe the simulated platforms
+    profile <workload>         profile a workload and print its metrics
+    clone <workload>           search for a matching synthetic dataset
+    validate <workload>        clone, then validate across all machines
+
+OPTIONS:
+    --machine <name>           broadwell (default) | zen2 | silvermont
+    --iters <n>                search iterations (default 40)
+    --parallel <k>             evaluate k candidates per batch in parallel
+    --paper                    paper-fidelity profiling (slower)
+    --tsv                      with `profile`: dump raw samples as TSV
+";
+
+fn workload_by_name(name: &str) -> Option<Workload> {
+    let all = [
+        Workload::mem_fb(),
+        Workload::mem_twtr(),
+        Workload::mem_public(),
+        Workload::silo_bidding(),
+        Workload::silo_public(),
+        Workload::xapian_wiki(),
+        Workload::xapian_public(),
+        Workload::dnn_resnet(),
+        Workload::dnn_public(),
+        Workload::masstree_ycsb(),
+        Workload::img_dnn_mnist(),
+    ];
+    all.into_iter().find(|w| w.name == name)
+}
+
+fn machine_by_name(name: &str) -> Option<MachineConfig> {
+    match name {
+        "broadwell" => Some(MachineConfig::broadwell()),
+        "zen2" => Some(MachineConfig::zen2()),
+        "silvermont" => Some(MachineConfig::silvermont()),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Default)]
+struct Options {
+    machine: Option<String>,
+    iters: Option<usize>,
+    parallel: Option<usize>,
+    paper: bool,
+    tsv: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--machine" => {
+                o.machine = Some(args.get(i + 1).ok_or("--machine needs a value")?.clone());
+                i += 2;
+            }
+            "--iters" => {
+                o.iters = Some(
+                    args.get(i + 1)
+                        .ok_or("--iters needs a value")?
+                        .parse()
+                        .map_err(|_| "--iters must be a number")?,
+                );
+                i += 2;
+            }
+            "--parallel" => {
+                o.parallel = Some(
+                    args.get(i + 1)
+                        .ok_or("--parallel needs a value")?
+                        .parse()
+                        .map_err(|_| "--parallel must be a number")?,
+                );
+                i += 2;
+            }
+            "--paper" => {
+                o.paper = true;
+                i += 1;
+            }
+            "--tsv" => {
+                o.tsv = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_list() {
+    println!("target workloads:");
+    for w in [
+        Workload::mem_fb(),
+        Workload::mem_twtr(),
+        Workload::silo_bidding(),
+        Workload::xapian_wiki(),
+        Workload::dnn_resnet(),
+        Workload::masstree_ycsb(),
+        Workload::img_dnn_mnist(),
+    ] {
+        println!(
+            "  {:<12} program={:<10} qps={}",
+            w.name,
+            w.app.program(),
+            w.load.qps
+        );
+    }
+    println!("public-dataset baselines:");
+    for w in [
+        Workload::mem_public(),
+        Workload::silo_public(),
+        Workload::xapian_public(),
+        Workload::dnn_public(),
+    ] {
+        println!(
+            "  {:<14} program={:<10} qps={}",
+            w.name,
+            w.app.program(),
+            w.load.qps
+        );
+    }
+}
+
+fn cmd_machines() {
+    for m in [
+        MachineConfig::broadwell(),
+        MachineConfig::zen2(),
+        MachineConfig::silvermont(),
+    ] {
+        println!(
+            "{:<11} {:.2} GHz, width {}, L1I {}, L1D {}, L2 {}, LLC {}",
+            m.name,
+            m.freq_ghz,
+            m.issue_width,
+            m.l1i,
+            m.l1d,
+            m.l2,
+            m.llc.map_or("none".to_owned(), |c| c.to_string()),
+        );
+    }
+}
+
+fn cmd_profile(workload: &Workload, opts: &Options) -> Result<(), String> {
+    let machine = machine_by_name(opts.machine.as_deref().unwrap_or("broadwell"))
+        .ok_or("unknown machine (broadwell | zen2 | silvermont)")?;
+    let cfg = if opts.paper {
+        ProfilingConfig::paper_default()
+    } else {
+        ProfilingConfig::fast()
+    };
+    eprintln!("profiling {} on {} ...", workload.name, machine.name);
+    let p = profile_workload(workload, &machine, &cfg);
+    if opts.tsv {
+        print!("{}", p.to_tsv());
+        return Ok(());
+    }
+    for m in DistMetric::ALL {
+        let d = p.dist(m);
+        println!(
+            "{:<14} mean={:<10.4} p50={:<10.4} p95={:<10.4}",
+            m.key(),
+            d.mean(),
+            d.quantile(0.5),
+            d.quantile(0.95)
+        );
+    }
+    if !p.curve().is_empty() {
+        println!("cache sensitivity (MB: llc_mpki / ipc):");
+        for pt in p.curve() {
+            println!(
+                "  {:>3}: {:.3} / {:.3}",
+                pt.cache_bytes >> 20,
+                pt.llc_mpki,
+                pt.ipc
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_validate(workload: &Workload, opts: &Options) -> Result<(), String> {
+    let generator = generator_for_program(workload.app.program()).ok_or_else(|| {
+        format!(
+            "no dataset generator for program {}",
+            workload.app.program()
+        )
+    })?;
+    let mut cfg = SearchConfig::paper_default();
+    cfg.iterations = opts.iters.unwrap_or(40);
+    if !opts.paper {
+        cfg.profiling = ProfilingConfig::fast();
+    }
+    eprintln!(
+        "cloning {} ({} iterations) ...",
+        workload.name, cfg.iterations
+    );
+    let target = profile_workload(workload, &cfg.machine, &cfg.profiling);
+    let outcome = search(generator.as_ref(), &target, &cfg);
+    eprintln!("validating across machines ...");
+    let report =
+        datamime::validate::validate_paper_setup(workload, &outcome.best_workload, &cfg.profiling);
+    print!("{report}");
+    if let Some(mape) = report.mape(DistMetric::Ipc) {
+        println!("IPC MAPE across machines: {:.1}%", mape * 100.0);
+    }
+    if opts.tsv {
+        print!("{}", report.to_tsv());
+    }
+    Ok(())
+}
+
+fn cmd_clone(workload: &Workload, opts: &Options) -> Result<(), String> {
+    let machine = machine_by_name(opts.machine.as_deref().unwrap_or("broadwell"))
+        .ok_or("unknown machine (broadwell | zen2 | silvermont)")?;
+    let generator = generator_for_program(workload.app.program()).ok_or_else(|| {
+        format!(
+            "no dataset generator for program {}",
+            workload.app.program()
+        )
+    })?;
+    let mut cfg = SearchConfig::paper_default();
+    cfg.machine = machine;
+    cfg.iterations = opts.iters.unwrap_or(40);
+    if !opts.paper {
+        cfg.profiling = ProfilingConfig::fast();
+    }
+    eprintln!(
+        "profiling {} and searching {} dataset parameters ({} iterations{}) ...",
+        workload.name,
+        generator.dims(),
+        cfg.iterations,
+        opts.parallel
+            .map_or(String::new(), |k| format!(", batch {k}")),
+    );
+    let target = profile_workload(workload, &cfg.machine, &cfg.profiling);
+    let outcome = match opts.parallel {
+        Some(k) if k > 1 => search_parallel(generator.as_ref(), &target, &cfg, k),
+        _ => search(generator.as_ref(), &target, &cfg),
+    };
+    println!("best total EMD error: {:.4}", outcome.best_error);
+    println!("synthesized dataset parameters:");
+    for (name, value) in generator.describe(&outcome.best_unit_params) {
+        println!("  {name:>20} = {value:.3}");
+    }
+    println!("\n{:>14}  {:>9}  {:>9}", "metric", "target", "datamime");
+    for m in DistMetric::ALL {
+        println!(
+            "{:>14}  {:>9.3}  {:>9.3}",
+            m.key(),
+            target.mean(m),
+            outcome.best_profile.mean(m)
+        );
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("machines") => {
+            cmd_machines();
+            Ok(())
+        }
+        Some(cmd @ ("profile" | "clone" | "validate")) => {
+            let name = args
+                .get(1)
+                .ok_or(format!("{cmd} needs a workload name; see `datamime list`"))?;
+            let workload = workload_by_name(name)
+                .ok_or(format!("unknown workload {name}; see `datamime list`"))?;
+            let opts = parse_options(&args[2..])?;
+            match cmd {
+                "profile" => cmd_profile(&workload, &opts),
+                "clone" => cmd_clone(&workload, &opts),
+                _ => cmd_validate(&workload, &opts),
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = parse_options(&args(&[
+            "--machine",
+            "zen2",
+            "--iters",
+            "7",
+            "--parallel",
+            "3",
+            "--paper",
+            "--tsv",
+        ]))
+        .unwrap();
+        assert_eq!(o.machine.as_deref(), Some("zen2"));
+        assert_eq!(o.iters, Some(7));
+        assert_eq!(o.parallel, Some(3));
+        assert!(o.paper && o.tsv);
+    }
+
+    #[test]
+    fn rejects_unknown_and_incomplete_options() {
+        assert!(parse_options(&args(&["--bogus"])).is_err());
+        assert!(parse_options(&args(&["--iters"])).is_err());
+        assert!(parse_options(&args(&["--iters", "x"])).is_err());
+    }
+
+    #[test]
+    fn workload_and_machine_lookup() {
+        assert!(workload_by_name("mem-fb").is_some());
+        assert!(workload_by_name("img-dnn").is_some());
+        assert!(workload_by_name("nope").is_none());
+        assert!(machine_by_name("silvermont").is_some());
+        assert!(machine_by_name("alderlake").is_none());
+    }
+}

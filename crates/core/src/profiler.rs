@@ -1,0 +1,271 @@
+//! The Datamime profiler (paper Sec. III-A).
+//!
+//! Profiles a [`Workload`] on a machine: runs it under its load spec,
+//! samples all Table-I metrics at fixed intervals, and sweeps LLC way
+//! allocations (CAT-style) to measure the cache-sensitivity curves.
+
+use crate::profile::{CurvePoint, Profile};
+use crate::workload::Workload;
+use datamime_apps::App;
+use datamime_loadgen::{Driver, WorkloadSpec};
+use datamime_sim::{Machine, MachineConfig, Sampler};
+
+/// How cache-sensitivity curves are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveMethod {
+    /// Fresh application + machine per allocation (simple, slower).
+    Restart,
+    /// DynaWay-style online repartitioning (paper ref. \[11\]): one run,
+    /// the LLC is resized in place per point with a one-sample warm-up.
+    Dynaway,
+}
+
+/// Controls profiling fidelity (number of samples, intervals, curve
+/// resolution).
+///
+/// [`ProfilingConfig::paper_default`] mirrors the paper's methodology
+/// (20 M-cycle counter intervals, 11-point curve sweep);
+/// [`ProfilingConfig::fast`] is a cheaper setting used by tests and quick
+/// experiments. Absolute interval lengths are scaled down relative to the
+/// paper's wall-clock numbers because the simulated applications serve
+/// requests at full simulation speed (there is no OS noise to average
+/// out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilingConfig {
+    /// Counter sampling interval in cycles.
+    pub interval_cycles: u64,
+    /// Number of interval samples per profile.
+    pub n_samples: usize,
+    /// LLC way allocations to sweep for the curves (empty to skip).
+    pub curve_ways: Vec<u32>,
+    /// Interval samples per curve point.
+    pub curve_samples: usize,
+    /// Curve measurement method.
+    pub curve_method: CurveMethod,
+    /// Seed for the load generator.
+    pub seed: u64,
+}
+
+impl ProfilingConfig {
+    /// The paper's methodology: 20 M-cycle intervals and an 11-point curve
+    /// (1 MB steps plus the full 12 MB on Broadwell).
+    pub fn paper_default() -> Self {
+        ProfilingConfig {
+            interval_cycles: 20_000_000,
+            n_samples: 30,
+            curve_ways: (1..=12).collect(),
+            curve_samples: 3,
+            curve_method: CurveMethod::Dynaway,
+            seed: 0xDA7A,
+        }
+    }
+
+    /// A fast configuration for tests and smoke experiments.
+    pub fn fast() -> Self {
+        ProfilingConfig {
+            interval_cycles: 2_000_000,
+            n_samples: 10,
+            curve_ways: vec![1, 4, 8, 12],
+            curve_samples: 2,
+            curve_method: CurveMethod::Restart,
+            seed: 0xDA7A,
+        }
+    }
+
+    /// Removes the curve sweep (e.g. for machines without CAT, or for
+    /// single-metric scalar-target searches).
+    pub fn without_curves(mut self) -> Self {
+        self.curve_ways.clear();
+        self
+    }
+}
+
+/// Profiles `workload` on a machine described by `machine_cfg`.
+///
+/// A fresh application instance and machine are built for the main run and
+/// for each curve point (the paper likewise restarts per CAT allocation).
+/// Machines without a partitionable LLC (Silvermont) skip the curve sweep.
+///
+/// # Panics
+///
+/// Panics if the profiling configuration requests zero samples.
+pub fn profile_workload(
+    workload: &Workload,
+    machine_cfg: &MachineConfig,
+    cfg: &ProfilingConfig,
+) -> Profile {
+    profile_app(&|| workload.app.build(), workload.load, machine_cfg, cfg)
+}
+
+/// Profiles any [`App`] (built fresh per run by `build`) under a load spec.
+///
+/// This is the generic entry point; [`profile_workload`] wraps it, and the
+/// PerfProx proxy benchmark uses it directly since the proxy is not a
+/// dataset-backed [`Workload`].
+///
+/// # Panics
+///
+/// Panics if the profiling configuration requests zero samples.
+pub fn profile_app(
+    build: &dyn Fn() -> Box<dyn App>,
+    load: WorkloadSpec,
+    machine_cfg: &MachineConfig,
+    cfg: &ProfilingConfig,
+) -> Profile {
+    assert!(cfg.n_samples > 0, "need at least one sample");
+
+    // Main distribution run.
+    let mut app = build();
+    let mut machine = Machine::new(machine_cfg.clone());
+    let mut sampler = Sampler::new(cfg.interval_cycles);
+    let mut driver = Driver::new(load, cfg.seed);
+    driver.run(app.as_mut(), &mut machine, &mut sampler, cfg.n_samples);
+
+    // Curve sweep with CAT-restricted LLC allocations.
+    let mut curve = Vec::new();
+    if machine_cfg.llc.is_some() {
+        match cfg.curve_method {
+            CurveMethod::Restart => {
+                for &ways in &cfg.curve_ways {
+                    if ways == 0 || ways > machine_cfg.llc_partitions() {
+                        continue;
+                    }
+                    let part_cfg = machine_cfg.with_llc_ways(ways);
+                    let mut app = build();
+                    let mut machine = Machine::new(part_cfg.clone());
+                    let mut sampler = Sampler::new(cfg.interval_cycles);
+                    let mut driver = Driver::new(load, cfg.seed ^ u64::from(ways));
+                    driver.run(
+                        app.as_mut(),
+                        &mut machine,
+                        &mut sampler,
+                        cfg.curve_samples.max(1),
+                    );
+                    curve.push(curve_point(&sampler, part_cfg.llc_bytes()));
+                }
+            }
+            CurveMethod::Dynaway => {
+                // One application + machine; repartition in place per point
+                // and let the driver's built-in warm-up sample absorb the
+                // cold restart.
+                let mut app = build();
+                let mut machine = Machine::new(machine_cfg.clone());
+                let mut driver = Driver::new(load, cfg.seed ^ 0xD1A);
+                for &ways in &cfg.curve_ways {
+                    if ways == 0 || ways > machine_cfg.llc_partitions() {
+                        continue;
+                    }
+                    machine.set_llc_ways(ways);
+                    let mut sampler = Sampler::new(cfg.interval_cycles);
+                    driver.run(
+                        app.as_mut(),
+                        &mut machine,
+                        &mut sampler,
+                        cfg.curve_samples.max(1),
+                    );
+                    let bytes = machine_cfg.with_llc_ways(ways).llc_bytes();
+                    curve.push(curve_point(&sampler, bytes));
+                }
+            }
+        }
+    }
+
+    Profile::from_samples(sampler.samples(), curve).expect("sampler produced samples")
+}
+
+fn curve_point(sampler: &Sampler, cache_bytes: u64) -> CurvePoint {
+    let samples = sampler.samples();
+    let n = samples.len() as f64;
+    CurvePoint {
+        cache_bytes,
+        llc_mpki: samples.iter().map(|s| s.llc_mpki).sum::<f64>() / n,
+        ipc: samples.iter().map(|s| s.ipc).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DistMetric;
+    use crate::workload::Workload;
+    use datamime_apps::KvConfig;
+
+    #[test]
+    fn dynaway_curves_agree_with_restart_curves() {
+        let mut restart = ProfilingConfig::fast();
+        restart.curve_ways = vec![1, 12];
+        restart.curve_samples = 4;
+        let mut dynaway = restart.clone();
+        dynaway.curve_method = CurveMethod::Dynaway;
+        // dnn streams its whole ~10 MB model every inference, so the
+        // 1 MB -> 12 MB sweep moves its miss rate strongly and quickly.
+        let w = Workload::dnn_resnet();
+        let machine = MachineConfig::broadwell();
+        let a = profile_workload(&w, &machine, &restart);
+        let b = profile_workload(&w, &machine, &dynaway);
+        // Same qualitative shape: small allocation misses more than full.
+        assert!(b.curve()[0].llc_mpki > b.curve()[1].llc_mpki);
+        assert!(a.curve()[0].llc_mpki > a.curve()[1].llc_mpki);
+        // Values in the same ballpark as the restart method.
+        for (x, y) in a.curve().iter().zip(b.curve()) {
+            assert_eq!(x.cache_bytes, y.cache_bytes);
+            let rel = (x.llc_mpki - y.llc_mpki).abs() / x.llc_mpki.max(0.5);
+            assert!(rel < 0.6, "llc curve diverges: {x:?} vs {y:?}");
+        }
+    }
+
+    fn tiny_kv() -> Workload {
+        let mut w = Workload::mem_public();
+        if let crate::workload::AppConfig::Kv(c) = &mut w.app {
+            *c = KvConfig {
+                n_keys: 3_000,
+                ..c.clone()
+            };
+        }
+        w
+    }
+
+    #[test]
+    fn profiles_have_requested_samples_and_curves() {
+        let cfg = ProfilingConfig::fast();
+        let p = profile_workload(&tiny_kv(), &MachineConfig::broadwell(), &cfg);
+        assert_eq!(p.dist(DistMetric::Ipc).len(), cfg.n_samples);
+        assert_eq!(p.curve().len(), cfg.curve_ways.len());
+        assert!(p.mean(DistMetric::Ipc) > 0.1);
+    }
+
+    #[test]
+    fn curves_are_monotone_in_the_right_direction() {
+        let mut cfg = ProfilingConfig::fast();
+        cfg.curve_ways = vec![1, 12];
+        let w = Workload::silo_bidding();
+        let p = profile_workload(&w, &MachineConfig::broadwell(), &cfg);
+        let c = p.curve();
+        assert!(
+            c[0].llc_mpki >= c[1].llc_mpki,
+            "more cache, fewer misses: {c:?}"
+        );
+        assert!(c[0].ipc <= c[1].ipc + 0.05, "more cache, no slower: {c:?}");
+        assert_eq!(c[0].cache_bytes, 1 << 20);
+        assert_eq!(c[1].cache_bytes, 12 << 20);
+    }
+
+    #[test]
+    fn silvermont_profiles_without_curves() {
+        let cfg = ProfilingConfig::fast();
+        let p = profile_workload(&tiny_kv(), &MachineConfig::silvermont(), &cfg);
+        assert!(p.curve().is_empty());
+        assert!(p.mean(DistMetric::Ipc) > 0.0);
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let cfg = ProfilingConfig::fast().without_curves();
+        let a = profile_workload(&tiny_kv(), &MachineConfig::broadwell(), &cfg);
+        let b = profile_workload(&tiny_kv(), &MachineConfig::broadwell(), &cfg);
+        assert_eq!(
+            a.dist(DistMetric::Ipc).samples(),
+            b.dist(DistMetric::Ipc).samples()
+        );
+    }
+}

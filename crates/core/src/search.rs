@@ -1,0 +1,319 @@
+//! The Datamime search loop (paper Sec. III-C and Fig. 5).
+//!
+//! Each iteration: the optimizer proposes dataset-generator parameters,
+//! the generator synthesizes a dataset, the benchmark runs and is profiled
+//! exactly like the target, the EMD error against the target profile is
+//! computed, and the error is fed back to the optimizer.
+
+use crate::error_model::{profile_error, MetricWeights};
+use crate::generator::DatasetGenerator;
+use crate::profile::Profile;
+use crate::profiler::{profile_workload, ProfilingConfig};
+use crate::workload::Workload;
+use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
+use datamime_sim::MachineConfig;
+
+/// Which optimizer drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// GP-EI Bayesian optimization (the paper's choice).
+    Bayesian,
+    /// Uniform random search (ablation baseline).
+    Random,
+}
+
+/// Configuration of one Datamime search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Number of optimizer iterations (the paper runs 200).
+    pub iterations: usize,
+    /// Machine the benchmark is generated on (the paper uses Broadwell).
+    pub machine: MachineConfig,
+    /// Profiling fidelity per iteration.
+    pub profiling: ProfilingConfig,
+    /// Metric weights of the error model.
+    pub weights: MetricWeights,
+    /// Optimizer selection.
+    pub optimizer: OptimizerKind,
+    /// Seed for the optimizer.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// A configuration mirroring the paper's methodology (Sec. IV): 200
+    /// iterations on Broadwell with full-fidelity profiling.
+    pub fn paper_default() -> Self {
+        SearchConfig {
+            iterations: 200,
+            machine: MachineConfig::broadwell(),
+            profiling: ProfilingConfig::paper_default(),
+            weights: MetricWeights::equal(),
+            optimizer: OptimizerKind::Bayesian,
+            seed: 0xDA7A_417E,
+        }
+    }
+
+    /// A reduced-cost configuration for quick experiments and tests.
+    pub fn fast(iterations: usize) -> Self {
+        SearchConfig {
+            iterations,
+            machine: MachineConfig::broadwell(),
+            profiling: ProfilingConfig::fast(),
+            weights: MetricWeights::equal(),
+            optimizer: OptimizerKind::Bayesian,
+            seed: 0xDA7A_417E,
+        }
+    }
+}
+
+/// One evaluated point of the search.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Unit-hypercube parameters proposed by the optimizer.
+    pub unit_params: Vec<f64>,
+    /// Total weighted EMD error against the target.
+    pub error: f64,
+}
+
+/// The outcome of a Datamime search.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Best (lowest-error) unit parameters found.
+    pub best_unit_params: Vec<f64>,
+    /// The corresponding synthesized workload.
+    pub best_workload: Workload,
+    /// The best workload's profile.
+    pub best_profile: Profile,
+    /// The best total error.
+    pub best_error: f64,
+    /// Every evaluated iteration, in order.
+    pub history: Vec<IterationRecord>,
+}
+
+impl SearchOutcome {
+    /// The running minimum error per iteration (the y-axis of Fig. 10).
+    pub fn running_min(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.history.len());
+        let mut best = f64::INFINITY;
+        for r in &self.history {
+            best = best.min(r.error);
+            out.push(best);
+        }
+        out
+    }
+}
+
+/// Runs a Datamime search for a dataset that makes `generator`'s program
+/// mimic `target_profile`.
+///
+/// # Panics
+///
+/// Panics if `cfg.iterations == 0`.
+pub fn search(
+    generator: &dyn DatasetGenerator,
+    target_profile: &Profile,
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    let dims = generator.dims();
+    let mut optimizer: Box<dyn BlackBoxOptimizer> = match cfg.optimizer {
+        OptimizerKind::Bayesian => Box::new(BayesOpt::new(BoConfig::for_dims(dims), cfg.seed)),
+        OptimizerKind::Random => Box::new(RandomSearch::new(dims, cfg.seed)),
+    };
+
+    let mut history = Vec::with_capacity(cfg.iterations);
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for _ in 0..cfg.iterations {
+        let unit = optimizer.suggest();
+        let workload = generator.instantiate(&unit);
+        let profile = profile_workload(&workload, &cfg.machine, &cfg.profiling);
+        let err = profile_error(target_profile, &profile, &cfg.weights).total;
+        optimizer.observe(unit.clone(), err);
+        if best.as_ref().is_none_or(|(_, be)| err < *be) {
+            best = Some((unit.clone(), err));
+        }
+        history.push(IterationRecord {
+            unit_params: unit,
+            error: err,
+        });
+    }
+
+    let (best_unit_params, best_error) = best.expect("at least one iteration ran");
+    let best_workload = generator.instantiate(&best_unit_params);
+    let best_profile = profile_workload(&best_workload, &cfg.machine, &cfg.profiling);
+    SearchOutcome {
+        best_unit_params,
+        best_workload,
+        best_profile,
+        best_error,
+        history,
+    }
+}
+
+/// Runs a Datamime search with *parallel* candidate evaluation: the
+/// optimizer proposes batches via the constant-liar strategy and each
+/// batch's profiling runs on its own OS thread.
+///
+/// This is the parallelization the paper defers to future work (Sec. IV).
+/// Results are deterministic for a given seed: observations are applied in
+/// batch order regardless of thread completion order. With `batch == 1`
+/// this reduces to the serial loop.
+///
+/// # Panics
+///
+/// Panics if `cfg.iterations == 0` or `batch == 0`.
+pub fn search_parallel(
+    generator: &(dyn DatasetGenerator + Sync),
+    target_profile: &Profile,
+    cfg: &SearchConfig,
+    batch: usize,
+) -> SearchOutcome {
+    assert!(cfg.iterations > 0, "need at least one iteration");
+    assert!(batch > 0, "batch must be positive");
+    let dims = generator.dims();
+    let mut bo =
+        datamime_bayesopt::BayesOpt::new(datamime_bayesopt::BoConfig::for_dims(dims), cfg.seed);
+    let mut history = Vec::with_capacity(cfg.iterations);
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut remaining = cfg.iterations;
+    while remaining > 0 {
+        let k = batch.min(remaining);
+        let units = bo.suggest_batch(k);
+        let errors: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .iter()
+                .map(|unit| {
+                    let machine = cfg.machine.clone();
+                    let profiling = cfg.profiling.clone();
+                    let weights = cfg.weights.clone();
+                    scope.spawn(move || {
+                        let workload = generator.instantiate(unit);
+                        let profile = profile_workload(&workload, &machine, &profiling);
+                        profile_error(target_profile, &profile, &weights).total
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        for (unit, err) in units.into_iter().zip(errors) {
+            bo.observe(unit.clone(), err);
+            if best.as_ref().is_none_or(|(_, be)| err < *be) {
+                best = Some((unit.clone(), err));
+            }
+            history.push(IterationRecord {
+                unit_params: unit,
+                error: err,
+            });
+        }
+        remaining -= k;
+    }
+    let (best_unit_params, best_error) = best.expect("at least one iteration ran");
+    let best_workload = generator.instantiate(&best_unit_params);
+    let best_profile = profile_workload(&best_workload, &cfg.machine, &cfg.profiling);
+    SearchOutcome {
+        best_unit_params,
+        best_workload,
+        best_profile,
+        best_error,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::KvGenerator;
+    use crate::metrics::DistMetric;
+    use crate::workload::Workload;
+    use datamime_apps::KvConfig;
+
+    fn small_target() -> Workload {
+        let mut w = Workload::mem_fb();
+        if let crate::workload::AppConfig::Kv(c) = &mut w.app {
+            *c = KvConfig {
+                n_keys: 20_000,
+                ..c.clone()
+            };
+        }
+        w
+    }
+
+    #[test]
+    fn search_reduces_error_over_iterations() {
+        let cfg = SearchConfig {
+            iterations: 14,
+            ..SearchConfig::fast(14)
+        };
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let outcome = search(&KvGenerator::new(), &target, &cfg);
+
+        assert_eq!(outcome.history.len(), 14);
+        let mins = outcome.running_min();
+        assert!(mins.last().unwrap() <= mins.first().unwrap());
+        assert_eq!(*mins.last().unwrap(), outcome.best_error);
+        // The best profile should at least be in the same IPC ballpark.
+        let t_ipc = target.mean(DistMetric::Ipc);
+        let b_ipc = outcome.best_profile.mean(DistMetric::Ipc);
+        assert!(
+            (t_ipc - b_ipc).abs() / t_ipc < 0.5,
+            "target ipc {t_ipc}, best {b_ipc}, err {}",
+            outcome.best_error
+        );
+    }
+
+    #[test]
+    fn random_search_also_runs() {
+        let mut cfg = SearchConfig::fast(5);
+        cfg.optimizer = OptimizerKind::Random;
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let outcome = search(&KvGenerator::new(), &target, &cfg);
+        assert_eq!(outcome.history.len(), 5);
+        assert!(outcome.best_error.is_finite());
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_quality() {
+        let mut cfg = SearchConfig::fast(12);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let par = search_parallel(&KvGenerator::new(), &target, &cfg, 4);
+        assert_eq!(par.history.len(), 12);
+        let ser = search(&KvGenerator::new(), &target, &cfg);
+        // Parallel batches explore slightly differently but must land in
+        // the same quality regime.
+        assert!(
+            par.best_error < ser.best_error * 2.0 + 0.2,
+            "parallel {} vs serial {}",
+            par.best_error,
+            ser.best_error
+        );
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic() {
+        let mut cfg = SearchConfig::fast(6);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let a = search_parallel(&KvGenerator::new(), &target, &cfg, 3);
+        let b = search_parallel(&KvGenerator::new(), &target, &cfg, 3);
+        assert_eq!(a.best_error, b.best_error);
+        assert_eq!(a.best_unit_params, b.best_unit_params);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let cfg = SearchConfig::fast(0);
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        search(&KvGenerator::new(), &target, &cfg);
+    }
+}

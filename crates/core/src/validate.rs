@@ -1,0 +1,250 @@
+//! Cross-microarchitecture validation of synthesized benchmarks.
+//!
+//! The paper generates benchmarks on Broadwell and *validates* them
+//! unchanged on Zen 2 and Silvermont (Figs. 1 and 3): a representative
+//! dataset must keep matching when the machine changes, because the match
+//! comes from the workload's structure rather than overfitting to one
+//! microarchitecture. This module packages that workflow.
+
+use crate::metrics::DistMetric;
+use crate::profiler::{profile_workload, ProfilingConfig};
+use crate::workload::Workload;
+use datamime_sim::MachineConfig;
+use std::fmt;
+
+/// One (machine, metric) comparison between target and benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// Machine name.
+    pub machine: String,
+    /// Metric compared.
+    pub metric: DistMetric,
+    /// Target's mean value.
+    pub target: f64,
+    /// Benchmark's mean value.
+    pub benchmark: f64,
+}
+
+impl ValidationRow {
+    /// Absolute error.
+    pub fn abs_error(&self) -> f64 {
+        (self.benchmark - self.target).abs()
+    }
+
+    /// Relative error against the target (`None` when the target is ~0).
+    pub fn rel_error(&self) -> Option<f64> {
+        (self.target.abs() > 1e-9).then(|| self.abs_error() / self.target.abs())
+    }
+}
+
+/// The full validation result across machines and metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    rows: Vec<ValidationRow>,
+}
+
+impl ValidationReport {
+    /// All rows.
+    pub fn rows(&self) -> &[ValidationRow] {
+        &self.rows
+    }
+
+    /// Rows for one metric.
+    pub fn metric_rows(&self, metric: DistMetric) -> impl Iterator<Item = &ValidationRow> {
+        self.rows.iter().filter(move |r| r.metric == metric)
+    }
+
+    /// Mean absolute percentage error of a metric across machines
+    /// (`None` if no row has a usable target value).
+    pub fn mape(&self, metric: DistMetric) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .metric_rows(metric)
+            .filter_map(ValidationRow::rel_error)
+            .collect();
+        (!errs.is_empty()).then(|| errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+
+    /// Mean absolute error of a metric across machines.
+    pub fn mae(&self, metric: DistMetric) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .metric_rows(metric)
+            .map(ValidationRow::abs_error)
+            .collect();
+        (!errs.is_empty()).then(|| errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+
+    /// The row with the worst relative error, if any.
+    pub fn worst(&self) -> Option<&ValidationRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.rel_error().is_some())
+            .max_by(|a, b| {
+                a.rel_error()
+                    .partial_cmp(&b.rel_error())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Serializes the report as TSV.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("machine\tmetric\ttarget\tbenchmark\tabs_error\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                r.machine,
+                r.metric.key(),
+                r.target,
+                r.benchmark,
+                r.abs_error()
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<11} {:<14} target={:<10.4} benchmark={:<10.4} err={:.4}",
+                r.machine,
+                r.metric.key(),
+                r.target,
+                r.benchmark,
+                r.abs_error()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Profiles `target` and `benchmark` on every machine in `machines` and
+/// compares the metric means.
+///
+/// # Panics
+///
+/// Panics if `machines` or `metrics` is empty.
+pub fn validate_clone(
+    target: &Workload,
+    benchmark: &Workload,
+    machines: &[MachineConfig],
+    metrics: &[DistMetric],
+    cfg: &ProfilingConfig,
+) -> ValidationReport {
+    assert!(!machines.is_empty(), "need at least one machine");
+    assert!(!metrics.is_empty(), "need at least one metric");
+    let mut rows = Vec::with_capacity(machines.len() * metrics.len());
+    for machine in machines {
+        let t = profile_workload(target, machine, cfg);
+        let b = profile_workload(benchmark, machine, cfg);
+        for &m in metrics {
+            rows.push(ValidationRow {
+                machine: machine.name.clone(),
+                metric: m,
+                target: t.mean(m),
+                benchmark: b.mean(m),
+            });
+        }
+    }
+    ValidationReport { rows }
+}
+
+/// The paper's validation setup: all three Table-II machines and the four
+/// headline metrics of Fig. 6.
+pub fn validate_paper_setup(
+    target: &Workload,
+    benchmark: &Workload,
+    cfg: &ProfilingConfig,
+) -> ValidationReport {
+    validate_clone(
+        target,
+        benchmark,
+        &[
+            MachineConfig::broadwell(),
+            MachineConfig::zen2(),
+            MachineConfig::silvermont(),
+        ],
+        &[
+            DistMetric::Ipc,
+            DistMetric::LlcMpki,
+            DistMetric::ICacheMpki,
+            DistMetric::BranchMpki,
+        ],
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::AppConfig;
+    use datamime_apps::KvConfig;
+
+    fn tiny(name: &str, n_keys: usize) -> Workload {
+        let mut w = Workload::mem_fb();
+        w.name = name.to_owned();
+        w.app = AppConfig::Kv(KvConfig {
+            n_keys,
+            ..KvConfig::facebook_like()
+        });
+        w
+    }
+
+    #[test]
+    fn self_validation_is_perfect() {
+        let w = tiny("t", 5_000);
+        let cfg = ProfilingConfig::fast().without_curves();
+        let report = validate_clone(
+            &w,
+            &w,
+            &[MachineConfig::broadwell()],
+            &[DistMetric::Ipc, DistMetric::LlcMpki],
+            &cfg,
+        );
+        assert_eq!(report.rows().len(), 2);
+        assert_eq!(report.mape(DistMetric::Ipc), Some(0.0));
+        assert_eq!(report.worst().unwrap().abs_error(), 0.0);
+    }
+
+    #[test]
+    fn different_workloads_show_errors() {
+        let cfg = ProfilingConfig::fast().without_curves();
+        let report = validate_clone(
+            &tiny("a", 5_000),
+            &tiny("b", 200_000),
+            &[MachineConfig::broadwell(), MachineConfig::silvermont()],
+            &[DistMetric::Ipc, DistMetric::LlcMpki],
+            &cfg,
+        );
+        assert_eq!(report.rows().len(), 4);
+        assert!(report.mape(DistMetric::Ipc).unwrap() > 0.0);
+        assert!(report.mae(DistMetric::LlcMpki).unwrap() > 0.0);
+        let tsv = report.to_tsv();
+        assert!(tsv.lines().count() == 5);
+        assert!(tsv.contains("silvermont"));
+        assert!(!report.to_string().is_empty());
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let report = ValidationReport {
+            rows: vec![ValidationRow {
+                machine: "x".into(),
+                metric: DistMetric::ItlbMpki,
+                target: 0.0,
+                benchmark: 1.0,
+            }],
+        };
+        assert_eq!(report.mape(DistMetric::ItlbMpki), None);
+        assert_eq!(report.mae(DistMetric::ItlbMpki), Some(1.0));
+        assert!(report.worst().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_machines_panics() {
+        let w = tiny("t", 100);
+        validate_clone(&w, &w, &[], &[DistMetric::Ipc], &ProfilingConfig::fast());
+    }
+}

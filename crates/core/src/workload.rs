@@ -1,0 +1,233 @@
+//! Workload definitions: an application configuration plus a load
+//! specification.
+//!
+//! The named constructors reproduce the paper's evaluation setup
+//! (Sec. IV): five target workloads (`mem-fb`, `mem-twtr`, `silo`,
+//! `xapian`, `dnn`), their alternative public datasets (the red bars of
+//! Figs. 1 and 3), and the two cross-program case-study targets
+//! (`masstree`, `img-dnn`).
+
+use datamime_apps::{
+    App, DnnApp, ImgDnn, ImgDnnConfig, KvConfig, KvStore, Masstree, MasstreeConfig, NetSpec,
+    SearchConfig, SearchEngine, SiloConfig, SiloDb,
+};
+use datamime_loadgen::WorkloadSpec;
+
+/// The application half of a workload: a buildable configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppConfig {
+    /// memcached-like key-value store.
+    Kv(KvConfig),
+    /// silo-like in-memory database.
+    Silo(SiloConfig),
+    /// xapian-like search engine.
+    Search(SearchConfig),
+    /// CNN inference service (the network is the dataset).
+    Dnn(NetSpec),
+    /// masstree-like store (case-study target).
+    Masstree(MasstreeConfig),
+    /// img-dnn autoencoder (case-study target).
+    ImgDnn(ImgDnnConfig),
+}
+
+impl AppConfig {
+    /// Instantiates the application (builds its dataset).
+    pub fn build(&self) -> Box<dyn App> {
+        match self {
+            AppConfig::Kv(c) => Box::new(KvStore::new(c.clone())),
+            AppConfig::Silo(c) => Box::new(SiloDb::new(c.clone())),
+            AppConfig::Search(c) => Box::new(SearchEngine::new(c.clone())),
+            AppConfig::Dnn(spec) => Box::new(DnnApp::new(spec.clone())),
+            AppConfig::Masstree(c) => Box::new(Masstree::new(c.clone())),
+            AppConfig::ImgDnn(c) => Box::new(ImgDnn::new(c.clone())),
+        }
+    }
+
+    /// The underlying program's name.
+    pub fn program(&self) -> &'static str {
+        match self {
+            AppConfig::Kv(_) => "memcached",
+            AppConfig::Silo(_) => "silo",
+            AppConfig::Search(_) => "xapian",
+            AppConfig::Dnn(_) => "dnn",
+            AppConfig::Masstree(_) => "masstree",
+            AppConfig::ImgDnn(_) => "img-dnn",
+        }
+    }
+}
+
+/// A complete runnable workload: program + dataset + offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Short name (e.g. `"mem-fb"`).
+    pub name: String,
+    /// Application and dataset.
+    pub app: AppConfig,
+    /// Offered load.
+    pub load: WorkloadSpec,
+}
+
+impl Workload {
+    /// `mem-fb`: memcached with a dataset representative of Facebook's
+    /// production environment, bursty arrivals at moderate utilization.
+    pub fn mem_fb() -> Self {
+        Workload {
+            name: "mem-fb".to_owned(),
+            app: AppConfig::Kv(KvConfig::facebook_like()),
+            load: WorkloadSpec::bursty(120_000.0),
+        }
+    }
+
+    /// `mem-twtr`: memcached with a Twitter Twemcache-trace-like dataset.
+    pub fn mem_twtr() -> Self {
+        Workload {
+            name: "mem-twtr".to_owned(),
+            app: AppConfig::Kv(KvConfig::twitter_like()),
+            load: WorkloadSpec::bursty(110_000.0),
+        }
+    }
+
+    /// memcached with TailBench's default (YCSB-like) public dataset — the
+    /// unrepresentative baseline of Fig. 1.
+    pub fn mem_public() -> Self {
+        Workload {
+            name: "mem-public".to_owned(),
+            app: AppConfig::Kv(KvConfig::ycsb_like()),
+            load: WorkloadSpec::poisson(160_000.0),
+        }
+    }
+
+    /// `silo`: the synthetic bidding target workload.
+    pub fn silo_bidding() -> Self {
+        Workload {
+            name: "silo".to_owned(),
+            app: AppConfig::Silo(SiloConfig::bidding_target()),
+            load: WorkloadSpec::bursty(450_000.0),
+        }
+    }
+
+    /// silo with TailBench's default TPC-C dataset (the public baseline).
+    pub fn silo_public() -> Self {
+        Workload {
+            name: "silo-public".to_owned(),
+            app: AppConfig::Silo(SiloConfig::tpcc_default()),
+            load: WorkloadSpec::poisson(120_000.0),
+        }
+    }
+
+    /// `xapian`: the Wikipedia-index target workload.
+    pub fn xapian_wiki() -> Self {
+        Workload {
+            name: "xapian".to_owned(),
+            app: AppConfig::Search(SearchConfig::wikipedia_target()),
+            load: WorkloadSpec::bursty(55_000.0),
+        }
+    }
+
+    /// xapian over a StackOverflow-dump index (the public baseline).
+    pub fn xapian_public() -> Self {
+        Workload {
+            name: "xapian-public".to_owned(),
+            app: AppConfig::Search(SearchConfig::stackoverflow_public()),
+            load: WorkloadSpec::poisson(45_000.0),
+        }
+    }
+
+    /// `dnn`: object recognition with a scaled ResNet-50 model.
+    pub fn dnn_resnet() -> Self {
+        Workload {
+            name: "dnn".to_owned(),
+            app: AppConfig::Dnn(NetSpec::resnet50_scaled()),
+            load: WorkloadSpec::bursty(450.0),
+        }
+    }
+
+    /// dnn with a ShuffleNet-like compact model (the public baseline).
+    pub fn dnn_public() -> Self {
+        Workload {
+            name: "dnn-public".to_owned(),
+            app: AppConfig::Dnn(NetSpec::shufflenet_like()),
+            load: WorkloadSpec::poisson(900.0),
+        }
+    }
+
+    /// `masstree`: the Sec. V-C case-study target (cloned with memcached).
+    pub fn masstree_ycsb() -> Self {
+        Workload {
+            name: "masstree".to_owned(),
+            app: AppConfig::Masstree(MasstreeConfig::ycsb_target()),
+            load: WorkloadSpec::bursty(300_000.0),
+        }
+    }
+
+    /// `img-dnn`: the Sec. V-C case-study target (cloned with dnn).
+    pub fn img_dnn_mnist() -> Self {
+        Workload {
+            name: "img-dnn".to_owned(),
+            app: AppConfig::ImgDnn(ImgDnnConfig::mnist_target()),
+            load: WorkloadSpec::bursty(500.0),
+        }
+    }
+
+    /// The five primary target workloads of the evaluation (Fig. 3/6/7/8).
+    pub fn primary_targets() -> Vec<Workload> {
+        vec![
+            Workload::mem_fb(),
+            Workload::mem_twtr(),
+            Workload::silo_bidding(),
+            Workload::xapian_wiki(),
+            Workload::dnn_resnet(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamime_sim::{Machine, MachineConfig};
+    use datamime_stats::Rng;
+
+    #[test]
+    fn all_named_workloads_build_and_serve() {
+        let workloads = vec![
+            Workload::mem_fb(),
+            Workload::mem_twtr(),
+            Workload::mem_public(),
+            Workload::silo_bidding(),
+            Workload::silo_public(),
+            Workload::xapian_wiki(),
+            Workload::xapian_public(),
+            Workload::dnn_resnet(),
+            Workload::dnn_public(),
+            Workload::masstree_ycsb(),
+            Workload::img_dnn_mnist(),
+        ];
+        for w in workloads {
+            let mut app = w.app.build();
+            let mut machine = Machine::new(MachineConfig::broadwell());
+            let mut rng = Rng::with_seed(1);
+            app.serve(&mut machine, &mut rng);
+            assert!(
+                machine.counters().instructions > 0,
+                "{} did no work",
+                w.name
+            );
+            assert!(w.load.qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn primary_targets_are_the_papers_five() {
+        let names: Vec<String> = Workload::primary_targets()
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(names, vec!["mem-fb", "mem-twtr", "silo", "xapian", "dnn"]);
+    }
+
+    #[test]
+    fn program_names() {
+        assert_eq!(Workload::mem_fb().app.program(), "memcached");
+        assert_eq!(Workload::masstree_ycsb().app.program(), "masstree");
+    }
+}

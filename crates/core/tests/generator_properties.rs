@@ -1,0 +1,125 @@
+//! Property-based tests of the dataset generators and error model at the
+//! core-crate level: any unit-cube point must instantiate to a valid,
+//! runnable workload (the optimizer explores the whole cube).
+
+use datamime::error_model::{profile_error, MetricWeights};
+use datamime::generator::{
+    DatasetGenerator, DnnGenerator, KvGenerator, ParamSpec, SiloGenerator, XapianGenerator,
+};
+use datamime::profile::{CurvePoint, Profile};
+use datamime_sim::MetricSample;
+use proptest::prelude::*;
+
+fn unit_vec(dims: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, dims)
+}
+
+fn any_profile() -> impl Strategy<Value = Profile> {
+    prop::collection::vec(
+        (0.0f64..4.0, 0.0f64..100.0, 0.0f64..1.0, 0.0f64..10.0),
+        1..24,
+    )
+    .prop_map(|rows| {
+        let samples: Vec<MetricSample> = rows
+            .iter()
+            .map(|&(ipc, mpki, util, bw)| MetricSample {
+                ipc,
+                l1i_mpki: mpki,
+                l1d_mpki: mpki / 2.0,
+                l2_mpki: mpki / 3.0,
+                llc_mpki: mpki / 4.0,
+                itlb_mpki: mpki / 100.0,
+                dtlb_mpki: mpki / 50.0,
+                branch_mpki: mpki / 10.0,
+                cpu_utilization: util,
+                memory_bw_gbps: bw,
+            })
+            .collect();
+        let curve = vec![
+            CurvePoint {
+                cache_bytes: 1 << 20,
+                llc_mpki: rows[0].1,
+                ipc: rows[0].0,
+            },
+            CurvePoint {
+                cache_bytes: 12 << 20,
+                llc_mpki: rows[0].1 / 2.0,
+                ipc: rows[0].0,
+            },
+        ];
+        Profile::from_samples(&samples, curve).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kv_generator_instantiates_anywhere(unit in unit_vec(6)) {
+        let g = KvGenerator::new();
+        let w = g.instantiate(&unit);
+        prop_assert!(w.load.qps > 0.0);
+        prop_assert!(w.app.build().footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn silo_generator_instantiates_anywhere(unit in unit_vec(7)) {
+        let g = SiloGenerator::new();
+        let w = g.instantiate(&unit);
+        prop_assert!(w.app.build().footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn xapian_generator_instantiates_anywhere(unit in unit_vec(4)) {
+        let g = XapianGenerator::new();
+        let w = g.instantiate(&unit);
+        prop_assert!(w.app.build().footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn dnn_generator_instantiates_anywhere(unit in unit_vec(6)) {
+        let g = DnnGenerator::new();
+        let w = g.instantiate(&unit);
+        prop_assert!(w.app.build().footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn denormalize_respects_bounds_and_scale(
+        u in 0.0f64..=1.0,
+        lo in 0.1f64..100.0,
+        span in 1.0f64..1000.0,
+    ) {
+        let ilo = lo.ceil();
+        let ihi = (lo + span).floor().max(ilo + 1.0);
+        for spec in [
+            ParamSpec::linear("x", lo, lo + span),
+            ParamSpec::log("x", lo, lo + span),
+            ParamSpec::int("x", ilo, ihi),
+            ParamSpec::int_log("x", ilo.max(1.0), ihi.max(2.0)),
+        ] {
+            let v = spec.denormalize(u);
+            prop_assert!(v >= spec.lo - 1e-9 && v <= spec.hi + 1e-9, "{v} not in [{}, {}]", spec.lo, spec.hi);
+            if spec.integer {
+                prop_assert!((v - v.round()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_error_is_symmetric_nonnegative_identity(a in any_profile(), b in any_profile()) {
+        let w = MetricWeights::equal();
+        let ab = profile_error(&a, &b, &w).total;
+        let ba = profile_error(&b, &a, &w).total;
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab));
+        prop_assert!(profile_error(&a, &a, &w).total.abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_breakdown_total_matches_weighted_sum(a in any_profile(), b in any_profile()) {
+        let w = MetricWeights::equal();
+        let e = profile_error(&a, &b, &w);
+        let sum: f64 = e.dists.values().sum::<f64>() + e.curves.values().sum::<f64>();
+        prop_assert!((e.total - sum).abs() < 1e-9 * (1.0 + sum));
+    }
+}

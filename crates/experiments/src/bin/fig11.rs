@@ -1,0 +1,53 @@
+//! Fig. 11: the range of performance profiles each dataset generator can
+//! produce. For IPC and LLC MPKI, sweep a range of requested target values
+//! and report what a single-metric Datamime search actually achieves
+//! (points on y = x are reachable).
+
+use datamime::generator::{
+    DatasetGenerator, DnnGenerator, KvGenerator, SiloGenerator, XapianGenerator,
+};
+use datamime::metrics::DistMetric;
+use datamime::scalar::{scalar_sweep, ScalarSearchConfig};
+use datamime_experiments::{row, Report, Settings};
+
+fn main() {
+    let s = Settings::from_env();
+    let mut r = Report::new("fig11");
+    let points: usize = std::env::var("DATAMIME_SWEEP_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8); // the paper uses 15
+    let mut cfg = ScalarSearchConfig::fast(s.iters / 2);
+    cfg.iterations = (s.iters / 2).max(6);
+    cfg.profiling = s.profiling.clone().without_curves();
+
+    let gens: Vec<Box<dyn DatasetGenerator>> = vec![
+        Box::new(KvGenerator::new()),
+        Box::new(SiloGenerator::new()),
+        Box::new(XapianGenerator::new()),
+        Box::new(DnnGenerator::new()),
+    ];
+
+    for (metric, lo, hi) in [
+        (DistMetric::Ipc, 0.3, 3.0),
+        (DistMetric::LlcMpki, 0.0, 30.0),
+    ] {
+        r.line(format!("-- target metric: {} --", metric.key()));
+        for g in &gens {
+            eprintln!("== {} / {} ==", g.name(), metric.key());
+            let outcomes = scalar_sweep(g.as_ref(), metric, lo, hi, points, &cfg);
+            let req: Vec<f64> = outcomes.iter().map(|o| o.requested).collect();
+            let ach: Vec<f64> = outcomes.iter().map(|o| o.achieved).collect();
+            r.line(format!("  [{}]", g.name()));
+            r.line(row("  requested", &req));
+            r.line(row("  achieved", &ach));
+            let reachable_lo = ach.iter().cloned().fold(f64::INFINITY, f64::min);
+            let reachable_hi = ach.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            r.line(format!(
+                "  achievable range: {reachable_lo:.2} .. {reachable_hi:.2}"
+            ));
+        }
+        r.line(String::new());
+    }
+    r.finish();
+}

@@ -1,0 +1,59 @@
+//! Runs every experiment binary in sequence, regenerating the complete
+//! evaluation under `results/`. Equivalent to the loop in README.md but
+//! with per-step timing and a final manifest.
+
+use std::process::Command;
+use std::time::Instant;
+
+const EXPERIMENTS: &[&str] = &[
+    "table2",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9_table4",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablations",
+    "ext_compress",
+    "ext_tail_latency",
+    "ext_constrained",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("executable directory");
+    let total = Instant::now();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let bin = exe_dir.join(name);
+        let t0 = Instant::now();
+        eprintln!(">>> {name}");
+        let status = Command::new(&bin).status();
+        match status {
+            Ok(s) if s.success() => {
+                eprintln!("<<< {name} ok in {:.1?}", t0.elapsed());
+            }
+            Ok(s) => {
+                eprintln!("<<< {name} FAILED ({s})");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("<<< {name} could not run ({e}); build with `cargo build --release -p datamime-experiments` first");
+                failures.push(*name);
+            }
+        }
+    }
+    eprintln!("all experiments done in {:.1?}", total.elapsed());
+    if failures.is_empty() {
+        eprintln!("results written under results/");
+    } else {
+        eprintln!("failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the load generator's queueing invariants.
+
+use datamime_apps::{App, KvConfig, KvStore};
+use datamime_loadgen::{ArrivalProcess, Driver, WorkloadSpec};
+use datamime_sim::{Machine, MachineConfig, Sampler};
+use proptest::prelude::*;
+
+fn run_spec(spec: WorkloadSpec, seed: u64, n_samples: usize) -> (Machine, Sampler, u64) {
+    let mut app = KvStore::new(KvConfig {
+        n_keys: 1_000,
+        ..KvConfig::ycsb_like()
+    });
+    let mut machine = Machine::new(MachineConfig::broadwell());
+    let mut sampler = Sampler::new(500_000);
+    let stats = Driver::new(spec, seed).run(&mut app, &mut machine, &mut sampler, n_samples);
+    (machine, sampler, stats.completed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn utilization_always_in_unit_interval(
+        qps in 1_000.0f64..2_000_000.0,
+        seed in any::<u64>(),
+    ) {
+        let (_, sampler, _) = run_spec(WorkloadSpec::poisson(qps), seed, 5);
+        for s in sampler.samples() {
+            prop_assert!((0.0..=1.0).contains(&s.cpu_utilization));
+            prop_assert!(s.ipc >= 0.0 && s.ipc <= 4.0 + 1e-9);
+            prop_assert!(s.memory_bw_gbps >= 0.0);
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_with_load(seed in any::<u64>()) {
+        // Lighter load means more idle cycles for the same request count,
+        // so utilization must not increase when QPS decreases.
+        let (light, _, _) = run_spec(WorkloadSpec::poisson(10_000.0), seed, 5);
+        let (heavy, _, _) = run_spec(WorkloadSpec::poisson(400_000.0), seed, 5);
+        prop_assert!(light.counters().utilization() <= heavy.counters().utilization() + 0.05);
+    }
+
+    #[test]
+    fn completed_requests_positive_and_deterministic(
+        qps in 5_000.0f64..500_000.0,
+        seed in any::<u64>(),
+    ) {
+        let (_, _, a) = run_spec(WorkloadSpec::poisson(qps), seed, 4);
+        let (_, _, b) = run_spec(WorkloadSpec::poisson(qps), seed, 4);
+        prop_assert!(a > 0);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mmpp_mean_rate_matches_poisson_roughly(seed in any::<u64>()) {
+        // MMPP alternates around the same mean QPS; over a long run the
+        // completed request counts should be comparable.
+        let spec_p = WorkloadSpec::poisson(60_000.0);
+        let spec_b = WorkloadSpec {
+            qps: 60_000.0,
+            arrivals: ArrivalProcess::Mmpp {
+                high_factor: 1.5,
+                low_factor: 0.5,
+                switch_mean_seconds: 0.0005,
+            },
+        };
+        let (_, _, p) = run_spec(spec_p, seed, 20);
+        let (_, _, b) = run_spec(spec_b, seed, 20);
+        let ratio = p as f64 / b as f64;
+        prop_assert!((0.6..1.7).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_arrivals_have_low_latency_variance(seed in any::<u64>()) {
+        let mut app = KvStore::new(KvConfig { n_keys: 1_000, ..KvConfig::ycsb_like() });
+        let mut machine = Machine::new(MachineConfig::broadwell());
+        let mut sampler = Sampler::new(500_000);
+        let spec = WorkloadSpec { qps: 20_000.0, arrivals: ArrivalProcess::Uniform };
+        let stats = Driver::new(spec, seed).run(&mut app, &mut machine, &mut sampler, 5);
+        // At 20 K QPS the service time (~6 K cycles) is far below the
+        // inter-arrival gap (100 K cycles): virtually no queueing, so the
+        // p99/p50 ratio stays small under deterministic arrivals.
+        let p50 = stats.latency_quantile(0.5).unwrap();
+        let p99 = stats.latency_quantile(0.99).unwrap();
+        prop_assert!(p99 / p50 < 5.0, "p99/p50 = {}", p99 / p50);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the PerfProx-style proxy generator: it must
+//! produce a valid, runnable benchmark for *any* plausible target
+//! statistics (including degenerate ones).
+
+use datamime_apps::App;
+use datamime_perfproxy::{CloneStats, PerfProxClone};
+use datamime_sim::{Machine, MachineConfig};
+use datamime_stats::Rng;
+use proptest::prelude::*;
+
+fn any_stats() -> impl Strategy<Value = CloneStats> {
+    (
+        0.0f64..200.0, // l1d
+        0.0f64..50.0,  // llc
+        0.0f64..100.0, // icache
+        0.0f64..20.0,  // branch
+        0.1f64..4.0,   // ipc
+    )
+        .prop_map(
+            |(l1d_mpki, llc, icache_mpki, branch_mpki, ipc)| CloneStats {
+                l1d_mpki,
+                llc_mpki: llc.min(l1d_mpki),
+                icache_mpki,
+                branch_mpki,
+                ipc,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn proxy_runs_for_any_stats(stats in any_stats(), seed in any::<u64>()) {
+        let mut proxy = PerfProxClone::new(stats, seed);
+        let mut machine = Machine::new(MachineConfig::broadwell());
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..20 {
+            proxy.serve(&mut machine, &mut rng);
+        }
+        let c = machine.counters();
+        prop_assert!(c.instructions > 100_000);
+        prop_assert!(c.ipc() > 0.0 && c.ipc() <= 4.0 + 1e-9);
+        prop_assert!(proxy.n_blocks() >= 8 && proxy.n_blocks() <= 112);
+    }
+
+    #[test]
+    fn proxy_l1d_calibration_tracks_requested_rate(l1d in 2.0f64..120.0, seed in any::<u64>()) {
+        let stats = CloneStats { l1d_mpki: l1d, llc_mpki: 0.0, icache_mpki: 0.0, branch_mpki: 0.0, ipc: 1.0 };
+        let mut proxy = PerfProxClone::new(stats, seed);
+        let mut machine = Machine::new(MachineConfig::broadwell());
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..100 {
+            proxy.serve(&mut machine, &mut rng);
+        }
+        let got = machine.counters().mpki(machine.counters().l1d_misses);
+        // Within 40% of the requested rate (stream reuse adds slack).
+        prop_assert!((got - l1d).abs() / l1d < 0.4, "requested {l1d}, got {got}");
+    }
+
+    #[test]
+    fn proxy_is_deterministic(stats in any_stats(), seed in any::<u64>()) {
+        let run = |s: CloneStats| {
+            let mut proxy = PerfProxClone::new(s, seed);
+            let mut machine = Machine::new(MachineConfig::broadwell());
+            let mut rng = Rng::with_seed(1);
+            for _ in 0..10 {
+                proxy.serve(&mut machine, &mut rng);
+            }
+            *machine.counters()
+        };
+        prop_assert_eq!(run(stats), run(stats));
+    }
+}

@@ -1,0 +1,554 @@
+//! Set-associative cache models with LRU and DRRIP replacement.
+//!
+//! The LLC model supports way-partitioning à la Intel CAT, which is how the
+//! paper measures its cache-sensitivity curves (LLC MPKI and IPC versus
+//! cache allocation, Sec. IV).
+
+use crate::mem::Addr;
+use datamime_stats::Rng;
+use std::fmt;
+
+/// Replacement policy for a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used, tracked with per-line timestamps.
+    Lru,
+    /// Dynamic re-reference interval prediction (set-dueling SRRIP/BRRIP),
+    /// the policy the paper's Broadwell LLC uses.
+    Drrip,
+}
+
+/// Geometry and policy of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (64 on all modeled machines).
+    pub line_bytes: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Convenience constructor with 64-byte lines and LRU replacement.
+    pub fn new(size_bytes: u64, ways: u32) -> Self {
+        CacheConfig {
+            size_bytes,
+            ways,
+            line_bytes: 64,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways/size, capacity not a
+    /// multiple of `ways * line_bytes`, or a non-power-of-two set count).
+    pub fn sets(&self) -> u64 {
+        assert!(self.ways > 0 && self.size_bytes > 0 && self.line_bytes > 0);
+        let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
+        sets
+    }
+
+    /// Returns a copy restricted to `ways` ways (CAT-style partitioning):
+    /// same set count, reduced associativity and capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds the configured associativity.
+    pub fn with_ways(&self, ways: u32) -> CacheConfig {
+        assert!(
+            ways > 0 && ways <= self.ways,
+            "invalid way allocation {ways}"
+        );
+        let sets = self.sets();
+        CacheConfig {
+            size_bytes: sets * ways as u64 * self.line_bytes,
+            ways,
+            line_bytes: self.line_bytes,
+            replacement: self.replacement,
+        }
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB, {}-way, {:?}",
+            self.size_bytes / 1024,
+            self.ways,
+            self.replacement
+        )
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was missing; if a dirty victim was evicted,
+    /// `writeback_of` holds the victim line's address so the caller can
+    /// propagate the write-back to the next level.
+    Miss {
+        /// Line address of the evicted dirty victim, if any.
+        writeback_of: Option<crate::mem::Addr>,
+    },
+}
+
+impl Access {
+    /// Returns `true` for [`Access::Miss`].
+    pub fn is_miss(&self) -> bool {
+        matches!(self, Access::Miss { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp or RRPV depending on policy.
+    meta: u64,
+}
+
+/// A set-associative cache.
+///
+/// The model is storage-free: only tags and metadata are tracked, which is
+/// all the performance metrics need.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    set_shift: u32,
+    lines: Vec<Line>,
+    clock: u64,
+    // DRRIP set-dueling state.
+    psel: i32,
+    brrip_ctr: u32,
+    rng: Rng,
+    hits: u64,
+    misses: u64,
+}
+
+const RRPV_MAX: u64 = 3;
+const PSEL_MAX: i32 = 1023;
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets,
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            lines: vec![Line::default(); (sets * cfg.ways as u64) as usize],
+            clock: 0,
+            psel: PSEL_MAX / 2,
+            brrip_ctr: 0,
+            rng: Rng::with_seed(0xD12),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Cumulative hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    #[inline]
+    fn set_of(&self, addr: Addr) -> u64 {
+        (addr >> self.set_shift) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr >> self.set_shift
+    }
+
+    /// Accesses the line containing `addr`; `write` marks the line dirty.
+    ///
+    /// On a miss the line is allocated (write-allocate) and the victim's
+    /// dirty state is reported so the caller can account write-back traffic.
+    pub fn access(&mut self, addr: Addr, write: bool) -> Access {
+        self.clock += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.cfg.ways as u64) as usize;
+        let ways = self.cfg.ways as usize;
+
+        // Lookup.
+        for i in base..base + ways {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                line.dirty |= write;
+                match self.cfg.replacement {
+                    Replacement::Lru => line.meta = self.clock,
+                    Replacement::Drrip => line.meta = 0, // promote to near-immediate re-reference
+                }
+                self.hits += 1;
+                return Access::Hit;
+            }
+        }
+
+        // Miss: choose a victim.
+        self.misses += 1;
+        let victim = match self.cfg.replacement {
+            Replacement::Lru => {
+                let mut v = base;
+                for i in base..base + ways {
+                    if !self.lines[i].valid {
+                        v = i;
+                        break;
+                    }
+                    if self.lines[i].meta < self.lines[v].meta {
+                        v = i;
+                    }
+                }
+                v
+            }
+            Replacement::Drrip => self.drrip_victim(base, ways),
+        };
+
+        let v = &self.lines[victim];
+        let writeback_of = if v.valid && v.dirty {
+            Some(v.tag << self.set_shift)
+        } else {
+            None
+        };
+        let insert_meta = match self.cfg.replacement {
+            Replacement::Lru => self.clock,
+            Replacement::Drrip => self.drrip_insert_rrpv(set),
+        };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            meta: insert_meta,
+        };
+        Access::Miss { writeback_of }
+    }
+
+    fn drrip_victim(&mut self, base: usize, ways: usize) -> usize {
+        loop {
+            for i in base..base + ways {
+                if !self.lines[i].valid {
+                    return i;
+                }
+            }
+            for i in base..base + ways {
+                if self.lines[i].meta >= RRPV_MAX {
+                    return i;
+                }
+            }
+            for i in base..base + ways {
+                self.lines[i].meta += 1;
+            }
+        }
+    }
+
+    fn drrip_insert_rrpv(&mut self, set: u64) -> u64 {
+        // Set dueling: low leader sets use SRRIP, high leader sets use
+        // BRRIP; followers pick the policy favored by PSEL.
+        const LEADERS: u64 = 32;
+        let use_brrip = if set.is_multiple_of(LEADERS) {
+            self.psel = (self.psel + 1).min(PSEL_MAX); // SRRIP leader missed
+            false
+        } else if set % LEADERS == 1 {
+            self.psel = (self.psel - 1).max(0); // BRRIP leader missed
+            true
+        } else {
+            self.psel < PSEL_MAX / 2
+        };
+        if use_brrip {
+            // BRRIP: distant re-reference most of the time.
+            self.brrip_ctr = self.brrip_ctr.wrapping_add(1);
+            if self.brrip_ctr.is_multiple_of(32) || self.rng.bool(0.01) {
+                RRPV_MAX - 1
+            } else {
+                RRPV_MAX
+            }
+        } else {
+            // SRRIP: long (but not distant) re-reference.
+            RRPV_MAX - 1
+        }
+    }
+
+    /// Repartitions the cache to `new_ways` ways in place, preserving the
+    /// contents of the ways that remain — matching how CAT repartitioning
+    /// behaves on hardware (lines in revoked ways are dropped; lines in
+    /// retained ways stay valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_ways` is zero or exceeds the original associativity
+    /// implied by the set count (the set count never changes).
+    pub fn set_ways(&mut self, new_ways: u32) {
+        assert!(new_ways > 0, "invalid way allocation");
+        let old_ways = self.cfg.ways as usize;
+        let new = new_ways as usize;
+        if new == old_ways {
+            return;
+        }
+        let mut lines = vec![Line::default(); (self.sets as usize) * new];
+        let keep = old_ways.min(new);
+        for set in 0..self.sets as usize {
+            for w in 0..keep {
+                lines[set * new + w] = self.lines[set * old_ways + w];
+            }
+        }
+        self.lines = lines;
+        self.cfg.ways = new_ways;
+        self.cfg.size_bytes = self.sets * new_ways as u64 * self.cfg.line_bytes;
+    }
+
+    /// Invalidates all lines and zeroes the hit/miss counters.
+    pub fn reset(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lru() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_lru();
+        assert!(c.access(0, false).is_miss());
+        assert_eq!(c.access(0, false), Access::Hit);
+        assert_eq!(c.access(63, false), Access::Hit); // same line
+        assert!(c.access(64, false).is_miss()); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_lru();
+        // Set 0 holds lines with addr % 256 == 0 (4 sets x 64B): 0, 256, 512.
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // refresh line 0
+        c.access(512, false); // evicts 256
+        assert_eq!(c.access(0, false), Access::Hit);
+        assert!(c.access(256, false).is_miss());
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = small_lru();
+        c.access(0, true); // dirty
+        c.access(256, false);
+        match c.access(512, false) {
+            Access::Miss { writeback_of } => assert_eq!(writeback_of, Some(0)),
+            Access::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small_lru();
+        c.access(0, false);
+        c.access(256, false);
+        match c.access(512, false) {
+            Access::Miss { writeback_of } => assert_eq!(writeback_of, None),
+            Access::Hit => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let cfg = CacheConfig::new(32 * 1024, 8);
+        let mut c = Cache::new(cfg);
+        let lines: Vec<u64> = (0..256).map(|i| i * 64).collect(); // 16 KB
+        for &a in &lines {
+            c.access(a, false);
+        }
+        let miss_before = c.misses();
+        for _ in 0..10 {
+            for &a in &lines {
+                c.access(a, false);
+            }
+        }
+        assert_eq!(c.misses(), miss_before, "warm working set should not miss");
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_lru() {
+        // 512 B cache, 1 KB circular working set: LRU misses every access.
+        let mut c = small_lru();
+        let lines: Vec<u64> = (0..16).map(|i| i * 64).collect();
+        for _ in 0..4 {
+            for &a in &lines {
+                c.access(a, false);
+            }
+        }
+        let total = c.hits() + c.misses();
+        assert_eq!(c.misses(), total, "LRU must thrash on cyclic overflow");
+    }
+
+    #[test]
+    fn drrip_outperforms_lru_on_thrashing_pattern() {
+        let mk = |rep| {
+            Cache::new(CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                replacement: rep,
+            })
+        };
+        let mut lru = mk(Replacement::Lru);
+        let mut drrip = mk(Replacement::Drrip);
+        // Cyclic working set 2x the cache: classic LRU pathology.
+        let lines: Vec<u64> = (0..512).map(|i| i * 64).collect();
+        for _ in 0..40 {
+            for &a in &lines {
+                lru.access(a, false);
+                drrip.access(a, false);
+            }
+        }
+        assert!(
+            drrip.hits() > lru.hits(),
+            "drrip hits {} <= lru hits {}",
+            drrip.hits(),
+            lru.hits()
+        );
+    }
+
+    #[test]
+    fn with_ways_partitioning_shrinks_capacity() {
+        let cfg = CacheConfig {
+            size_bytes: 12 << 20,
+            ways: 12,
+            line_bytes: 64,
+            replacement: Replacement::Drrip,
+        };
+        let one = cfg.with_ways(1);
+        assert_eq!(one.size_bytes, 1 << 20);
+        assert_eq!(one.sets(), cfg.sets());
+        let six = cfg.with_ways(6);
+        assert_eq!(six.size_bytes, 6 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way allocation")]
+    fn with_ways_zero_panics() {
+        CacheConfig::new(1024, 4).with_ways(0);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = small_lru();
+        c.access(0, false);
+        c.reset();
+        assert!(c.access(0, false).is_miss());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn partitioned_cache_misses_more() {
+        let cfg = CacheConfig {
+            size_bytes: 1 << 20,
+            ways: 16,
+            line_bytes: 64,
+            replacement: Replacement::Lru,
+        };
+        let mut full = Cache::new(cfg);
+        let mut slim = Cache::new(cfg.with_ways(2));
+        // Working set of 512 KB: fits in 1 MB, not in 128 KB.
+        let lines: Vec<u64> = (0..8192).map(|i| i * 64).collect();
+        for _ in 0..5 {
+            for &a in &lines {
+                full.access(a, false);
+                slim.access(a, false);
+            }
+        }
+        assert!(slim.misses() > full.misses() * 2);
+    }
+}
+
+#[cfg(test)]
+mod resize_tests {
+    use super::*;
+
+    #[test]
+    fn growing_preserves_contents() {
+        let mut c = Cache::new(CacheConfig::new(4096, 2));
+        c.access(0, false);
+        c.access(64, false);
+        c.set_ways(4);
+        assert_eq!(c.config().ways, 4);
+        assert_eq!(c.access(0, false), Access::Hit);
+        assert_eq!(c.access(64, false), Access::Hit);
+    }
+
+    #[test]
+    fn shrinking_keeps_retained_ways_only() {
+        let mut c = Cache::new(CacheConfig::new(4096, 4));
+        // Fill way 0 of set 0 (addresses map to set 0 every 64*16 = 1 KiB).
+        c.access(0, false);
+        c.set_ways(1);
+        assert_eq!(c.config().ways, 1);
+        assert_eq!(c.config().size_bytes, 1024);
+        assert_eq!(c.access(0, false), Access::Hit);
+    }
+
+    #[test]
+    fn resize_roundtrip_capacity() {
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 12 << 20,
+            ways: 12,
+            line_bytes: 64,
+            replacement: Replacement::Drrip,
+        });
+        c.set_ways(1);
+        assert_eq!(c.config().size_bytes, 1 << 20);
+        c.set_ways(12);
+        assert_eq!(c.config().size_bytes, 12 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way allocation")]
+    fn zero_ways_panics() {
+        Cache::new(CacheConfig::new(4096, 2)).set_ways(0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Machine configurations, including the three evaluation platforms of the
+//! paper's Table II.
+
+use crate::branch::BranchConfig;
+use crate::cache::{CacheConfig, Replacement};
+use crate::tlb::TlbConfig;
+
+/// Latency/penalty constants of the analytic core model, in core cycles.
+///
+/// The model charges `instructions / issue_width` base cycles plus event
+/// penalties; data-side miss penalties are divided by `mlp` (the machine's
+/// effective memory-level parallelism) because out-of-order cores overlap
+/// independent misses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Penalties {
+    /// Added latency of an L1 miss that hits in L2.
+    pub l2_hit: f64,
+    /// Added latency of an L2 miss that hits in the LLC.
+    pub llc_hit: f64,
+    /// Added latency of an LLC miss served by memory.
+    pub memory: f64,
+    /// Branch misprediction penalty (pipeline refill).
+    pub branch_mispredict: f64,
+    /// Page-walk latency on a TLB miss.
+    pub tlb_walk: f64,
+    /// Effective memory-level parallelism for data-side misses.
+    pub mlp: f64,
+    /// Fraction of an instruction-side miss that stalls the frontend
+    /// (fetch-ahead hides the rest).
+    pub frontend_stall_factor: f64,
+    /// Fraction of a data-side miss penalty still exposed when the hardware
+    /// stream prefetcher has detected the access pattern (misses still count
+    /// and still move memory traffic; the prefetcher only hides latency).
+    pub prefetch_exposed: f64,
+}
+
+/// Full description of a simulated machine (one core profiled, as in the
+/// paper's single-worker methodology).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Sustained issue width (instructions per cycle upper bound).
+    pub issue_width: f64,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache; `None` on machines without an L3
+    /// (Silvermont), where the L2 is the last level.
+    pub llc: Option<CacheConfig>,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Branch predictor geometry.
+    pub branch: BranchConfig,
+    /// Core-model penalties.
+    pub penalties: Penalties,
+}
+
+impl MachineConfig {
+    /// The 8-core Intel Broadwell (Xeon D-1540) platform of Table II; the
+    /// machine all benchmarks are *generated* on.
+    ///
+    /// 32 KB 8-way split L1, 256 KB 8-way L2, 12 MB 12-way DRRIP LLC with
+    /// 12 CAT partitions, 2.0 GHz, DDR4-2133.
+    pub fn broadwell() -> Self {
+        MachineConfig {
+            name: "broadwell".to_owned(),
+            freq_ghz: 2.0,
+            issue_width: 4.0,
+            l1i: CacheConfig::new(32 * 1024, 8),
+            l1d: CacheConfig::new(32 * 1024, 8),
+            l2: CacheConfig::new(256 * 1024, 8),
+            llc: Some(CacheConfig {
+                size_bytes: 12 << 20,
+                ways: 12,
+                line_bytes: 64,
+                replacement: Replacement::Drrip,
+            }),
+            itlb: TlbConfig::new(128, 8),
+            dtlb: TlbConfig::new(64, 4),
+            branch: BranchConfig::new(14, 12),
+            penalties: Penalties {
+                l2_hit: 10.0,
+                llc_hit: 35.0,
+                memory: 180.0,
+                branch_mispredict: 16.0,
+                tlb_walk: 30.0,
+                mlp: 2.5,
+                frontend_stall_factor: 1.6,
+                prefetch_exposed: 0.12,
+            },
+        }
+    }
+
+    /// The 32-core AMD Zen 2 (ThreadRipper PRO 3975WX) platform of Table II,
+    /// used for cross-microarchitecture validation.
+    ///
+    /// 32 KB 8-way split L1, 512 KB 8-way L2, 16 MB 16-way LLC visible to a
+    /// core (one chiplet), 3.5 GHz, DDR4-3200; deeper buffers and a better
+    /// predictor than Broadwell.
+    pub fn zen2() -> Self {
+        MachineConfig {
+            name: "zen2".to_owned(),
+            freq_ghz: 3.5,
+            issue_width: 5.0,
+            l1i: CacheConfig::new(32 * 1024, 8),
+            l1d: CacheConfig::new(32 * 1024, 8),
+            l2: CacheConfig::new(512 * 1024, 8),
+            llc: Some(CacheConfig {
+                size_bytes: 16 << 20,
+                ways: 16,
+                line_bytes: 64,
+                replacement: Replacement::Lru,
+            }),
+            itlb: TlbConfig::new(128, 8),
+            dtlb: TlbConfig::new(128, 4),
+            branch: BranchConfig::new(16, 16),
+            penalties: Penalties {
+                l2_hit: 12.0,
+                llc_hit: 38.0,
+                memory: 230.0, // more cycles at the higher clock
+                branch_mispredict: 18.0,
+                tlb_walk: 35.0,
+                mlp: 3.2, // deeper load queues overlap more misses
+                frontend_stall_factor: 1.4,
+                prefetch_exposed: 0.10,
+            },
+        }
+    }
+
+    /// The 8-core Intel Atom C2750 (Silvermont) platform of Table II: a
+    /// low-power core with a narrow pipeline, small OOO buffers, a 1 MB L2
+    /// as the last cache level, and no L3.
+    pub fn silvermont() -> Self {
+        MachineConfig {
+            name: "silvermont".to_owned(),
+            freq_ghz: 2.4,
+            issue_width: 2.0,
+            l1i: CacheConfig::new(32 * 1024, 8),
+            l1d: CacheConfig::new(24 * 1024, 6),
+            l2: CacheConfig::new(1 << 20, 8),
+            llc: None,
+            itlb: TlbConfig::new(48, 48), // fully associative
+            dtlb: TlbConfig::new(32, 4),
+            branch: BranchConfig::new(12, 8),
+            penalties: Penalties {
+                l2_hit: 13.0,
+                llc_hit: 0.0, // unused: no L3
+                memory: 170.0,
+                branch_mispredict: 10.0, // shorter pipeline
+                tlb_walk: 30.0,
+                mlp: 1.3, // little overlap: small OOO window
+                frontend_stall_factor: 2.0,
+                prefetch_exposed: 0.30, // weaker prefetchers
+            },
+        }
+    }
+
+    /// Returns a copy with the LLC restricted to `ways` ways (Intel
+    /// CAT-style partitioning), used to measure the paper's cache
+    /// sensitivity curves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no LLC or `ways` is out of range.
+    pub fn with_llc_ways(&self, ways: u32) -> MachineConfig {
+        let llc = self.llc.expect("machine has no LLC to partition");
+        let mut cfg = self.clone();
+        cfg.llc = Some(llc.with_ways(ways));
+        cfg
+    }
+
+    /// Capacity of the last-level cache (the L2 when there is no L3).
+    pub fn llc_bytes(&self) -> u64 {
+        self.llc.map_or(self.l2.size_bytes, |c| c.size_bytes)
+    }
+
+    /// Number of CAT partitions (ways) the LLC supports, `0` without an LLC.
+    pub fn llc_partitions(&self) -> u32 {
+        self.llc.map_or(0, |c| c.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_geometries() {
+        let b = MachineConfig::broadwell();
+        assert_eq!(b.l1i.size_bytes, 32 * 1024);
+        assert_eq!(b.l2.size_bytes, 256 * 1024);
+        assert_eq!(b.llc.unwrap().size_bytes, 12 << 20);
+        assert_eq!(b.llc.unwrap().ways, 12);
+        assert_eq!(b.llc.unwrap().replacement, Replacement::Drrip);
+        assert_eq!(b.freq_ghz, 2.0);
+
+        let z = MachineConfig::zen2();
+        assert_eq!(z.l2.size_bytes, 512 * 1024);
+        assert_eq!(z.llc.unwrap().size_bytes, 16 << 20);
+        assert_eq!(z.freq_ghz, 3.5);
+
+        let s = MachineConfig::silvermont();
+        assert_eq!(s.l2.size_bytes, 1 << 20);
+        assert!(s.llc.is_none());
+        assert_eq!(s.llc_bytes(), 1 << 20);
+        assert_eq!(s.llc_partitions(), 0);
+    }
+
+    #[test]
+    fn cat_partitioning() {
+        let b = MachineConfig::broadwell();
+        let one_mb = b.with_llc_ways(1);
+        assert_eq!(one_mb.llc.unwrap().size_bytes, 1 << 20);
+        let six = b.with_llc_ways(6);
+        assert_eq!(six.llc.unwrap().size_bytes, 6 << 20);
+        assert_eq!(b.llc_partitions(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no LLC")]
+    fn partitioning_silvermont_panics() {
+        MachineConfig::silvermont().with_llc_ways(1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Hardware-performance-counter analog.
+
+/// Raw event counts accumulated by a [`crate::Machine`].
+///
+/// This is the simulator's analog of the hardware performance counters the
+/// paper reads with `perf`: a passive, plain-data snapshot that samplers
+/// diff over intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Core cycles while executing work.
+    pub busy_cycles: u64,
+    /// Cycles the core sat idle waiting for requests.
+    pub idle_cycles: u64,
+    /// L1 instruction cache misses.
+    pub l1i_misses: u64,
+    /// L1 data cache misses.
+    pub l1d_misses: u64,
+    /// Unified L2 misses.
+    pub l2_misses: u64,
+    /// Last-level cache misses (equals `l2_misses` on machines without an L3).
+    pub llc_misses: u64,
+    /// Instruction TLB misses.
+    pub itlb_misses: u64,
+    /// Data TLB misses.
+    pub dtlb_misses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Bytes moved between the LLC and memory (fills + write-backs).
+    pub memory_bytes: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Element-wise difference `self - earlier`, for interval sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter went backwards.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        debug_assert!(self.instructions >= earlier.instructions);
+        Counters {
+            instructions: self.instructions - earlier.instructions,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            idle_cycles: self.idle_cycles - earlier.idle_cycles,
+            l1i_misses: self.l1i_misses - earlier.l1i_misses,
+            l1d_misses: self.l1d_misses - earlier.l1d_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            llc_misses: self.llc_misses - earlier.llc_misses,
+            itlb_misses: self.itlb_misses - earlier.itlb_misses,
+            dtlb_misses: self.dtlb_misses - earlier.dtlb_misses,
+            branches: self.branches - earlier.branches,
+            branch_mispredicts: self.branch_mispredicts - earlier.branch_mispredicts,
+            memory_bytes: self.memory_bytes - earlier.memory_bytes,
+        }
+    }
+
+    /// Instructions per busy cycle (`0` when no cycles elapsed).
+    pub fn ipc(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.busy_cycles as f64
+        }
+    }
+
+    /// Misses per kilo-instruction for an event count.
+    pub fn mpki(&self, misses: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of wall-clock cycles the core was busy.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_cycles + self.idle_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total as f64
+        }
+    }
+
+    /// Memory bandwidth in GB/s for a core running at `freq_ghz`, over the
+    /// wall-clock (busy + idle) duration of this delta.
+    pub fn memory_bandwidth_gbps(&self, freq_ghz: f64) -> f64 {
+        let total = self.busy_cycles + self.idle_cycles;
+        if total == 0 {
+            return 0.0;
+        }
+        let seconds = total as f64 / (freq_ghz * 1e9);
+        self.memory_bytes as f64 / 1e9 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = Counters {
+            instructions: 100,
+            busy_cycles: 200,
+            ..Counters::new()
+        };
+        let b = Counters {
+            instructions: 350,
+            busy_cycles: 600,
+            ..Counters::new()
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.instructions, 250);
+        assert_eq!(d.busy_cycles, 400);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let c = Counters {
+            instructions: 2000,
+            busy_cycles: 1000,
+            idle_cycles: 3000,
+            llc_misses: 10,
+            memory_bytes: 640,
+            ..Counters::new()
+        };
+        assert_eq!(c.ipc(), 2.0);
+        assert_eq!(c.mpki(c.llc_misses), 5.0);
+        assert_eq!(c.utilization(), 0.25);
+        let bw = c.memory_bandwidth_gbps(2.0);
+        // 640 B over 4000 cycles at 2 GHz = 640 / 2e-6 s = 0.32 GB/s.
+        assert!((bw - 0.32).abs() < 1e-9, "bw {bw}");
+    }
+
+    #[test]
+    fn empty_counters_are_safe() {
+        let c = Counters::new();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.mpki(0), 0.0);
+        assert_eq!(c.utilization(), 0.0);
+        assert_eq!(c.memory_bandwidth_gbps(2.0), 0.0);
+    }
+}

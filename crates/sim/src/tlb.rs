@@ -1,0 +1,172 @@
+//! Translation lookaside buffer models.
+
+use crate::mem::{Addr, PAGE_BYTES};
+
+/// Geometry of a [`Tlb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total number of entries.
+    pub entries: u32,
+    /// Associativity (`entries` must be a multiple of `ways`).
+    pub ways: u32,
+}
+
+impl TlbConfig {
+    /// Creates a TLB configuration.
+    pub fn new(entries: u32, ways: u32) -> Self {
+        TlbConfig { entries, ways }
+    }
+}
+
+/// A set-associative TLB with LRU replacement over 4 KiB pages.
+///
+/// # Examples
+///
+/// ```
+/// use datamime_sim::{Tlb, TlbConfig};
+///
+/// let mut t = Tlb::new(TlbConfig::new(64, 4));
+/// assert!(!t.access(0x1000)); // cold miss
+/// assert!(t.access(0x1fff));  // same page: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: u64,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    stamp: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero entries/ways, `entries`
+    /// not a multiple of `ways`, or a non-power-of-two set count).
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.entries > 0 && cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways));
+        let sets = (cfg.entries / cfg.ways) as u64;
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
+        let n = cfg.entries as usize;
+        Tlb {
+            cfg,
+            sets,
+            tags: vec![0; n],
+            valid: vec![false; n],
+            stamp: vec![0; n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates the page containing `addr`, returning `true` on a hit.
+    /// Misses install the translation (LRU victim).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.clock += 1;
+        let page = addr / PAGE_BYTES;
+        let set = page & (self.sets - 1);
+        let tag = page;
+        let base = (set * self.cfg.ways as u64) as usize;
+        let ways = self.cfg.ways as usize;
+        for i in base..base + ways {
+            if self.valid[i] && self.tags[i] == tag {
+                self.stamp[i] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let mut v = base;
+        for i in base..base + ways {
+            if !self.valid[i] {
+                v = i;
+                break;
+            }
+            if self.stamp[i] < self.stamp[v] {
+                v = i;
+            }
+        }
+        self.tags[v] = tag;
+        self.valid[v] = true;
+        self.stamp[v] = self.clock;
+        false
+    }
+
+    /// Cumulative hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Coverage in bytes (`entries * 4 KiB`).
+    pub fn reach_bytes(&self) -> u64 {
+        self.cfg.entries as u64 * PAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(TlbConfig::new(16, 4));
+        assert!(!t.access(0));
+        assert!(t.access(100));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn footprint_within_reach_stops_missing() {
+        let mut t = Tlb::new(TlbConfig::new(64, 4));
+        let pages: Vec<u64> = (0..32).map(|i| i * PAGE_BYTES).collect();
+        for &p in &pages {
+            t.access(p);
+        }
+        let before = t.misses();
+        for _ in 0..8 {
+            for &p in &pages {
+                t.access(p);
+            }
+        }
+        assert_eq!(t.misses(), before);
+    }
+
+    #[test]
+    fn footprint_beyond_reach_keeps_missing() {
+        let mut t = Tlb::new(TlbConfig::new(16, 4));
+        let pages: Vec<u64> = (0..64).map(|i| i * PAGE_BYTES).collect();
+        for _ in 0..4 {
+            for &p in &pages {
+                t.access(p);
+            }
+        }
+        assert!(t.misses() > 64, "misses {}", t.misses());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        Tlb::new(TlbConfig::new(10, 4));
+    }
+
+    #[test]
+    fn reach() {
+        let t = Tlb::new(TlbConfig::new(64, 4));
+        assert_eq!(t.reach_bytes(), 64 * 4096);
+    }
+}

@@ -1,0 +1,224 @@
+//! Recording and replaying execution traces.
+//!
+//! The applications in this reproduction are *execution-driven*: their
+//! access streams react to machine state only through the data structures
+//! they traverse, never through timing. A recorded trace therefore replays
+//! the exact event stream, which enables the trace-vs-execution ablation
+//! DESIGN.md calls out: replaying one trace across different machine
+//! configurations shows what a trace-driven methodology would capture
+//! (and, for adaptive workloads, what it would miss).
+
+use crate::machine::Machine;
+use crate::mem::Addr;
+
+/// One recorded machine event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Straight-line code execution (`exec_ilp`).
+    Exec {
+        /// Program counter.
+        pc: Addr,
+        /// Span length in bytes.
+        code_bytes: u64,
+        /// Instructions retired.
+        instrs: u64,
+        /// Effective ILP cap.
+        ilp: f64,
+    },
+    /// A data load.
+    Load {
+        /// Address.
+        addr: Addr,
+        /// Size in bytes.
+        size: u64,
+    },
+    /// A data store.
+    Store {
+        /// Address.
+        addr: Addr,
+        /// Size in bytes.
+        size: u64,
+    },
+    /// A conditional branch.
+    Branch {
+        /// Branch site.
+        pc: Addr,
+        /// Actual outcome.
+        taken: bool,
+    },
+    /// Idle wall-clock time.
+    Idle {
+        /// Idle duration in cycles.
+        cycles: u64,
+    },
+}
+
+/// A recorded sequence of machine events.
+///
+/// # Examples
+///
+/// ```
+/// use datamime_sim::{Machine, MachineConfig, Trace};
+///
+/// // Record a short run...
+/// let mut m = Machine::new(MachineConfig::broadwell());
+/// m.start_recording();
+/// m.exec(0x4000_0000, 256, 64);
+/// m.load(0x10_0000_0000, 8);
+/// let trace = m.stop_recording().unwrap();
+/// assert_eq!(trace.len(), 2);
+///
+/// // ...and replay it bit-identically on a fresh machine.
+/// let mut fresh = Machine::new(MachineConfig::broadwell());
+/// trace.replay(&mut fresh);
+/// assert_eq!(fresh.counters(), m.counters());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Replays the whole trace on `machine`.
+    pub fn replay(&self, machine: &mut Machine) {
+        self.replay_range(machine, 0, self.events.len());
+    }
+
+    /// Replays events `[start, end)` (clipped to the trace length),
+    /// returning how many events were replayed. Useful for chunked replay
+    /// under a request harness.
+    pub fn replay_range(&self, machine: &mut Machine, start: usize, end: usize) -> usize {
+        let end = end.min(self.events.len());
+        let start = start.min(end);
+        for &ev in &self.events[start..end] {
+            match ev {
+                TraceEvent::Exec {
+                    pc,
+                    code_bytes,
+                    instrs,
+                    ilp,
+                } => machine.exec_ilp(pc, code_bytes, instrs, ilp),
+                TraceEvent::Load { addr, size } => machine.load(addr, size),
+                TraceEvent::Store { addr, size } => machine.store(addr, size),
+                TraceEvent::Branch { pc, taken } => machine.branch(pc, taken),
+                TraceEvent::Idle { cycles } => machine.idle(cycles),
+            }
+        }
+        end - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use datamime_stats::Rng;
+
+    fn random_run(machine: &mut Machine, seed: u64, n: usize) {
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..n {
+            match rng.below(5) {
+                0 => machine.exec(0x4000_0000 + rng.below(1 << 16), 64 + rng.below(4096), 100),
+                1 => machine.load(0x10_0000_0000 + rng.below(1 << 24), 1 + rng.below(256)),
+                2 => machine.store(0x10_0000_0000 + rng.below(1 << 24), 1 + rng.below(256)),
+                3 => machine.branch(0x4000_0000 + rng.below(4096), rng.bool(0.5)),
+                _ => machine.idle(rng.below(10_000)),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_counters_exactly() {
+        let mut recorded = Machine::new(MachineConfig::broadwell());
+        recorded.start_recording();
+        random_run(&mut recorded, 7, 500);
+        let trace = recorded.stop_recording().unwrap();
+        assert_eq!(trace.len(), 500);
+
+        let mut replayed = Machine::new(MachineConfig::broadwell());
+        trace.replay(&mut replayed);
+        assert_eq!(replayed.counters(), recorded.counters());
+    }
+
+    #[test]
+    fn replay_on_other_machine_differs_in_cycles_not_instructions() {
+        let mut recorded = Machine::new(MachineConfig::broadwell());
+        recorded.start_recording();
+        random_run(&mut recorded, 9, 300);
+        let trace = recorded.stop_recording().unwrap();
+
+        let mut slm = Machine::new(MachineConfig::silvermont());
+        trace.replay(&mut slm);
+        assert_eq!(
+            slm.counters().instructions,
+            recorded.counters().instructions
+        );
+        assert!(slm.counters().busy_cycles > recorded.counters().busy_cycles);
+    }
+
+    #[test]
+    fn chunked_replay_equals_whole_replay() {
+        let mut recorded = Machine::new(MachineConfig::broadwell());
+        recorded.start_recording();
+        random_run(&mut recorded, 11, 200);
+        let trace = recorded.stop_recording().unwrap();
+
+        let mut whole = Machine::new(MachineConfig::broadwell());
+        trace.replay(&mut whole);
+        let mut chunked = Machine::new(MachineConfig::broadwell());
+        let mut pos = 0;
+        while pos < trace.len() {
+            pos += trace.replay_range(&mut chunked, pos, pos + 37);
+        }
+        assert_eq!(chunked.counters(), whole.counters());
+    }
+
+    #[test]
+    fn stop_without_start_returns_none() {
+        let mut m = Machine::new(MachineConfig::broadwell());
+        assert!(m.stop_recording().is_none());
+    }
+
+    #[test]
+    fn recording_does_not_perturb_execution() {
+        let mut plain = Machine::new(MachineConfig::broadwell());
+        random_run(&mut plain, 13, 200);
+        let mut recording = Machine::new(MachineConfig::broadwell());
+        recording.start_recording();
+        random_run(&mut recording, 13, 200);
+        let _ = recording.stop_recording();
+        assert_eq!(plain.counters(), recording.counters());
+    }
+
+    #[test]
+    fn replay_range_clips() {
+        let trace = Trace::new();
+        let mut m = Machine::new(MachineConfig::broadwell());
+        assert_eq!(trace.replay_range(&mut m, 5, 100), 0);
+    }
+}

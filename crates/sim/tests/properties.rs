@@ -1,0 +1,123 @@
+//! Property-based tests of the simulator's physical invariants.
+
+use datamime_sim::{
+    lines_of, Cache, CacheConfig, Machine, MachineConfig, Replacement, Tlb, TlbConfig, LINE_BYTES,
+};
+use proptest::prelude::*;
+
+fn any_machine() -> impl Strategy<Value = MachineConfig> {
+    prop_oneof![
+        Just(MachineConfig::broadwell()),
+        Just(MachineConfig::zen2()),
+        Just(MachineConfig::silvermont()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn lines_of_covers_exactly_the_byte_range(addr in 0u64..1u64 << 40, size in 0u64..100_000) {
+        let lines: Vec<u64> = lines_of(addr, size).collect();
+        // Line-aligned, strictly increasing by one line.
+        for w in lines.windows(2) {
+            prop_assert_eq!(w[1] - w[0], LINE_BYTES);
+        }
+        prop_assert_eq!(lines[0], addr / LINE_BYTES * LINE_BYTES);
+        let last_byte = if size == 0 { addr } else { addr + size - 1 };
+        prop_assert_eq!(*lines.last().unwrap(), last_byte / LINE_BYTES * LINE_BYTES);
+    }
+
+    #[test]
+    fn cache_misses_bounded_by_accesses(
+        addrs in prop::collection::vec(0u64..1u64 << 24, 1..512),
+        replacement in prop_oneof![Just(Replacement::Lru), Just(Replacement::Drrip)],
+    ) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64, replacement });
+        for &a in &addrs {
+            c.access(a, a % 3 == 0);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        // Distinct lines lower-bound misses (cold misses are compulsory).
+        let mut distinct: Vec<u64> = addrs.iter().map(|a| a / 64).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(c.misses() >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn repeated_single_line_hits_after_first(addr in 0u64..1u64 << 40, n in 2usize..64) {
+        let mut c = Cache::new(CacheConfig::new(4096, 4));
+        for _ in 0..n {
+            c.access(addr, false);
+        }
+        prop_assert_eq!(c.misses(), 1);
+        prop_assert_eq!(c.hits(), (n - 1) as u64);
+    }
+
+    #[test]
+    fn tlb_miss_count_bounded_by_distinct_pages(addrs in prop::collection::vec(0u64..1u64 << 30, 1..256)) {
+        let mut t = Tlb::new(TlbConfig::new(1024, 4)); // large enough to never evict here
+        for &a in &addrs {
+            t.access(a);
+        }
+        let mut pages: Vec<u64> = addrs.iter().map(|a| a / 4096).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        prop_assert_eq!(t.misses(), pages.len() as u64);
+    }
+
+    #[test]
+    fn machine_counters_are_consistent(
+        cfg in any_machine(),
+        ops in prop::collection::vec((0u64..1u64 << 30, 1u64..4096, any::<bool>()), 1..200),
+    ) {
+        let mut m = Machine::new(cfg.clone());
+        let mut instrs = 0u64;
+        for &(addr, size, write) in &ops {
+            m.exec(0x4000_0000 + addr % 65536, 64 + addr % 4096, 50);
+            instrs += 50;
+            if write {
+                m.store(0x10_0000_0000 + addr, size);
+            } else {
+                m.load(0x10_0000_0000 + addr, size);
+            }
+        }
+        let c = m.counters();
+        prop_assert_eq!(c.instructions, instrs);
+        prop_assert!(c.busy_cycles >= (instrs as f64 / cfg.issue_width) as u64);
+        // Miss hierarchy: L2 misses cannot exceed L1 misses (I+D), LLC
+        // misses cannot exceed L2 misses (demand path; write-backs allocate
+        // below L1 without counting as demand misses).
+        prop_assert!(c.l2_misses <= c.l1i_misses + c.l1d_misses);
+        prop_assert!(c.llc_misses <= c.l2_misses + 1);
+        // Memory traffic covers at least the LLC fills.
+        prop_assert!(c.memory_bytes >= c.llc_misses * 64);
+        prop_assert!(c.ipc() <= cfg.issue_width + 1e-9);
+    }
+
+    #[test]
+    fn partitioned_llc_never_outperforms_full(seed_addrs in prop::collection::vec(0u64..1u64 << 26, 32..256)) {
+        let full_cfg = MachineConfig::broadwell();
+        let slim_cfg = full_cfg.with_llc_ways(1);
+        let mut full = Machine::new(full_cfg);
+        let mut slim = Machine::new(slim_cfg);
+        for _ in 0..3 {
+            for &a in &seed_addrs {
+                full.load(0x10_0000_0000 + a, 64);
+                slim.load(0x10_0000_0000 + a, 64);
+            }
+        }
+        prop_assert!(slim.counters().llc_misses >= full.counters().llc_misses);
+    }
+
+    #[test]
+    fn idle_time_never_changes_microarch_counters(cycles in 0u64..1u64 << 32) {
+        let mut m = Machine::new(MachineConfig::broadwell());
+        m.exec(0x4000_0000, 256, 100);
+        let before = *m.counters();
+        m.idle(cycles);
+        let after = m.counters();
+        prop_assert_eq!(after.busy_cycles, before.busy_cycles);
+        prop_assert_eq!(after.instructions, before.instructions);
+        prop_assert_eq!(after.idle_cycles, before.idle_cycles + cycles);
+    }
+}

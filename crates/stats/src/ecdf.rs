@@ -1,0 +1,168 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The Datamime profiler records entire *distributions* of each metric (one
+//! sample per 20 M-cycle interval), and the error model compares the
+//! resulting eCDFs. This module provides the eCDF type those pieces share.
+
+use std::fmt;
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Construction sorts the samples once; evaluation is `O(log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use datamime_stats::Ecdf;
+///
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// assert_eq!(e.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+/// Error returned when an eCDF cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmptySamplesError;
+
+impl fmt::Display for EmptySamplesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot build an eCDF from zero samples or non-finite values"
+        )
+    }
+}
+
+impl std::error::Error for EmptySamplesError {}
+
+impl Ecdf {
+    /// Builds an eCDF from samples, taking ownership to avoid a copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `samples` is empty or contains non-finite values.
+    pub fn new(mut samples: Vec<f64>) -> Result<Self, EmptySamplesError> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return Err(EmptySamplesError);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ok(Ecdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the eCDF has no samples (never true after
+    /// successful construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / n as f64
+    }
+
+    /// Returns the `q`-quantile for `q` in `[0, 1]` (nearest-rank method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The sorted samples backing this eCDF.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Iterates over `(x, F(x))` step points, useful for plotting/export.
+    pub fn iter_steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn eval_is_monotone_step() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.99), 99.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let e = Ecdf::new(vec![2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(e.min(), 2.0);
+        assert_eq!(e.max(), 6.0);
+        assert_eq!(e.mean(), 4.0);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn steps_end_at_one() {
+        let e = Ecdf::new(vec![1.0, 5.0]).unwrap();
+        let steps: Vec<_> = e.iter_steps().collect();
+        assert_eq!(steps, vec![(1.0, 0.5), (5.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_out_of_range_panics() {
+        Ecdf::new(vec![1.0]).unwrap().quantile(1.5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of the statistical core: these invariants protect
+//! the error model the whole search relies on.
+
+use datamime_stats::dist::{Categorical, Distribution, Normal, Zipf};
+use datamime_stats::emd::{curve_distance, emd_area, emd_normalized, ks_statistic};
+use datamime_stats::{Ecdf, Rng, Summary};
+use proptest::prelude::*;
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+fn nonneg_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(samples in finite_samples(64), probe in -1e6f64..1e6) {
+        let e = Ecdf::new(samples).unwrap();
+        let y = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&y));
+        prop_assert!(e.eval(probe + 1.0) >= y);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantiles_are_monotone(samples in finite_samples(64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let e = Ecdf::new(samples).unwrap();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(e.quantile(lo) <= e.quantile(hi));
+    }
+
+    #[test]
+    fn emd_is_a_metric_on_samples(a in finite_samples(32), b in finite_samples(32), c in finite_samples(32)) {
+        let (ea, eb, ec) = (Ecdf::new(a).unwrap(), Ecdf::new(b).unwrap(), Ecdf::new(c).unwrap());
+        let ab = emd_area(&ea, &eb);
+        // Symmetry.
+        prop_assert!((ab - emd_area(&eb, &ea)).abs() < 1e-9 * (1.0 + ab));
+        // Identity.
+        prop_assert!(emd_area(&ea, &ea).abs() < 1e-9);
+        // Non-negativity and triangle inequality.
+        let ac = emd_area(&ea, &ec);
+        let cb = emd_area(&ec, &eb);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= ac + cb + 1e-6 * (1.0 + ab));
+    }
+
+    #[test]
+    fn normalized_emd_bounded_for_nonnegative_metrics(a in nonneg_samples(32), b in nonneg_samples(32)) {
+        let d = emd_normalized(&Ecdf::new(a).unwrap(), &Ecdf::new(b).unwrap());
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn ks_statistic_bounded(a in finite_samples(32), b in finite_samples(32)) {
+        let d = ks_statistic(&Ecdf::new(a).unwrap(), &Ecdf::new(b).unwrap());
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn curve_distance_symmetric_and_bounded(pairs in prop::collection::vec((0.0f64..1e3, 0.0f64..1e3), 1..16)) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let d = curve_distance(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((d - curve_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rng_below_is_always_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::with_seed(seed);
+        let mut b = Rng::with_seed(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn normal_samples_are_finite(mu in -1e3f64..1e3, sigma in 0.0f64..1e3, seed in any::<u64>()) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..64 {
+            prop_assert!(d.sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_range(n in 1usize..10_000, s in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample_rank(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn categorical_indices_in_range(weights in prop::collection::vec(0.0f64..100.0, 1..16), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let c = Categorical::new(&weights).unwrap();
+        let mut rng = Rng::with_seed(seed);
+        for _ in 0..64 {
+            prop_assert!(c.sample_index(&mut rng) < weights.len());
+        }
+    }
+
+    #[test]
+    fn summary_matches_naive_computation(samples in finite_samples(64)) {
+        let mut s = Summary::new();
+        for &x in &samples {
+            s.add(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let scale = 1.0 + mean.abs();
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        prop_assert_eq!(s.count(), samples.len() as u64);
+        prop_assert_eq!(s.min(), samples.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(mut v in prop::collection::vec(0u32..100, 0..64), seed in any::<u64>()) {
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        Rng::with_seed(seed).shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests of the full profiling pipeline:
+//! workload -> load generator -> simulator -> sampler -> profile -> error.
+
+use datamime::error_model::{profile_error, MetricWeights};
+use datamime::metrics::{CurveMetric, DistMetric};
+use datamime::profiler::{profile_workload, ProfilingConfig};
+use datamime::workload::{AppConfig, Workload};
+use datamime_apps::KvConfig;
+use datamime_sim::MachineConfig;
+
+fn small_kv(name: &str, cfg: KvConfig) -> Workload {
+    let mut w = Workload::mem_fb();
+    w.name = name.to_owned();
+    w.app = AppConfig::Kv(cfg);
+    w
+}
+
+fn shrink(mut cfg: KvConfig, n_keys: usize) -> KvConfig {
+    cfg.n_keys = n_keys;
+    cfg
+}
+
+#[test]
+fn profile_self_error_is_zero() {
+    let w = small_kv("t", shrink(KvConfig::facebook_like(), 10_000));
+    let cfg = ProfilingConfig::fast();
+    let p = profile_workload(&w, &MachineConfig::broadwell(), &cfg);
+    let e = profile_error(&p, &p, &MetricWeights::equal());
+    assert_eq!(e.total, 0.0);
+}
+
+#[test]
+fn different_datasets_produce_nonzero_error() {
+    let cfg = ProfilingConfig::fast();
+    let machine = MachineConfig::broadwell();
+    let a = profile_workload(
+        &small_kv("fb", shrink(KvConfig::facebook_like(), 10_000)),
+        &machine,
+        &cfg,
+    );
+    let b = profile_workload(
+        &small_kv("ycsb", shrink(KvConfig::ycsb_like(), 10_000)),
+        &machine,
+        &cfg,
+    );
+    let e = profile_error(&a, &b, &MetricWeights::equal());
+    assert!(
+        e.total > 0.1,
+        "distinct datasets must differ: {}",
+        e.summary()
+    );
+}
+
+#[test]
+fn noise_floor_is_below_dataset_differences() {
+    // Re-profiling the same workload with a different load-generator seed
+    // (measurement noise) must produce far less error than changing the
+    // dataset — otherwise the search signal would drown.
+    let machine = MachineConfig::broadwell();
+    let cfg_a = ProfilingConfig::fast();
+    let mut cfg_b = ProfilingConfig::fast();
+    cfg_b.seed ^= 0xFFFF;
+    let base = small_kv("t", shrink(KvConfig::facebook_like(), 10_000));
+    let pa = profile_workload(&base, &machine, &cfg_a);
+    let pb = profile_workload(&base, &machine, &cfg_b);
+    let noise = profile_error(&pa, &pb, &MetricWeights::equal()).total;
+
+    let other = profile_workload(
+        &small_kv("y", shrink(KvConfig::ycsb_like(), 10_000)),
+        &machine,
+        &cfg_a,
+    );
+    let signal = profile_error(&pa, &other, &MetricWeights::equal()).total;
+    assert!(
+        noise * 2.0 < signal,
+        "noise {noise} must be well below signal {signal}"
+    );
+}
+
+#[test]
+fn curves_present_on_catted_machines_only() {
+    let w = small_kv("t", shrink(KvConfig::facebook_like(), 5_000));
+    let cfg = ProfilingConfig::fast();
+    let bdw = profile_workload(&w, &MachineConfig::broadwell(), &cfg);
+    assert_eq!(bdw.curve().len(), cfg.curve_ways.len());
+    assert!(!bdw.curve_values(CurveMetric::IpcCurve).is_empty());
+    let slm = profile_workload(&w, &MachineConfig::silvermont(), &cfg);
+    assert!(slm.curve().is_empty());
+}
+
+#[test]
+fn utilization_and_bandwidth_are_physical() {
+    let w = small_kv("t", shrink(KvConfig::facebook_like(), 10_000));
+    let p = profile_workload(&w, &MachineConfig::broadwell(), &ProfilingConfig::fast());
+    let util = p.mean(DistMetric::CpuUtilization);
+    assert!((0.0..=1.0).contains(&util), "util {util}");
+    let bw = p.mean(DistMetric::MemoryBandwidth);
+    assert!(
+        (0.0..=20.0).contains(&bw),
+        "bandwidth {bw} GB/s vs DDR4 limits"
+    );
+}
+
+#[test]
+fn perfprox_clone_runs_through_the_same_pipeline() {
+    use datamime_apps::App;
+    use datamime_perfproxy::PerfProxClone;
+    use datamime_stats::Rng;
+
+    let target = profile_workload(
+        &small_kv("t", shrink(KvConfig::facebook_like(), 10_000)),
+        &MachineConfig::broadwell(),
+        &ProfilingConfig::fast().without_curves(),
+    );
+    let mut proxy = PerfProxClone::from_profile(&target, 7);
+    let mut machine = datamime_sim::Machine::new(MachineConfig::broadwell());
+    let mut rng = Rng::with_seed(1);
+    for _ in 0..50 {
+        proxy.serve(&mut machine, &mut rng);
+    }
+    assert!(machine.counters().instructions > 400_000);
+}

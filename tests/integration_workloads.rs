@@ -1,0 +1,127 @@
+//! Integration tests spanning the workload zoo and the three evaluation
+//! platforms.
+
+use datamime::metrics::DistMetric;
+use datamime::profiler::{profile_workload, ProfilingConfig};
+use datamime::workload::{AppConfig, Workload};
+use datamime_apps::{KvConfig, MasstreeConfig, SearchConfig, SiloConfig};
+use datamime_sim::MachineConfig;
+
+/// Scaled-down versions of the targets so the suite stays fast.
+fn scaled_targets() -> Vec<Workload> {
+    let mut out = Vec::new();
+    let mut w = Workload::mem_fb();
+    w.app = AppConfig::Kv(KvConfig {
+        n_keys: 10_000,
+        ..KvConfig::facebook_like()
+    });
+    out.push(w);
+    let mut w = Workload::silo_bidding();
+    w.app = AppConfig::Silo(SiloConfig {
+        n_bid_items: 400_000,
+        ..SiloConfig::bidding_target()
+    });
+    out.push(w);
+    let mut w = Workload::xapian_wiki();
+    w.app = AppConfig::Search(SearchConfig {
+        n_docs: 5_000,
+        n_terms: 4_000,
+        ..datamime_apps::SearchConfig::wikipedia_target()
+    });
+    out.push(w);
+    out
+}
+
+#[test]
+fn every_target_profiles_on_every_machine() {
+    let cfg = ProfilingConfig::fast().without_curves();
+    for machine in [
+        MachineConfig::broadwell(),
+        MachineConfig::zen2(),
+        MachineConfig::silvermont(),
+    ] {
+        for w in scaled_targets() {
+            let p = profile_workload(&w, &machine, &cfg);
+            let ipc = p.mean(DistMetric::Ipc);
+            assert!(
+                ipc > 0.05 && ipc <= machine.issue_width,
+                "{} on {}: ipc {ipc}",
+                w.name,
+                machine.name
+            );
+        }
+    }
+}
+
+#[test]
+fn silvermont_is_slowest_broadly() {
+    // The narrow in-order-ish core should not beat the big cores on these
+    // server workloads.
+    let cfg = ProfilingConfig::fast().without_curves();
+    for w in scaled_targets() {
+        let bdw = profile_workload(&w, &MachineConfig::broadwell(), &cfg).mean(DistMetric::Ipc);
+        let slm = profile_workload(&w, &MachineConfig::silvermont(), &cfg).mean(DistMetric::Ipc);
+        assert!(
+            slm < bdw * 1.1,
+            "{}: silvermont {slm} vs broadwell {bdw}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn workload_identity_is_preserved_across_machines() {
+    // A workload's relative characteristics (e.g. memcached icache-heavy,
+    // silo memory-heavy) hold on every machine.
+    let cfg = ProfilingConfig::fast().without_curves();
+    for machine in [MachineConfig::broadwell(), MachineConfig::zen2()] {
+        let kv = profile_workload(&scaled_targets()[0], &machine, &cfg);
+        let silo = profile_workload(&scaled_targets()[1], &machine, &cfg);
+        assert!(
+            kv.mean(DistMetric::ICacheMpki) > silo.mean(DistMetric::ICacheMpki),
+            "memcached must be the icache-heavy one on {}",
+            machine.name
+        );
+        assert!(
+            silo.mean(DistMetric::LlcMpki) > kv.mean(DistMetric::LlcMpki),
+            "silo must be the memory-heavy one on {}",
+            machine.name
+        );
+    }
+}
+
+#[test]
+fn masstree_case_study_contrast_holds() {
+    // Table IV: masstree has lower ICache MPKI than memcached but higher
+    // LLC MPKI (bigger resident set, cache-crafted code).
+    let cfg = ProfilingConfig::fast().without_curves();
+    let machine = MachineConfig::broadwell();
+    let mut masstree = Workload::masstree_ycsb();
+    masstree.app = AppConfig::Masstree(MasstreeConfig {
+        n_keys: 600_000,
+        ..MasstreeConfig::ycsb_target()
+    });
+    let mt = profile_workload(&masstree, &machine, &cfg);
+    let kv = profile_workload(&scaled_targets()[0], &machine, &cfg);
+    assert!(mt.mean(DistMetric::ICacheMpki) < kv.mean(DistMetric::ICacheMpki));
+    assert!(mt.mean(DistMetric::LlcMpki) > kv.mean(DistMetric::LlcMpki));
+}
+
+#[test]
+fn networked_memcached_adds_frontend_pressure() {
+    // Sec. V-F: the networked configuration exercises the kernel TCP path.
+    let cfg = ProfilingConfig::fast().without_curves();
+    let machine = MachineConfig::broadwell();
+    let local = profile_workload(&scaled_targets()[0], &machine, &cfg);
+    let mut net = scaled_targets()[0].clone();
+    if let AppConfig::Kv(c) = &mut net.app {
+        c.networked = true;
+    }
+    let netp = profile_workload(&net, &machine, &cfg);
+    assert!(
+        netp.mean(DistMetric::ICacheMpki) > local.mean(DistMetric::ICacheMpki),
+        "net {} vs local {}",
+        netp.mean(DistMetric::ICacheMpki),
+        local.mean(DistMetric::ICacheMpki)
+    );
+}
