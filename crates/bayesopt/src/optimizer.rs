@@ -41,6 +41,22 @@ pub trait BlackBoxOptimizer {
     /// Proposes the next point to evaluate, in `[0, 1]^dims`.
     fn suggest(&mut self) -> Vec<f64>;
 
+    /// Proposes a *batch* of `k` points for parallel evaluation.
+    ///
+    /// The default simply calls [`suggest`](Self::suggest) `k` times, which
+    /// is correct for optimizers whose proposals do not depend on pending
+    /// observations (e.g. [`RandomSearch`]). Model-based optimizers should
+    /// override this with a batch strategy (see [`BayesOpt`]'s
+    /// constant-liar implementation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    fn suggest_batch(&mut self, k: usize) -> Vec<Vec<f64>> {
+        assert!(k > 0, "batch must be non-empty");
+        (0..k).map(|_| self.suggest()).collect()
+    }
+
     /// Records an evaluated point.
     fn observe(&mut self, x: Vec<f64>, y: f64);
 
@@ -123,6 +139,17 @@ pub struct BayesOpt {
     rng: Rng,
     init_design: Vec<Vec<f64>>,
     history: Vec<(Vec<f64>, f64)>,
+    /// Pending constant-liar pseudo-observations from [`suggest_batch`]
+    /// (one per suggested-but-not-yet-observed point). They join the real
+    /// history for surrogate fitting so in-flight points repel new
+    /// suggestions, and each is replaced by the matching real observation
+    /// in [`observe`]. Never exposed through [`history`] or [`best`].
+    ///
+    /// [`suggest_batch`]: BlackBoxOptimizer::suggest_batch
+    /// [`observe`]: BlackBoxOptimizer::observe
+    /// [`history`]: BlackBoxOptimizer::history
+    /// [`best`]: BlackBoxOptimizer::best
+    fantasies: Vec<(Vec<f64>, f64)>,
     gp: Option<GaussianProcess>,
     observed_since_fit: usize,
 }
@@ -140,6 +167,7 @@ impl BayesOpt {
             rng,
             init_design,
             history: Vec::new(),
+            fantasies: Vec::new(),
             gp: None,
             observed_since_fit: 0,
         }
@@ -150,10 +178,17 @@ impl BayesOpt {
         self.dims
     }
 
+    /// Real observations plus pending constant-liar fantasies, in order —
+    /// the surrogate's training set.
+    fn training_set(&self) -> impl Iterator<Item = &(Vec<f64>, f64)> {
+        self.history.iter().chain(self.fantasies.iter())
+    }
+
     fn refit(&mut self) {
-        let xs: Vec<Vec<f64>> = self.history.iter().map(|(x, _)| x.clone()).collect();
-        let ys: Vec<f64> = self.history.iter().map(|(_, y)| *y).collect();
-        let need_hyper_fit = self.gp.is_none() || self.observed_since_fit >= self.cfg.refit_every;
+        let xs: Vec<Vec<f64>> = self.training_set().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = self.training_set().map(|(_, y)| *y).collect();
+        let need_hyper_fit = self.gp.is_none()
+            || self.observed_since_fit + self.fantasies.len() >= self.cfg.refit_every;
         let gp = if need_hyper_fit {
             self.observed_since_fit = 0;
             GaussianProcess::fit_hyperparams(self.cfg.kernel.clone(), xs, ys, &mut self.rng).ok()
@@ -165,40 +200,6 @@ impl BayesOpt {
         if let Some(gp) = gp {
             self.gp = Some(gp);
         }
-    }
-
-    /// Proposes a *batch* of `k` points for parallel evaluation using the
-    /// constant-liar strategy: after each suggestion the incumbent value is
-    /// temporarily recorded as a pseudo-observation so subsequent
-    /// suggestions spread out instead of piling onto one optimum. The
-    /// pseudo-observations are removed before returning.
-    ///
-    /// This is the parallel-Bayesian-optimization extension the paper
-    /// defers to future work (Sec. IV cites batch BO as the mechanism).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k == 0`.
-    pub fn suggest_batch(&mut self, k: usize) -> Vec<Vec<f64>> {
-        assert!(k > 0, "batch must be non-empty");
-        let lie = self
-            .history
-            .iter()
-            .map(|(_, y)| *y)
-            .fold(f64::INFINITY, f64::min)
-            .min(1e6); // finite even with no history yet
-        let mut batch = Vec::with_capacity(k);
-        for _ in 0..k {
-            let x = self.suggest();
-            batch.push(x.clone());
-            self.history
-                .push((x, if lie.is_finite() { lie } else { 0.0 }));
-            self.observed_since_fit += 1;
-        }
-        // Remove the lies; the caller will observe the real values.
-        self.history.truncate(self.history.len() - k);
-        self.observed_since_fit = self.observed_since_fit.saturating_sub(k);
-        batch
     }
 
     fn score(&self, gp: &GaussianProcess, x: &[f64], best: f64) -> f64 {
@@ -223,8 +224,7 @@ impl BlackBoxOptimizer for BayesOpt {
             return (0..self.dims).map(|_| self.rng.f64()).collect();
         };
         let (best_x, best_y) = self
-            .history
-            .iter()
+            .training_set()
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(x, y)| (x.clone(), *y))
             .expect("history is non-empty after the initial design");
@@ -255,9 +255,44 @@ impl BlackBoxOptimizer for BayesOpt {
         best_cand.expect("at least one candidate").1
     }
 
+    /// Proposes a batch using the constant-liar strategy: each suggested
+    /// point is recorded as a pending *fantasy* observation at the
+    /// incumbent value, so subsequent suggestions (in this batch and any
+    /// overlapping one) spread out instead of piling onto one optimum.
+    /// The matching real [`observe`](BlackBoxOptimizer::observe) call
+    /// replaces each fantasy, so the real history never contains lies.
+    ///
+    /// The lie is the best observed value, capped at `1e6`. With an empty
+    /// history the cap itself is used; the concrete value is irrelevant
+    /// there because suggestions still come from the Latin-hypercube
+    /// initial design, which ignores observations.
+    ///
+    /// This is the parallel-Bayesian-optimization extension the paper
+    /// defers to future work (Sec. IV cites batch BO as the mechanism).
+    fn suggest_batch(&mut self, k: usize) -> Vec<Vec<f64>> {
+        assert!(k > 0, "batch must be non-empty");
+        let lie = self
+            .history
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min)
+            .min(1e6);
+        (0..k)
+            .map(|_| {
+                let x = self.suggest();
+                self.fantasies.push((x.clone(), lie));
+                x
+            })
+            .collect()
+    }
+
     fn observe(&mut self, x: Vec<f64>, y: f64) {
         assert_eq!(x.len(), self.dims, "observation dimension mismatch");
         assert!(y.is_finite(), "objective must be finite");
+        // A real observation supersedes its pending constant-liar fantasy.
+        if let Some(pos) = self.fantasies.iter().position(|(fx, _)| fx == &x) {
+            self.fantasies.remove(pos);
+        }
         self.history.push((x, y));
         self.observed_since_fit += 1;
     }
@@ -340,7 +375,7 @@ mod tests {
         let d = latin_hypercube(10, 2, &mut rng);
         assert_eq!(d.len(), 10);
         for dim in 0..2 {
-            let mut bins = vec![false; 10];
+            let mut bins = [false; 10];
             for x in &d {
                 assert!((0.0..1.0).contains(&x[dim]));
                 bins[(x[dim] * 10.0) as usize] = true;
@@ -511,5 +546,70 @@ mod batch_tests {
     #[should_panic(expected = "batch must be non-empty")]
     fn empty_batch_panics() {
         BayesOpt::new(BoConfig::for_dims(1), 1).suggest_batch(0);
+    }
+
+    #[test]
+    fn observe_replaces_fantasies_so_history_has_only_real_points() {
+        // Regression: constant-liar fantasies must never leak into
+        // `history()` — after a full suggest_batch/observe cycle the
+        // history holds exactly the real observations, with no duplicated
+        // points and no leftover lies polluting later fits.
+        let mut bo = BayesOpt::new(BoConfig::for_dims(2), 41);
+        for _ in 0..10 {
+            let x = bo.suggest();
+            let y = (x[0] - 0.4f64).powi(2) + (x[1] - 0.6f64).powi(2);
+            bo.observe(x, y);
+        }
+        for round in 0..3 {
+            let batch = bo.suggest_batch(4);
+            for x in batch {
+                let y = (x[0] - 0.4f64).powi(2) + (x[1] - 0.6f64).powi(2);
+                bo.observe(x, y);
+            }
+            assert_eq!(bo.history().len(), 10 + 4 * (round + 1));
+        }
+        // No point appears twice (a lie paired with its real observation
+        // would duplicate the x vector).
+        let h = bo.history();
+        for i in 0..h.len() {
+            for j in i + 1..h.len() {
+                assert_ne!(h[i].0, h[j].0, "history entries {i} and {j} duplicated");
+            }
+        }
+        // Lies are the incumbent value, so none may undercut the real best.
+        let real_best = bo.best().unwrap().1;
+        assert!(h.iter().all(|(_, y)| *y >= real_best));
+    }
+
+    #[test]
+    fn pending_fantasies_repel_the_next_suggestion() {
+        // While a batch is in flight, its fantasy observations must steer
+        // later suggestions away from the pending points.
+        let mut bo = BayesOpt::new(BoConfig::for_dims(2), 43);
+        for _ in 0..12 {
+            let x = bo.suggest();
+            let y = (x[0] - 0.5f64).powi(2) + (x[1] - 0.5f64).powi(2);
+            bo.observe(x, y);
+        }
+        let batch = bo.suggest_batch(3);
+        let next = bo.suggest(); // fantasies still pending
+        for (i, x) in batch.iter().enumerate() {
+            let d: f64 = x
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(d > 1e-6, "suggestion collided with pending point {i}");
+        }
+    }
+
+    #[test]
+    fn default_trait_batch_matches_repeated_suggest() {
+        let mut a = RandomSearch::new(3, 7);
+        let mut b = RandomSearch::new(3, 7);
+        let batch = a.suggest_batch(5);
+        let singles: Vec<Vec<f64>> = (0..5).map(|_| b.suggest()).collect();
+        assert_eq!(batch, singles);
     }
 }

@@ -77,19 +77,19 @@ fn table3_generators(c: &mut Criterion) {
     // midpoint.
     c.bench_function("table3/instantiate-memcached", |b| {
         let g = KvGenerator::new();
-        b.iter(|| g.instantiate(&vec![0.5; 6]).app.build())
+        b.iter(|| g.instantiate(&[0.5; 6]).app.build())
     });
     c.bench_function("table3/instantiate-silo", |b| {
         let g = SiloGenerator::new();
-        b.iter(|| g.instantiate(&vec![0.5; 7]).app.build())
+        b.iter(|| g.instantiate(&[0.5; 7]).app.build())
     });
     c.bench_function("table3/instantiate-xapian", |b| {
         let g = XapianGenerator::new();
-        b.iter(|| g.instantiate(&vec![0.5; 4]).app.build())
+        b.iter(|| g.instantiate(&[0.5; 4]).app.build())
     });
     c.bench_function("table3/instantiate-dnn", |b| {
         let g = DnnGenerator::new();
-        b.iter(|| g.instantiate(&vec![0.5; 6]).app.build())
+        b.iter(|| g.instantiate(&[0.5; 6]).app.build())
     });
 }
 
@@ -103,7 +103,7 @@ fn fig1_fig3_clone_accuracy(c: &mut Criterion) {
         let g = KvGenerator::new();
         let weights = MetricWeights::equal();
         b.iter(|| {
-            let w = g.instantiate(&vec![0.4; 6]);
+            let w = g.instantiate(&[0.4; 6]);
             let p = profile_workload(&w, &machine, &cfg);
             profile_error(&target, &p, &weights).total
         })

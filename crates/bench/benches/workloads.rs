@@ -80,11 +80,7 @@ fn workloads(c: &mut Criterion) {
 
 fn dataset_build(c: &mut Criterion) {
     c.bench_function("build/kvstore-120k-items", |b| {
-        b.iter_batched(
-            KvConfig::facebook_like,
-            |cfg| KvStore::new(cfg),
-            BatchSize::LargeInput,
-        )
+        b.iter_batched(KvConfig::facebook_like, KvStore::new, BatchSize::LargeInput)
     });
     c.bench_function("build/resnet50-scaled", |b| {
         b.iter_batched(NetSpec::resnet50_scaled, DnnApp::new, BatchSize::LargeInput)

@@ -11,9 +11,10 @@
 use datamime::generator::generator_for_program;
 use datamime::metrics::DistMetric;
 use datamime::profiler::{profile_workload, ProfilingConfig};
-use datamime::search::{search, search_parallel, SearchConfig};
+use datamime::search::{search, search_with_runtime, RuntimeOptions, SearchConfig};
 use datamime::workload::Workload;
 use datamime_sim::MachineConfig;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -33,6 +34,11 @@ OPTIONS:
     --machine <name>           broadwell (default) | zen2 | silvermont
     --iters <n>                search iterations (default 40)
     --parallel <k>             evaluate k candidates per batch in parallel
+    --journal <path>           with `clone`: log every evaluation to a
+                               crash-safe JSONL run journal
+    --resume <path>            with `clone`: resume an interrupted search
+                               from its journal (journaled points are
+                               re-observed, not re-profiled)
     --paper                    paper-fidelity profiling (slower)
     --tsv                      with `profile`: dump raw samples as TSV
 ";
@@ -68,6 +74,8 @@ struct Options {
     machine: Option<String>,
     iters: Option<usize>,
     parallel: Option<usize>,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
     paper: bool,
     tsv: bool,
 }
@@ -97,6 +105,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "--parallel must be a number")?,
                 );
+                i += 2;
+            }
+            "--journal" => {
+                o.journal = Some(args.get(i + 1).ok_or("--journal needs a path")?.into());
+                i += 2;
+            }
+            "--resume" => {
+                o.resume = Some(args.get(i + 1).ok_or("--resume needs a path")?.into());
                 i += 2;
             }
             "--paper" => {
@@ -259,10 +275,18 @@ fn cmd_clone(workload: &Workload, opts: &Options) -> Result<(), String> {
             .map_or(String::new(), |k| format!(", batch {k}")),
     );
     let target = profile_workload(workload, &cfg.machine, &cfg.profiling);
-    let outcome = match opts.parallel {
-        Some(k) if k > 1 => search_parallel(generator.as_ref(), &target, &cfg, k),
-        _ => search(generator.as_ref(), &target, &cfg),
+    let batch = opts.parallel.unwrap_or(1).max(1);
+    let runtime = RuntimeOptions {
+        batch_k: batch,
+        workers: batch,
+        // An interrupted run resumed in place keeps appending to its own
+        // journal unless a different --journal is given.
+        journal: opts.journal.clone().or_else(|| opts.resume.clone()),
+        resume: opts.resume.clone(),
+        progress: true,
     };
+    let outcome = search_with_runtime(generator.as_ref(), &target, &cfg, &runtime)
+        .map_err(|e| e.to_string())?;
     println!("best total EMD error: {:.4}", outcome.best_error);
     println!("synthesized dataset parameters:");
     for (name, value) in generator.describe(&outcome.best_unit_params) {
@@ -339,6 +363,10 @@ mod tests {
             "7",
             "--parallel",
             "3",
+            "--journal",
+            "run.jsonl",
+            "--resume",
+            "old.jsonl",
             "--paper",
             "--tsv",
         ]))
@@ -346,6 +374,11 @@ mod tests {
         assert_eq!(o.machine.as_deref(), Some("zen2"));
         assert_eq!(o.iters, Some(7));
         assert_eq!(o.parallel, Some(3));
+        assert_eq!(
+            o.journal.as_deref(),
+            Some(std::path::Path::new("run.jsonl"))
+        );
+        assert_eq!(o.resume.as_deref(), Some(std::path::Path::new("old.jsonl")));
         assert!(o.paper && o.tsv);
     }
 
@@ -354,6 +387,8 @@ mod tests {
         assert!(parse_options(&args(&["--bogus"])).is_err());
         assert!(parse_options(&args(&["--iters"])).is_err());
         assert!(parse_options(&args(&["--iters", "x"])).is_err());
+        assert!(parse_options(&args(&["--journal"])).is_err());
+        assert!(parse_options(&args(&["--resume"])).is_err());
     }
 
     #[test]

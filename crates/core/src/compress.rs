@@ -181,7 +181,7 @@ mod tests {
     fn extended_generator_has_extra_dimension() {
         let g = KvGeneratorCompressible::new();
         assert_eq!(g.dims(), 7);
-        let w = g.instantiate(&vec![0.5; 7]);
+        let w = g.instantiate(&[0.5; 7]);
         assert!(workload_compression_ratio(&w).is_some());
     }
 

@@ -35,7 +35,10 @@ impl ParamConstraint {
     ///
     /// Panics if `fraction` is not in `(0, 1)` or `value` is not positive.
     pub fn within(name: &'static str, value: f64, fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         assert!(value > 0.0 && value.is_finite(), "value must be positive");
         ParamConstraint {
             name,
@@ -129,7 +132,11 @@ impl<G: DatasetGenerator> DatasetGenerator for ConstrainedGenerator<G> {
     }
 
     fn instantiate(&self, unit: &[f64]) -> Workload {
-        assert_eq!(unit.len(), self.unit_bounds.len(), "parameter vector dimension mismatch");
+        assert_eq!(
+            unit.len(),
+            self.unit_bounds.len(),
+            "parameter vector dimension mismatch"
+        );
         // Remap the optimizer's cube into the constrained sub-box.
         let remapped: Vec<f64> = unit
             .iter()
@@ -191,7 +198,11 @@ mod tests {
     fn unknown_parameter_is_rejected() {
         let err = ConstrainedGenerator::new(
             KvGenerator::new(),
-            &[ParamConstraint { name: "bogus", lo: 0.0, hi: 1.0 }],
+            &[ParamConstraint {
+                name: "bogus",
+                lo: 0.0,
+                hi: 1.0,
+            }],
         )
         .unwrap_err();
         assert!(err.to_string().contains("bogus"));
@@ -202,7 +213,11 @@ mod tests {
         // value_size_mean range is [16, 8192].
         let err = ConstrainedGenerator::new(
             KvGenerator::new(),
-            &[ParamConstraint { name: "value_size_mean", lo: 1e7, hi: 2e7 }],
+            &[ParamConstraint {
+                name: "value_size_mean",
+                lo: 1e7,
+                hi: 2e7,
+            }],
         )
         .unwrap_err();
         assert!(err.to_string().contains("does not intersect"));

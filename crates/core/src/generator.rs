@@ -519,8 +519,8 @@ mod tests {
     #[test]
     fn generators_span_wide_footprints() {
         let g = KvGenerator::new();
-        let mut lo = g.instantiate(&vec![0.0; 6]);
-        let mut hi = g.instantiate(&vec![1.0; 6]);
+        let mut lo = g.instantiate(&[0.0; 6]);
+        let mut hi = g.instantiate(&[1.0; 6]);
         lo.name.clear();
         hi.name.clear();
         let small = lo.app.build().footprint_bytes();

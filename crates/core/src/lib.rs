@@ -68,7 +68,8 @@ pub use profile::{CurvePoint, EmptyProfileError, Profile};
 pub use profiler::{profile_app, profile_workload, ProfilingConfig};
 pub use scalar::{scalar_search, scalar_sweep, ScalarOutcome, ScalarSearchConfig};
 pub use search::{
-    search, search_parallel, IterationRecord, OptimizerKind, SearchConfig, SearchOutcome,
+    search, search_parallel, search_with_runtime, IterationRecord, OptimizerKind, RuntimeOptions,
+    SearchConfig, SearchOutcome,
 };
 pub use validate::{validate_clone, validate_paper_setup, ValidationReport, ValidationRow};
 pub use workload::{AppConfig, Workload};

@@ -4,6 +4,13 @@
 //! the generator synthesizes a dataset, the benchmark runs and is profiled
 //! exactly like the target, the EMD error against the target profile is
 //! computed, and the error is fed back to the optimizer.
+//!
+//! The loop itself is executed by [`datamime_runtime`]'s [`Executor`]: this
+//! module supplies the evaluation closure (instantiate → profile → error)
+//! and translates between the search-level and runtime-level vocabularies.
+//! [`search`] runs the executor with `batch_k = 1`, which is bit-for-bit
+//! the paper's sequential loop; [`search_with_runtime`] exposes batching,
+//! worker pools, journaling and resume.
 
 use crate::error_model::{profile_error, MetricWeights};
 use crate::generator::DatasetGenerator;
@@ -11,7 +18,11 @@ use crate::profile::Profile;
 use crate::profiler::{profile_workload, ProfilingConfig};
 use crate::workload::Workload;
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
+use datamime_runtime::{
+    replay, ExecError, Executor, JournalWriter, RunMeta, RunOutcome, StageTimes, StderrSink,
+};
 use datamime_sim::MachineConfig;
+use std::path::PathBuf;
 
 /// Which optimizer drives the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +31,16 @@ pub enum OptimizerKind {
     Bayesian,
     /// Uniform random search (ablation baseline).
     Random,
+}
+
+impl OptimizerKind {
+    /// The tag written into journal headers (and matched on resume).
+    pub fn tag(self) -> &'static str {
+        match self {
+            OptimizerKind::Bayesian => "bayesian",
+            OptimizerKind::Random => "random",
+        }
+    }
 }
 
 /// Configuration of one Datamime search.
@@ -66,6 +87,38 @@ impl SearchConfig {
     }
 }
 
+/// How the runtime executes a search: batching, workers, journaling.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeOptions {
+    /// Suggestions drawn per optimizer batch (0 or 1 = sequential).
+    pub batch_k: usize,
+    /// Worker threads evaluating a batch (0 or 1 = no pool).
+    pub workers: usize,
+    /// Journal every event to this file (crash-safe, resumable).
+    pub journal: Option<PathBuf>,
+    /// Resume from this journal, re-observing its points instead of
+    /// re-profiling them.
+    pub resume: Option<PathBuf>,
+    /// Stream progress lines to stderr.
+    pub progress: bool,
+}
+
+impl RuntimeOptions {
+    /// Sequential, no journal, no progress — the legacy behavior.
+    pub fn sequential() -> Self {
+        RuntimeOptions::default()
+    }
+
+    /// Evaluate `batch` candidates at a time on `batch` worker threads.
+    pub fn parallel(batch: usize) -> Self {
+        RuntimeOptions {
+            batch_k: batch,
+            workers: batch,
+            ..RuntimeOptions::default()
+        }
+    }
+}
+
 /// One evaluated point of the search.
 #[derive(Debug, Clone)]
 pub struct IterationRecord {
@@ -103,8 +156,127 @@ impl SearchOutcome {
     }
 }
 
+fn make_optimizer(cfg: &SearchConfig, dims: usize) -> Box<dyn BlackBoxOptimizer> {
+    match cfg.optimizer {
+        OptimizerKind::Bayesian => Box::new(BayesOpt::new(BoConfig::for_dims(dims), cfg.seed)),
+        OptimizerKind::Random => Box::new(RandomSearch::new(dims, cfg.seed)),
+    }
+}
+
+fn run_meta(
+    generator: &dyn DatasetGenerator,
+    cfg: &SearchConfig,
+    opts: &RuntimeOptions,
+) -> RunMeta {
+    RunMeta {
+        label: generator.name().to_string(),
+        seed: cfg.seed,
+        dims: generator.dims(),
+        iterations: cfg.iterations,
+        batch_k: opts.batch_k.max(1),
+        workers: opts.workers.max(1),
+        optimizer: cfg.optimizer.tag().to_string(),
+    }
+}
+
+/// One evaluation: instantiate → profile → error, with each stage timed.
+fn evaluate(
+    generator: &dyn DatasetGenerator,
+    target_profile: &Profile,
+    cfg: &SearchConfig,
+    unit: &[f64],
+    stages: &mut StageTimes,
+) -> f64 {
+    let workload = stages.time("instantiate", || generator.instantiate(unit));
+    let profile = stages.time("profile", || {
+        profile_workload(&workload, &cfg.machine, &cfg.profiling)
+    });
+    stages.time("error", || {
+        profile_error(target_profile, &profile, &cfg.weights).total
+    })
+}
+
+/// Re-profiles the best point and packages the outcome.
+fn finish(generator: &dyn DatasetGenerator, cfg: &SearchConfig, run: RunOutcome) -> SearchOutcome {
+    let best_workload = generator.instantiate(&run.best_unit);
+    let best_profile = profile_workload(&best_workload, &cfg.machine, &cfg.profiling);
+    SearchOutcome {
+        best_unit_params: run.best_unit,
+        best_workload,
+        best_profile,
+        best_error: run.best_error,
+        history: run
+            .history
+            .into_iter()
+            .map(|r| IterationRecord {
+                unit_params: r.unit,
+                error: r.error,
+            })
+            .collect(),
+    }
+}
+
+/// Builds the executor from `opts`: journal, resume, progress sink.
+fn build_executor(meta: RunMeta, opts: &RuntimeOptions) -> Result<Executor, ExecError> {
+    let mut exec = Executor::new(meta);
+    if opts.progress {
+        exec = exec.sink(Box::new(StderrSink::default()));
+    }
+    if let Some(resume_path) = &opts.resume {
+        let replayed = replay(resume_path)?;
+        exec = exec.resume(replayed)?;
+        // Appending to the very journal being resumed keeps its replayed
+        // prefix; any other journal path gets a fresh self-contained file.
+        if let Some(journal_path) = &opts.journal {
+            exec = if journal_path == resume_path {
+                exec.journal(JournalWriter::append(journal_path)?, true)
+            } else {
+                let writer = JournalWriter::create(journal_path, exec.meta())?;
+                exec.journal(writer, false)
+            };
+        }
+    } else if let Some(journal_path) = &opts.journal {
+        let writer = JournalWriter::create(journal_path, exec.meta())?;
+        exec = exec.journal(writer, false);
+    }
+    Ok(exec)
+}
+
+/// Runs a Datamime search under full runtime control: batched suggestions,
+/// a worker pool, an optional crash-safe journal, and optional resume.
+///
+/// Results are a deterministic function of `(cfg.seed, opts.batch_k)`:
+/// observations are applied in batch order regardless of worker scheduling,
+/// and `batch_k <= 1` is bit-for-bit the sequential [`search`].
+///
+/// # Errors
+///
+/// Fails on journal I/O errors or when `opts.resume` names a journal
+/// recorded under a different search configuration.
+///
+/// # Panics
+///
+/// Panics if `cfg.iterations == 0`.
+pub fn search_with_runtime(
+    generator: &(dyn DatasetGenerator + Sync),
+    target_profile: &Profile,
+    cfg: &SearchConfig,
+    opts: &RuntimeOptions,
+) -> Result<SearchOutcome, ExecError> {
+    let mut optimizer = make_optimizer(cfg, generator.dims());
+    let exec = build_executor(run_meta(generator, cfg, opts), opts)?;
+    let run = exec.run(optimizer.as_mut(), &|unit, stages| {
+        evaluate(generator, target_profile, cfg, unit, stages)
+    })?;
+    Ok(finish(generator, cfg, run))
+}
+
 /// Runs a Datamime search for a dataset that makes `generator`'s program
 /// mimic `target_profile`.
+///
+/// This is the paper's sequential loop, executed on the runtime with
+/// `batch_k = 1` and no journal (so it cannot fail and needs no `Sync`
+/// bound on the generator).
 ///
 /// # Panics
 ///
@@ -114,45 +286,20 @@ pub fn search(
     target_profile: &Profile,
     cfg: &SearchConfig,
 ) -> SearchOutcome {
-    assert!(cfg.iterations > 0, "need at least one iteration");
-    let dims = generator.dims();
-    let mut optimizer: Box<dyn BlackBoxOptimizer> = match cfg.optimizer {
-        OptimizerKind::Bayesian => Box::new(BayesOpt::new(BoConfig::for_dims(dims), cfg.seed)),
-        OptimizerKind::Random => Box::new(RandomSearch::new(dims, cfg.seed)),
-    };
-
-    let mut history = Vec::with_capacity(cfg.iterations);
-    let mut best: Option<(Vec<f64>, f64)> = None;
-    for _ in 0..cfg.iterations {
-        let unit = optimizer.suggest();
-        let workload = generator.instantiate(&unit);
-        let profile = profile_workload(&workload, &cfg.machine, &cfg.profiling);
-        let err = profile_error(target_profile, &profile, &cfg.weights).total;
-        optimizer.observe(unit.clone(), err);
-        if best.as_ref().is_none_or(|(_, be)| err < *be) {
-            best = Some((unit.clone(), err));
-        }
-        history.push(IterationRecord {
-            unit_params: unit,
-            error: err,
-        });
-    }
-
-    let (best_unit_params, best_error) = best.expect("at least one iteration ran");
-    let best_workload = generator.instantiate(&best_unit_params);
-    let best_profile = profile_workload(&best_workload, &cfg.machine, &cfg.profiling);
-    SearchOutcome {
-        best_unit_params,
-        best_workload,
-        best_profile,
-        best_error,
-        history,
-    }
+    let opts = RuntimeOptions::sequential();
+    let mut optimizer = make_optimizer(cfg, generator.dims());
+    let exec = Executor::new(run_meta(generator, cfg, &opts));
+    let run = exec
+        .run_seq(optimizer.as_mut(), &mut |unit, stages| {
+            evaluate(generator, target_profile, cfg, unit, stages)
+        })
+        .expect("journal-less sequential run cannot fail");
+    finish(generator, cfg, run)
 }
 
 /// Runs a Datamime search with *parallel* candidate evaluation: the
-/// optimizer proposes batches via the constant-liar strategy and each
-/// batch's profiling runs on its own OS thread.
+/// optimizer proposes batches via the constant-liar strategy and a worker
+/// pool of `batch` threads profiles them concurrently.
 ///
 /// This is the parallelization the paper defers to future work (Sec. IV).
 /// Results are deterministic for a given seed: observations are applied in
@@ -168,58 +315,14 @@ pub fn search_parallel(
     cfg: &SearchConfig,
     batch: usize,
 ) -> SearchOutcome {
-    assert!(cfg.iterations > 0, "need at least one iteration");
     assert!(batch > 0, "batch must be positive");
-    let dims = generator.dims();
-    let mut bo =
-        datamime_bayesopt::BayesOpt::new(datamime_bayesopt::BoConfig::for_dims(dims), cfg.seed);
-    let mut history = Vec::with_capacity(cfg.iterations);
-    let mut best: Option<(Vec<f64>, f64)> = None;
-    let mut remaining = cfg.iterations;
-    while remaining > 0 {
-        let k = batch.min(remaining);
-        let units = bo.suggest_batch(k);
-        let errors: Vec<f64> = std::thread::scope(|scope| {
-            let handles: Vec<_> = units
-                .iter()
-                .map(|unit| {
-                    let machine = cfg.machine.clone();
-                    let profiling = cfg.profiling.clone();
-                    let weights = cfg.weights.clone();
-                    scope.spawn(move || {
-                        let workload = generator.instantiate(unit);
-                        let profile = profile_workload(&workload, &machine, &profiling);
-                        profile_error(target_profile, &profile, &weights).total
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        });
-        for (unit, err) in units.into_iter().zip(errors) {
-            bo.observe(unit.clone(), err);
-            if best.as_ref().is_none_or(|(_, be)| err < *be) {
-                best = Some((unit.clone(), err));
-            }
-            history.push(IterationRecord {
-                unit_params: unit,
-                error: err,
-            });
-        }
-        remaining -= k;
-    }
-    let (best_unit_params, best_error) = best.expect("at least one iteration ran");
-    let best_workload = generator.instantiate(&best_unit_params);
-    let best_profile = profile_workload(&best_workload, &cfg.machine, &cfg.profiling);
-    SearchOutcome {
-        best_unit_params,
-        best_workload,
-        best_profile,
-        best_error,
-        history,
-    }
+    search_with_runtime(
+        generator,
+        target_profile,
+        cfg,
+        &RuntimeOptions::parallel(batch),
+    )
+    .expect("journal-less parallel run cannot fail")
 }
 
 #[cfg(test)]
@@ -315,5 +418,27 @@ mod tests {
         let machine = cfg.machine.clone();
         let target = profile_workload(&small_target(), &machine, &cfg.profiling);
         search(&KvGenerator::new(), &target, &cfg);
+    }
+
+    #[test]
+    fn batch_one_runtime_matches_plain_search() {
+        let mut cfg = SearchConfig::fast(8);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let plain = search(&KvGenerator::new(), &target, &cfg);
+        let runtime = search_with_runtime(
+            &KvGenerator::new(),
+            &target,
+            &cfg,
+            &RuntimeOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(plain.best_unit_params, runtime.best_unit_params);
+        assert_eq!(plain.best_error.to_bits(), runtime.best_error.to_bits());
+        for (a, b) in plain.history.iter().zip(&runtime.history) {
+            assert_eq!(a.unit_params, b.unit_params);
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+        }
     }
 }

@@ -13,7 +13,7 @@
 use datamime::error_model::{profile_error, DistanceKind, MetricWeights};
 use datamime::generator::KvGenerator;
 use datamime::profiler::profile_workload;
-use datamime::search::{search, OptimizerKind};
+use datamime::search::{search_with_runtime, OptimizerKind};
 use datamime::workload::Workload;
 use datamime_experiments::{Report, Settings};
 
@@ -43,10 +43,19 @@ fn main() {
 
     // 1. BO vs random search.
     eprintln!("ablation 1: optimizer ...");
-    let bo = search(&KvGenerator::new(), &target_profile, &base_cfg);
+    let run = |cfg: &datamime::search::SearchConfig| {
+        search_with_runtime(
+            &KvGenerator::new(),
+            &target_profile,
+            cfg,
+            &s.runtime_options(),
+        )
+        .expect("journal-less search cannot fail")
+    };
+    let bo = run(&base_cfg);
     let mut rnd_cfg = base_cfg.clone();
     rnd_cfg.optimizer = OptimizerKind::Random;
-    let rnd = search(&KvGenerator::new(), &target_profile, &rnd_cfg);
+    let rnd = run(&rnd_cfg);
     r.line(format!(
         "optimizer @ {iters} iters: bayesian {:.4}  random {:.4}",
         score(&bo),
@@ -57,7 +66,7 @@ fn main() {
     eprintln!("ablation 2: distance ...");
     let mut ks_cfg = base_cfg.clone();
     ks_cfg.weights.distance = DistanceKind::KolmogorovSmirnov;
-    let ks = search(&KvGenerator::new(), &target_profile, &ks_cfg);
+    let ks = run(&ks_cfg);
     r.line(format!(
         "distance (scored by equal-weight EMD): emd-objective {:.4}  ks-objective {:.4}",
         score(&bo),
@@ -65,26 +74,39 @@ fn main() {
     ));
 
     // 3. Acquisition function. The search loop always uses EI; emulate LCB
-    // by swapping the optimizer configuration at the bayesopt level.
+    // by swapping the optimizer configuration at the bayesopt level and
+    // driving the bare optimizer directly on the runtime executor.
     eprintln!("ablation 3: acquisition ...");
     {
         use datamime::generator::DatasetGenerator;
-        use datamime_bayesopt::{Acquisition, BayesOpt, BlackBoxOptimizer, BoConfig};
+        use datamime_bayesopt::{Acquisition, BayesOpt, BoConfig};
+        use datamime_runtime::{Executor, RunMeta};
         let generator = KvGenerator::new();
         let run_with = |acq: Acquisition| {
             let mut cfg = BoConfig::for_dims(generator.dims());
             cfg.acquisition = acq;
             let mut bo = BayesOpt::new(cfg, 0xAB1A);
-            let mut best = f64::INFINITY;
-            for _ in 0..iters {
-                let unit = bo.suggest();
-                let w = generator.instantiate(&unit);
-                let p = profile_workload(&w, &base_cfg.machine, &base_cfg.profiling);
-                let err = profile_error(&target_profile, &p, &yardstick).total;
-                best = best.min(err);
-                bo.observe(unit, err);
-            }
-            best
+            let meta = RunMeta {
+                label: format!("ablation-acquisition-{acq:?}"),
+                seed: 0xAB1A,
+                dims: generator.dims(),
+                iterations: iters,
+                batch_k: 1,
+                workers: 1,
+                optimizer: "bayesian".to_string(),
+            };
+            let outcome = Executor::new(meta)
+                .run_seq(&mut bo, &mut |unit, stages| {
+                    let w = stages.time("instantiate", || generator.instantiate(unit));
+                    let p = stages.time("profile", || {
+                        profile_workload(&w, &base_cfg.machine, &base_cfg.profiling)
+                    });
+                    stages.time("error", || {
+                        profile_error(&target_profile, &p, &yardstick).total
+                    })
+                })
+                .expect("journal-less run cannot fail");
+            outcome.best_error
         };
         r.line(format!(
             "acquisition @ {iters} iters: expected-improvement {:.4}  lower-confidence-bound {:.4}",

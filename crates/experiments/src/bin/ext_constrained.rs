@@ -52,8 +52,14 @@ fn main() {
         "budget: {} iterations; disclosed statistics: key mean 31 B ±25%, value mean 300 B ±25%",
         cfg.iterations
     ));
-    r.line(row("unconstrained min EMD", &decimate(&plain.running_min())));
-    r.line(row("constrained   min EMD", &decimate(&constrained.running_min())));
+    r.line(row(
+        "unconstrained min EMD",
+        &decimate(&plain.running_min()),
+    ));
+    r.line(row(
+        "constrained   min EMD",
+        &decimate(&constrained.running_min()),
+    ));
     r.line(format!(
         "final error: unconstrained {:.4}  constrained {:.4}",
         plain.best_error, constrained.best_error

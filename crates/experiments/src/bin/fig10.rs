@@ -7,7 +7,7 @@
 
 use datamime::generator::generator_for_program;
 use datamime::profiler::profile_workload;
-use datamime::search::search;
+use datamime::search::search_with_runtime;
 use datamime_experiments::{primary_targets_with_programs, row, Report, Settings};
 
 fn main() {
@@ -19,7 +19,13 @@ fn main() {
         let generator = generator_for_program(program).expect("generator exists");
         let cfg = s.search_config();
         let target_profile = profile_workload(&target, &cfg.machine, &cfg.profiling);
-        let outcome = search(generator.as_ref(), &target_profile, &cfg);
+        let outcome = search_with_runtime(
+            generator.as_ref(),
+            &target_profile,
+            &cfg,
+            &s.runtime_options(),
+        )
+        .expect("journal-less search cannot fail");
         let mins = outcome.running_min();
 
         // Print the curve decimated to ~10 points.

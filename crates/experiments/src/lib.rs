@@ -6,6 +6,8 @@
 //! - `DATAMIME_PROFILE` — `fast` (default) or `paper`: profiling fidelity;
 //! - `DATAMIME_ITERS` — search iterations per benchmark (default 40;
 //!   the paper runs 200);
+//! - `DATAMIME_PARALLEL` — candidates evaluated per optimizer batch, on
+//!   as many worker threads (default 1 = sequential);
 //! - `DATAMIME_NO_CACHE` — set to disable the on-disk search cache.
 //!
 //! Searches are the expensive step, and several figures reuse the same
@@ -16,7 +18,7 @@
 use datamime::generator::{generator_for_program, DatasetGenerator};
 use datamime::profile::Profile;
 use datamime::profiler::{profile_workload, ProfilingConfig};
-use datamime::search::{search, SearchConfig};
+use datamime::search::{search_with_runtime, RuntimeOptions, SearchConfig};
 use datamime::workload::Workload;
 use datamime::MetricWeights;
 use std::fs;
@@ -29,6 +31,8 @@ pub struct Settings {
     pub iters: usize,
     /// Profiling fidelity.
     pub profiling: ProfilingConfig,
+    /// Candidates evaluated per optimizer batch (1 = sequential).
+    pub parallel: usize,
     /// Whether the on-disk cache is enabled.
     pub cache: bool,
 }
@@ -45,10 +49,16 @@ impl Settings {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(40);
+        let parallel = std::env::var("DATAMIME_PARALLEL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+            .max(1);
         let cache = std::env::var("DATAMIME_NO_CACHE").is_err();
         Settings {
             iters,
             profiling,
+            parallel,
             cache,
         }
     }
@@ -59,6 +69,16 @@ impl Settings {
         cfg.iterations = self.iters;
         cfg.profiling = self.profiling.clone();
         cfg
+    }
+
+    /// The runtime options implied by these settings (`DATAMIME_PARALLEL`
+    /// batching; no journal).
+    pub fn runtime_options(&self) -> RuntimeOptions {
+        if self.parallel > 1 {
+            RuntimeOptions::parallel(self.parallel)
+        } else {
+            RuntimeOptions::sequential()
+        }
     }
 }
 
@@ -160,7 +180,13 @@ pub fn clone_target_weighted(
 
     eprintln!("[search] {key} ({} iterations)", cfg.iterations);
     let target_profile = profile_workload(target, &cfg.machine, &cfg.profiling);
-    let outcome = search(generator.as_ref(), &target_profile, &cfg);
+    let outcome = search_with_runtime(
+        generator.as_ref(),
+        &target_profile,
+        &cfg,
+        &settings.runtime_options(),
+    )
+    .expect("journal-less search cannot fail");
     if settings.cache {
         store_cached(&key, &outcome.best_unit_params);
     }

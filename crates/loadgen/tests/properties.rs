@@ -1,6 +1,6 @@
 //! Property-based tests of the load generator's queueing invariants.
 
-use datamime_apps::{App, KvConfig, KvStore};
+use datamime_apps::{KvConfig, KvStore};
 use datamime_loadgen::{ArrivalProcess, Driver, WorkloadSpec};
 use datamime_sim::{Machine, MachineConfig, Sampler};
 use proptest::prelude::*;

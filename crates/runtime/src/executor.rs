@@ -1,0 +1,419 @@
+//! The parallel batched search executor.
+//!
+//! [`Executor`] drains batch-`k` suggestions from any
+//! [`BlackBoxOptimizer`] through a bounded work queue serviced by a pool
+//! of scoped worker threads, feeds results back to the optimizer in
+//! **batch order** (so a run's outcome is a deterministic function of
+//! `(seed, batch_k)` — never of thread scheduling), journals every
+//! evaluation, and aggregates telemetry.
+//!
+//! With `batch_k = 1` and one worker the executor degenerates to exactly
+//! the paper's sequential suggest → evaluate → observe loop, which is how
+//! `datamime::search::search()` runs on top of it without changing any
+//! result.
+
+use crate::journal::{JournalError, JournalWriter, Replay};
+use crate::telemetry::{NullSink, ProgressSink, StageTimes, Telemetry};
+use datamime_bayesopt::BlackBoxOptimizer;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identity and shape of one run; doubles as the journal header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Human-readable run label (the Datamime search uses the generator
+    /// name).
+    pub label: String,
+    /// Optimizer seed.
+    pub seed: u64,
+    /// Search-space dimensionality.
+    pub dims: usize,
+    /// Total number of points to evaluate.
+    pub iterations: usize,
+    /// Suggestions drawn per optimizer batch.
+    pub batch_k: usize,
+    /// Worker threads evaluating a batch (does not affect results).
+    pub workers: usize,
+    /// Optimizer family tag (e.g. `"bayesian"`, `"random"`), used to
+    /// refuse resuming a journal under a different optimizer.
+    pub optimizer: String,
+}
+
+/// One evaluated point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// Zero-based evaluation index (observation order).
+    pub index: usize,
+    /// Unit-hypercube parameters.
+    pub unit: Vec<f64>,
+    /// Objective value.
+    pub error: f64,
+    /// Per-stage wall-clock milliseconds (empty for replayed points whose
+    /// journal carried none).
+    pub stage_ms: Vec<(String, f64)>,
+}
+
+/// The outcome of an executor run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Best (lowest-error) unit parameters found.
+    pub best_unit: Vec<f64>,
+    /// The best error.
+    pub best_error: f64,
+    /// Every observation, in order (replayed ones included).
+    pub history: Vec<EvalRecord>,
+    /// Aggregated timers and counters.
+    pub telemetry: Telemetry,
+    /// How many leading points came from a journal instead of evaluation.
+    pub replayed: usize,
+}
+
+/// An executor failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Reading or writing the journal failed.
+    Journal(JournalError),
+    /// The journal being resumed does not match this run's configuration.
+    ResumeMismatch(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Journal(e) => write!(f, "{e}"),
+            ExecError::ResumeMismatch(why) => write!(f, "cannot resume: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<JournalError> for ExecError {
+    fn from(e: JournalError) -> Self {
+        ExecError::Journal(e)
+    }
+}
+
+/// Evaluates a slice of units, returning `(error, stage times)` per unit
+/// in the same order — the engine's pluggable evaluation backend.
+type Dispatch<'a> = dyn FnMut(&[Vec<f64>]) -> Vec<(f64, StageTimes)> + 'a;
+
+/// Builder-style run harness; see the module docs.
+pub struct Executor {
+    meta: RunMeta,
+    checkpoint_every: usize,
+    journal: Option<JournalWriter>,
+    /// Whether the journal file already contains the replayed prefix (an
+    /// appended resume) or needs it rewritten (a fresh file).
+    journal_has_prefix: bool,
+    resume: Option<Replay>,
+    sink: Box<dyn ProgressSink>,
+}
+
+impl Executor {
+    /// A run with no journal and no progress reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `meta.iterations == 0`, `meta.batch_k == 0`, or
+    /// `meta.workers == 0`.
+    pub fn new(meta: RunMeta) -> Self {
+        assert!(meta.iterations > 0, "need at least one iteration");
+        assert!(meta.batch_k > 0, "batch must be positive");
+        assert!(meta.workers > 0, "need at least one worker");
+        Executor {
+            meta,
+            checkpoint_every: 25,
+            journal: None,
+            journal_has_prefix: false,
+            resume: None,
+            sink: Box::new(NullSink),
+        }
+    }
+
+    /// The run's metadata.
+    pub fn meta(&self) -> &RunMeta {
+        &self.meta
+    }
+
+    /// Journals every event to `writer`. If the run also resumes from a
+    /// replay, pass `has_prefix = true` when `writer` appends to the very
+    /// file being replayed (the prefix is already on disk) and `false`
+    /// when it is a fresh file (the replayed prefix is rewritten so the
+    /// new journal is self-contained).
+    #[must_use]
+    pub fn journal(mut self, writer: JournalWriter, has_prefix: bool) -> Self {
+        self.journal = Some(writer);
+        self.journal_has_prefix = has_prefix;
+        self
+    }
+
+    /// Emits best-so-far checkpoints every `every` fresh evaluations
+    /// (0 disables them).
+    #[must_use]
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Streams progress to `sink`.
+    #[must_use]
+    pub fn sink(mut self, sink: Box<dyn ProgressSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Resumes from a replayed journal: journaled points are re-suggested
+    /// from the optimizer (which, given the same seed, regenerates them
+    /// bit-for-bit) and their journaled errors re-observed, so profiling
+    /// never re-runs for them; evaluation picks up at the first
+    /// un-journaled point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the journal's header disagrees with this run's `RunMeta`
+    /// on anything that shapes the search (label, seed, dims, iterations,
+    /// batch_k, optimizer — `workers` may differ freely).
+    pub fn resume(mut self, replay: Replay) -> Result<Self, ExecError> {
+        let (h, m) = (&replay.meta, &self.meta);
+        let mismatch =
+            |what: &str, journal: &dyn std::fmt::Display, run: &dyn std::fmt::Display| {
+                Err(ExecError::ResumeMismatch(format!(
+                    "journal {what} is {journal} but this run uses {run}"
+                )))
+            };
+        if h.label != m.label {
+            return mismatch("label", &h.label, &m.label);
+        }
+        if h.seed != m.seed {
+            return mismatch("seed", &h.seed, &m.seed);
+        }
+        if h.dims != m.dims {
+            return mismatch("dims", &h.dims, &m.dims);
+        }
+        if h.iterations != m.iterations {
+            return mismatch("iterations", &h.iterations, &m.iterations);
+        }
+        if h.batch_k != m.batch_k {
+            return mismatch("batch_k", &h.batch_k, &m.batch_k);
+        }
+        if h.optimizer != m.optimizer {
+            return mismatch("optimizer", &h.optimizer, &m.optimizer);
+        }
+        self.resume = Some(replay);
+        Ok(self)
+    }
+
+    /// Runs sequentially on the calling thread (no `Sync` bound on the
+    /// evaluation), ignoring `meta.workers`. This is the exact legacy
+    /// Datamime loop when `batch_k = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on journal I/O or a resume/journal mismatch.
+    pub fn run_seq(
+        mut self,
+        optimizer: &mut dyn BlackBoxOptimizer,
+        eval: &mut dyn FnMut(&[f64], &mut StageTimes) -> f64,
+    ) -> Result<RunOutcome, ExecError> {
+        self.engine(optimizer, &mut |units| {
+            units
+                .iter()
+                .map(|unit| {
+                    let mut stages = StageTimes::new();
+                    let error = eval(unit, &mut stages);
+                    (error, stages)
+                })
+                .collect()
+        })
+    }
+
+    /// Runs with `meta.workers` scoped worker threads draining a bounded
+    /// work queue. Results are observed in batch order regardless of
+    /// completion order, so the outcome is identical to
+    /// [`run_seq`](Self::run_seq) for the same `(seed, batch_k)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on journal I/O or a resume/journal mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from `eval`.
+    pub fn run(
+        mut self,
+        optimizer: &mut dyn BlackBoxOptimizer,
+        eval: &(dyn Fn(&[f64], &mut StageTimes) -> f64 + Sync),
+    ) -> Result<RunOutcome, ExecError> {
+        let workers = self.meta.workers;
+        if workers == 1 {
+            return self.run_seq(optimizer, &mut |unit, stages| eval(unit, stages));
+        }
+        // Bounded job queue: the coordinator blocks rather than buffering
+        // a whole oversized batch. Created outside the scope so worker
+        // borrows outlive every spawned thread.
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Vec<f64>)>(2 * workers);
+        let job_rx = Mutex::new(job_rx);
+        type EvalResult = std::thread::Result<(f64, StageTimes)>;
+        let (res_tx, res_rx) = mpsc::channel::<(usize, EvalResult)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let res_tx = res_tx.clone();
+                let job_rx = &job_rx;
+                scope.spawn(move || loop {
+                    let job = job_rx.lock().expect("job queue poisoned").recv();
+                    let Ok((slot, unit)) = job else { break };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut stages = StageTimes::new();
+                        let error = eval(&unit, &mut stages);
+                        (error, stages)
+                    }));
+                    if res_tx.send((slot, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx); // workers hold the only senders now
+
+            // `move` so `dispatch` owns `job_tx`: dropping it below hangs
+            // up the job queue and lets the workers exit before the scope
+            // joins them.
+            let mut dispatch = move |units: &[Vec<f64>]| -> Vec<(f64, StageTimes)> {
+                for (slot, unit) in units.iter().enumerate() {
+                    job_tx
+                        .send((slot, unit.clone()))
+                        .expect("worker pool died before the batch was queued");
+                }
+                let mut slots: Vec<Option<(f64, StageTimes)>> = vec![None; units.len()];
+                for _ in 0..units.len() {
+                    let (slot, outcome) = res_rx
+                        .recv()
+                        .expect("worker pool died before the batch finished");
+                    match outcome {
+                        Ok(done) => slots[slot] = Some(done),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every slot was filled"))
+                    .collect()
+            };
+            let outcome = self.engine(optimizer, &mut dispatch);
+            drop(dispatch);
+            outcome
+        })
+    }
+
+    /// The batch loop shared by the sequential and pooled paths;
+    /// `dispatch` evaluates a slice of units and returns results in the
+    /// same order.
+    fn engine(
+        &mut self,
+        optimizer: &mut dyn BlackBoxOptimizer,
+        dispatch: &mut Dispatch<'_>,
+    ) -> Result<RunOutcome, ExecError> {
+        let iterations = self.meta.iterations;
+        let mut telemetry = Telemetry::new();
+        self.sink.on_start(&self.meta);
+
+        let replayed_prefix: Vec<EvalRecord> = self
+            .resume
+            .take()
+            .map(|mut r| {
+                r.evals.truncate(iterations);
+                r.evals
+            })
+            .unwrap_or_default();
+        if !replayed_prefix.is_empty() {
+            self.sink.on_replay(replayed_prefix.len());
+        }
+
+        let mut history: Vec<EvalRecord> = Vec::with_capacity(iterations);
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut since_checkpoint = 0usize;
+        while history.len() < iterations {
+            let done = history.len();
+            let k = self.meta.batch_k.min(iterations - done);
+            let suggest_started = Instant::now();
+            let units = optimizer.suggest_batch(k);
+            telemetry.record("suggest", suggest_started.elapsed());
+
+            // Split the batch into the journaled prefix (re-observed, not
+            // re-evaluated) and the fresh tail.
+            let from_journal = replayed_prefix.len().saturating_sub(done).min(k);
+            for (i, unit) in units.iter().enumerate().take(from_journal) {
+                if replayed_prefix[done + i].unit != *unit {
+                    return Err(ExecError::ResumeMismatch(format!(
+                        "journaled point {} differs from the optimizer's regenerated \
+                         suggestion; the journal came from a different search",
+                        done + i
+                    )));
+                }
+            }
+            let results = if from_journal < k {
+                dispatch(&units[from_journal..])
+            } else {
+                Vec::new()
+            };
+
+            for (i, unit) in units.into_iter().enumerate() {
+                let index = done + i;
+                let is_new = i >= from_journal;
+                let rec = if is_new {
+                    let (error, stages) = &results[i - from_journal];
+                    telemetry.absorb(stages);
+                    telemetry.count_evaluated();
+                    EvalRecord {
+                        index,
+                        unit,
+                        error: *error,
+                        stage_ms: stages.to_millis(),
+                    }
+                } else {
+                    telemetry.count_replayed();
+                    let mut rec = replayed_prefix[index].clone();
+                    rec.unit = unit;
+                    rec
+                };
+                optimizer.observe(rec.unit.clone(), rec.error);
+                if best.as_ref().is_none_or(|(_, be)| rec.error < *be) {
+                    best = Some((rec.unit.clone(), rec.error));
+                }
+                if let Some(journal) = &mut self.journal {
+                    if is_new || !self.journal_has_prefix {
+                        journal.eval(&rec)?;
+                    }
+                }
+                if is_new {
+                    let (_, best_error) = best.as_ref().expect("best was just set");
+                    self.sink.on_eval(index, rec.error, *best_error);
+                    since_checkpoint += 1;
+                    if self.checkpoint_every > 0 && since_checkpoint >= self.checkpoint_every {
+                        since_checkpoint = 0;
+                        if let Some(journal) = &mut self.journal {
+                            let (bu, be) = best.as_ref().expect("best was just set");
+                            journal.checkpoint(index + 1, *be, bu)?;
+                        }
+                    }
+                }
+                history.push(rec);
+            }
+        }
+
+        let (best_unit, best_error) = best.expect("at least one iteration ran");
+        if let Some(journal) = &mut self.journal {
+            journal.done(history.len(), best_error, &best_unit)?;
+        }
+        self.sink.on_finish(best_error, &telemetry);
+        let replayed = replayed_prefix.len();
+        Ok(RunOutcome {
+            best_unit,
+            best_error,
+            history,
+            telemetry,
+            replayed,
+        })
+    }
+}

@@ -1,0 +1,305 @@
+//! The crash-safe run journal: an append-only JSONL event log of one
+//! search run, written with a flush per event so an interrupted process
+//! loses at most the line being written — which [`replay`] tolerates.
+//!
+//! Event schema (one JSON object per line; see `crates/runtime/README.md`
+//! for the full field reference):
+//!
+//! - `header` — run configuration: label, seed, dims, iterations,
+//!   batch_k, workers, optimizer, format version;
+//! - `eval` — one evaluated point: index, unit params, error, stage
+//!   timings in milliseconds;
+//! - `checkpoint` — periodic best-so-far marker;
+//! - `done` — final outcome.
+//!
+//! Resume does **not** re-run profiling for journaled points: the
+//! executor re-suggests them from the (deterministic, equally-seeded)
+//! optimizer and re-observes the journaled errors, reconstructing the
+//! optimizer state bit-for-bit before continuing with fresh evaluations.
+
+use crate::executor::{EvalRecord, RunMeta};
+use crate::json::{push_f64, push_f64_array, push_str_escaped, Json};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Journal format version written into (and required in) the header.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// A failure reading or writing a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file has no parseable header line.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader(why) => write!(f, "invalid journal header: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Writes journal events, flushing after each so a crash can lose at most
+/// a partial final line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path` and writes the header.
+    pub fn create(path: &Path, meta: &RunMeta) -> Result<Self, JournalError> {
+        let mut w = JournalWriter {
+            out: BufWriter::new(File::create(path)?),
+        };
+        let mut line = String::from("{\"event\":\"header\",\"version\":");
+        push_f64(&mut line, JOURNAL_VERSION as f64);
+        line.push_str(",\"label\":");
+        push_str_escaped(&mut line, &meta.label);
+        // The seed is written as a decimal string: JSON numbers are f64,
+        // which silently corrupts u64 seeds above 2^53.
+        line.push_str(",\"seed\":");
+        push_str_escaped(&mut line, &meta.seed.to_string());
+        line.push_str(",\"dims\":");
+        push_f64(&mut line, meta.dims as f64);
+        line.push_str(",\"iterations\":");
+        push_f64(&mut line, meta.iterations as f64);
+        line.push_str(",\"batch_k\":");
+        push_f64(&mut line, meta.batch_k as f64);
+        line.push_str(",\"workers\":");
+        push_f64(&mut line, meta.workers as f64);
+        line.push_str(",\"optimizer\":");
+        push_str_escaped(&mut line, &meta.optimizer);
+        line.push('}');
+        w.write_line(&line)?;
+        Ok(w)
+    }
+
+    /// Opens an existing journal for appending (no header is written).
+    pub fn append(path: &Path) -> Result<Self, JournalError> {
+        Ok(JournalWriter {
+            out: BufWriter::new(OpenOptions::new().append(true).open(path)?),
+        })
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Appends one evaluated point.
+    pub fn eval(&mut self, rec: &EvalRecord) -> Result<(), JournalError> {
+        let mut line = String::from("{\"event\":\"eval\",\"index\":");
+        push_f64(&mut line, rec.index as f64);
+        line.push_str(",\"unit\":");
+        push_f64_array(&mut line, &rec.unit);
+        line.push_str(",\"error\":");
+        push_f64(&mut line, rec.error);
+        line.push_str(",\"stage_ms\":{");
+        for (i, (name, ms)) in rec.stage_ms.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_str_escaped(&mut line, name);
+            line.push(':');
+            push_f64(&mut line, *ms);
+        }
+        line.push_str("}}");
+        self.write_line(&line)
+    }
+
+    /// Appends a best-so-far checkpoint after `evals` total observations.
+    pub fn checkpoint(
+        &mut self,
+        evals: usize,
+        best_error: f64,
+        best_unit: &[f64],
+    ) -> Result<(), JournalError> {
+        let mut line = String::from("{\"event\":\"checkpoint\",\"evals\":");
+        push_f64(&mut line, evals as f64);
+        line.push_str(",\"best_error\":");
+        push_f64(&mut line, best_error);
+        line.push_str(",\"best_unit\":");
+        push_f64_array(&mut line, best_unit);
+        line.push('}');
+        self.write_line(&line)
+    }
+
+    /// Appends the final outcome.
+    pub fn done(
+        &mut self,
+        evals: usize,
+        best_error: f64,
+        best_unit: &[f64],
+    ) -> Result<(), JournalError> {
+        let mut line = String::from("{\"event\":\"done\",\"evals\":");
+        push_f64(&mut line, evals as f64);
+        line.push_str(",\"best_error\":");
+        push_f64(&mut line, best_error);
+        line.push_str(",\"best_unit\":");
+        push_f64_array(&mut line, best_unit);
+        line.push('}');
+        self.write_line(&line)
+    }
+}
+
+/// The readable state of a journal file.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The run configuration from the header.
+    pub meta: RunMeta,
+    /// Evaluated points, a contiguous index-ordered prefix of the run.
+    pub evals: Vec<EvalRecord>,
+    /// Whether a `done` event was seen (the run finished cleanly).
+    pub complete: bool,
+    /// Lines dropped as malformed or out-of-order (a crash mid-write
+    /// leaves at most one).
+    pub dropped_lines: usize,
+}
+
+/// Reads a journal back, tolerating a truncated or corrupt tail: parsing
+/// stops at the first malformed or out-of-order line and everything
+/// before it is kept.
+pub fn replay(path: &Path) -> Result<Replay, JournalError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines
+        .next()
+        .ok_or_else(|| JournalError::BadHeader("empty journal".to_string()))?;
+    let header = Json::parse(header_line)
+        .map_err(|e| JournalError::BadHeader(format!("unparseable first line: {e}")))?;
+    let meta = parse_header(&header)?;
+
+    let mut evals = Vec::new();
+    let mut complete = false;
+    let mut dropped_lines = 0;
+    for line in lines {
+        match parse_event(line, evals.len(), meta.dims) {
+            Some(LineEvent::Eval(rec)) => evals.push(rec),
+            Some(LineEvent::Checkpoint) => {}
+            Some(LineEvent::Done) => complete = true,
+            None => {
+                // Corrupt tail: drop this and everything after it.
+                dropped_lines += 1;
+                break;
+            }
+        }
+    }
+    Ok(Replay {
+        meta,
+        evals,
+        complete,
+        dropped_lines,
+    })
+}
+
+fn parse_header(v: &Json) -> Result<RunMeta, JournalError> {
+    let bad = |what: &str| JournalError::BadHeader(what.to_string());
+    if v.get("event").and_then(Json::as_str) != Some("header") {
+        return Err(bad("first event is not a header"));
+    }
+    let version = v
+        .get("version")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| bad("missing version"))?;
+    if version as u64 != JOURNAL_VERSION {
+        return Err(bad("unsupported journal version"));
+    }
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_str)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("missing or invalid seed"))?;
+    Ok(RunMeta {
+        label: v
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing label"))?
+            .to_string(),
+        seed,
+        dims: v
+            .get("dims")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing dims"))?,
+        iterations: v
+            .get("iterations")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing iterations"))?,
+        batch_k: v
+            .get("batch_k")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing batch_k"))?,
+        workers: v
+            .get("workers")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing workers"))?,
+        optimizer: v
+            .get("optimizer")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing optimizer"))?
+            .to_string(),
+    })
+}
+
+enum LineEvent {
+    Eval(EvalRecord),
+    Checkpoint,
+    Done,
+}
+
+/// Parses one post-header line; `None` means "corrupt from here on".
+fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent> {
+    let v = Json::parse(line).ok()?;
+    match v.get("event").and_then(Json::as_str)? {
+        "eval" => {
+            let index = v.get("index").and_then(Json::as_usize)?;
+            if index != expect_index {
+                return None;
+            }
+            let unit: Vec<f64> = v
+                .get("unit")
+                .and_then(Json::as_arr)?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Option<_>>()?;
+            if unit.len() != dims {
+                return None;
+            }
+            let error = v.get("error").and_then(Json::as_f64)?;
+            if !error.is_finite() {
+                return None;
+            }
+            let stage_ms = match v.get("stage_ms") {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .map(|(name, ms)| Some((name.clone(), ms.as_f64()?)))
+                    .collect::<Option<_>>()?,
+                _ => Vec::new(),
+            };
+            Some(LineEvent::Eval(EvalRecord {
+                index,
+                unit,
+                error,
+                stage_ms,
+            }))
+        }
+        "checkpoint" => Some(LineEvent::Checkpoint),
+        "done" => Some(LineEvent::Done),
+        _ => None,
+    }
+}

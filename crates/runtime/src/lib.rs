@@ -1,0 +1,26 @@
+//! datamime-runtime: the run harness under the Datamime search loop.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`executor`] — a worker pool draining batch-`k` suggestions from any
+//!   [`datamime_bayesopt::BlackBoxOptimizer`] through a bounded work
+//!   queue, with seed-stable deterministic ordering;
+//! - [`journal`] — an append-only JSONL run journal plus [`replay`] for
+//!   crash-safe resume;
+//! - [`telemetry`] — per-stage wall-clock timers, eval counters, and a
+//!   pluggable [`ProgressSink`].
+//!
+//! The crate is std-only by necessity (the build environment has no
+//! crates.io access), which is why [`json`] hand-rolls the small JSON
+//! subset the journal needs.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod journal;
+pub mod json;
+pub mod telemetry;
+
+pub use executor::{EvalRecord, ExecError, Executor, RunMeta, RunOutcome};
+pub use journal::{replay, JournalError, JournalWriter, Replay, JOURNAL_VERSION};
+pub use telemetry::{NullSink, ProgressSink, StageTimes, StderrSink, Telemetry};

@@ -1,0 +1,282 @@
+//! Run telemetry: per-stage wall-clock timers, evaluation counters, and a
+//! pluggable progress sink.
+//!
+//! The executor times its own `suggest` stage; evaluation callbacks
+//! record their internal stages (the Datamime search records
+//! `instantiate` / `profile` / `error`) into a per-evaluation
+//! [`StageTimes`], which the executor folds into the run-wide
+//! [`Telemetry`].
+
+use crate::executor::RunMeta;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time of each named stage of one evaluation, in the order
+/// the stages were recorded.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimes {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl StageTimes {
+    /// An empty record.
+    pub fn new() -> Self {
+        StageTimes::default()
+    }
+
+    /// Records that `stage` took `elapsed` (accumulates on repeats).
+    pub fn record(&mut self, stage: &'static str, elapsed: Duration) {
+        if let Some((_, total)) = self.entries.iter_mut().find(|(name, _)| *name == stage) {
+            *total += elapsed;
+        } else {
+            self.entries.push((stage, elapsed));
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock time under `stage`.
+    pub fn time<T>(&mut self, stage: &'static str, f: impl FnOnce() -> T) -> T {
+        let started = Instant::now();
+        let out = f();
+        self.record(stage, started.elapsed());
+        out
+    }
+
+    /// The recorded `(stage, duration)` pairs.
+    pub fn entries(&self) -> &[(&'static str, Duration)] {
+        &self.entries
+    }
+
+    /// The recorded stages as `(name, milliseconds)` pairs (the journal's
+    /// `stage_ms` representation).
+    pub fn to_millis(&self) -> Vec<(String, f64)> {
+        self.entries
+            .iter()
+            .map(|(name, d)| ((*name).to_string(), d.as_secs_f64() * 1e3))
+            .collect()
+    }
+}
+
+/// Aggregated counters and timers for a whole run.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    stages: Vec<(String, Duration, u64)>,
+    evaluated: usize,
+    replayed: usize,
+    started: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Starts the run-wide wall clock.
+    pub fn new() -> Self {
+        Telemetry {
+            stages: Vec::new(),
+            evaluated: 0,
+            replayed: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Adds `elapsed` to `stage`'s total.
+    pub fn record(&mut self, stage: &str, elapsed: Duration) {
+        if let Some((_, total, count)) = self.stages.iter_mut().find(|(name, _, _)| name == stage) {
+            *total += elapsed;
+            *count += 1;
+        } else {
+            self.stages.push((stage.to_string(), elapsed, 1));
+        }
+    }
+
+    /// Folds one evaluation's stage times into the run totals.
+    pub fn absorb(&mut self, stages: &StageTimes) {
+        for (name, elapsed) in stages.entries() {
+            self.record(name, *elapsed);
+        }
+    }
+
+    /// Counts one freshly evaluated point.
+    pub fn count_evaluated(&mut self) {
+        self.evaluated += 1;
+    }
+
+    /// Counts one point re-observed from a journal.
+    pub fn count_replayed(&mut self) {
+        self.replayed += 1;
+    }
+
+    /// Points actually evaluated (excluding journal replays).
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    /// Points re-observed from a journal without re-evaluation.
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// Total time recorded for `stage`, if any evaluation recorded it.
+    pub fn stage_total(&self, stage: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|(name, _, _)| name == stage)
+            .map(|(_, total, _)| *total)
+    }
+
+    /// Wall-clock time since the run started.
+    pub fn wall(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// A compact human-readable summary (one line per stage).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "evaluated {} point(s) ({} replayed from journal) in {:.2?}",
+            self.evaluated,
+            self.replayed,
+            self.wall()
+        );
+        for (name, total, count) in &self.stages {
+            let mean = *total / (*count).max(1) as u32;
+            let _ = writeln!(
+                out,
+                "  {name:<12} total {total:>10.2?}  mean {mean:>9.2?}  x{count}"
+            );
+        }
+        out
+    }
+}
+
+/// Observer of run progress; implement to stream progress wherever you
+/// need it (the CLI uses [`StderrSink`], tests use [`NullSink`] or a
+/// recording sink).
+pub trait ProgressSink {
+    /// The run is starting.
+    fn on_start(&mut self, meta: &RunMeta) {
+        let _ = meta;
+    }
+
+    /// `count` journaled points were re-observed instead of re-evaluated.
+    fn on_replay(&mut self, count: usize) {
+        let _ = count;
+    }
+
+    /// Point `index` was evaluated to `error`; `best_error` is the
+    /// incumbent after this observation.
+    fn on_eval(&mut self, index: usize, error: f64, best_error: f64) {
+        let _ = (index, error, best_error);
+    }
+
+    /// The run finished.
+    fn on_finish(&mut self, best_error: f64, telemetry: &Telemetry) {
+        let _ = (best_error, telemetry);
+    }
+}
+
+/// A sink that ignores everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {}
+
+/// Reports progress on stderr, one line every `every` evaluations.
+#[derive(Debug, Clone)]
+pub struct StderrSink {
+    every: usize,
+    iterations: usize,
+}
+
+impl StderrSink {
+    /// Reports every `every` evaluations (clamped to at least 1).
+    pub fn new(every: usize) -> Self {
+        StderrSink {
+            every: every.max(1),
+            iterations: 0,
+        }
+    }
+}
+
+impl Default for StderrSink {
+    fn default() -> Self {
+        StderrSink::new(10)
+    }
+}
+
+impl ProgressSink for StderrSink {
+    fn on_start(&mut self, meta: &RunMeta) {
+        self.iterations = meta.iterations;
+        eprintln!(
+            "run {}: {} iterations, batch {}, {} worker(s), seed {:#x}, {} dims",
+            meta.label, meta.iterations, meta.batch_k, meta.workers, meta.seed, meta.dims
+        );
+    }
+
+    fn on_replay(&mut self, count: usize) {
+        eprintln!("resumed from journal: {count} point(s) re-observed without re-evaluation");
+    }
+
+    fn on_eval(&mut self, index: usize, error: f64, best_error: f64) {
+        if (index + 1).is_multiple_of(self.every) || index + 1 == self.iterations {
+            eprintln!(
+                "[{:>4}/{}] error {error:.4}  best {best_error:.4}",
+                index + 1,
+                self.iterations
+            );
+        }
+    }
+
+    fn on_finish(&mut self, best_error: f64, telemetry: &Telemetry) {
+        eprint!("best error {best_error:.4}; {}", telemetry.summary());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_times_accumulate_per_stage() {
+        let mut st = StageTimes::new();
+        st.record("profile", Duration::from_millis(10));
+        st.record("profile", Duration::from_millis(5));
+        st.record("error", Duration::from_millis(1));
+        assert_eq!(st.entries().len(), 2);
+        assert_eq!(st.entries()[0].1, Duration::from_millis(15));
+        let ms = st.to_millis();
+        assert_eq!(ms[0].0, "profile");
+        assert!((ms[0].1 - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_aggregates_counts_and_totals() {
+        let mut t = Telemetry::new();
+        let mut st = StageTimes::new();
+        st.record("profile", Duration::from_millis(2));
+        t.absorb(&st);
+        t.absorb(&st);
+        t.record("suggest", Duration::from_millis(7));
+        t.count_evaluated();
+        t.count_replayed();
+        assert_eq!(t.stage_total("profile"), Some(Duration::from_millis(4)));
+        assert_eq!(t.stage_total("suggest"), Some(Duration::from_millis(7)));
+        assert_eq!(t.stage_total("nope"), None);
+        assert_eq!((t.evaluated(), t.replayed()), (1, 1));
+        let s = t.summary();
+        assert!(s.contains("profile") && s.contains("suggest"), "{s}");
+    }
+
+    #[test]
+    fn time_wraps_and_records() {
+        let mut st = StageTimes::new();
+        let v = st.time("compute", || 21 * 2);
+        assert_eq!(v, 42);
+        assert_eq!(st.entries().len(), 1);
+        assert_eq!(st.entries()[0].0, "compute");
+    }
+}

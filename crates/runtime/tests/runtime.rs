@@ -1,0 +1,324 @@
+//! End-to-end tests of the executor / journal / telemetry stack using the
+//! real optimizers from `datamime-bayesopt`.
+
+use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
+use datamime_runtime::{
+    replay, EvalRecord, ExecError, Executor, JournalWriter, ProgressSink, RunMeta, StageTimes,
+    Telemetry,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic synthetic objective with minimum at 0.3 in every
+/// coordinate.
+fn objective(unit: &[f64]) -> f64 {
+    unit.iter().map(|x| (x - 0.3).powi(2)).sum()
+}
+
+fn eval(unit: &[f64], stages: &mut StageTimes) -> f64 {
+    stages.time("profile", || objective(unit))
+}
+
+fn meta(label: &str, iterations: usize, batch_k: usize, workers: usize) -> RunMeta {
+    RunMeta {
+        label: label.to_string(),
+        seed: 42,
+        dims: 3,
+        iterations,
+        batch_k,
+        workers,
+        optimizer: "bayesian".to_string(),
+    }
+}
+
+fn bayes(seed: u64) -> BayesOpt {
+    BayesOpt::new(BoConfig::for_dims(3), seed)
+}
+
+/// The deterministic part of a history: stage timings are wall-clock and
+/// legitimately vary between identical runs.
+fn points(history: &[EvalRecord]) -> Vec<(Vec<f64>, u64)> {
+    history
+        .iter()
+        .map(|r| (r.unit.clone(), r.error.to_bits()))
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("datamime-runtime-{}-{name}", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn same_seed_and_batch_is_deterministic() {
+    let run = || {
+        Executor::new(meta("det", 12, 3, 1))
+            .run_seq(&mut bayes(42), &mut eval)
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(points(&a.history), points(&b.history));
+    assert_eq!(a.best_unit, b.best_unit);
+    assert_eq!(a.best_error.to_bits(), b.best_error.to_bits());
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let run = |workers: usize| {
+        Executor::new(meta("workers", 12, 4, workers))
+            .run(&mut bayes(42), &eval)
+            .unwrap()
+    };
+    let serial = run(1);
+    let pooled = run(4);
+    assert_eq!(points(&serial.history), points(&pooled.history));
+    assert_eq!(serial.best_error.to_bits(), pooled.best_error.to_bits());
+}
+
+#[test]
+fn batch_of_one_matches_the_plain_sequential_loop() {
+    // The executor with batch_k = 1 must be bit-for-bit the legacy
+    // suggest → evaluate → observe loop.
+    let mut legacy = bayes(7);
+    let mut legacy_history = Vec::new();
+    for _ in 0..10 {
+        let x = legacy.suggest();
+        let y = objective(&x);
+        legacy.observe(x.clone(), y);
+        legacy_history.push((x, y));
+    }
+
+    let mut m = meta("batch1", 10, 1, 1);
+    m.seed = 7;
+    let out = Executor::new(m).run_seq(&mut bayes(7), &mut eval).unwrap();
+    let runtime_history: Vec<(Vec<f64>, f64)> = out
+        .history
+        .iter()
+        .map(|r| (r.unit.clone(), r.error))
+        .collect();
+    assert_eq!(legacy_history, runtime_history);
+}
+
+#[test]
+fn journal_round_trips_a_completed_run() {
+    let path = tmp("roundtrip.jsonl");
+    let m = meta("roundtrip", 9, 2, 1);
+    let writer = JournalWriter::create(&path, &m).unwrap();
+    let out = Executor::new(m.clone())
+        .journal(writer, false)
+        .checkpoint_every(3)
+        .run_seq(&mut bayes(42), &mut eval)
+        .unwrap();
+
+    let r = replay(&path).unwrap();
+    assert_eq!(r.meta, m);
+    assert!(r.complete);
+    assert_eq!(r.dropped_lines, 0);
+    assert_eq!(r.evals.len(), 9);
+    for (journaled, ran) in r.evals.iter().zip(&out.history) {
+        assert_eq!(journaled.index, ran.index);
+        assert_eq!(journaled.unit, ran.unit, "units must round-trip exactly");
+        assert_eq!(journaled.error.to_bits(), ran.error.to_bits());
+        assert!(journaled.stage_ms.iter().any(|(name, _)| name == "profile"));
+    }
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn interrupted_run_resumes_without_re_evaluating() {
+    let iterations = 14;
+    let m = meta("resume", iterations, 3, 1);
+
+    // The uninterrupted reference run.
+    let reference = Executor::new(m.clone())
+        .run_seq(&mut bayes(42), &mut eval)
+        .unwrap();
+
+    // A run that "crashes" after 8 evaluations (simulated by truncating
+    // the journal to its header + first 8 eval lines).
+    let path = tmp("resume.jsonl");
+    let writer = JournalWriter::create(&path, &m).unwrap();
+    Executor::new(m.clone())
+        .journal(writer, false)
+        .run_seq(&mut bayes(42), &mut eval)
+        .unwrap();
+    let text = fs::read_to_string(&path).unwrap();
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.contains("\"checkpoint\"") && !l.contains("\"done\""))
+        .take(1 + 8)
+        .collect();
+    fs::write(&path, kept.join("\n") + "\n").unwrap();
+
+    // Resume: journaled points must be re-observed, not re-evaluated.
+    let r = replay(&path).unwrap();
+    assert!(!r.complete);
+    assert_eq!(r.evals.len(), 8);
+    let evaluated = AtomicUsize::new(0);
+    let counting_eval = |unit: &[f64], stages: &mut StageTimes| {
+        evaluated.fetch_add(1, Ordering::Relaxed);
+        eval(unit, stages)
+    };
+    let writer = JournalWriter::append(&path).unwrap();
+    let resumed = Executor::new(m.clone())
+        .journal(writer, true)
+        .resume(r)
+        .unwrap()
+        .run_seq(&mut bayes(42), &mut { counting_eval })
+        .unwrap();
+
+    assert_eq!(evaluated.load(Ordering::Relaxed), iterations - 8);
+    assert_eq!(resumed.replayed, 8);
+    assert_eq!(resumed.telemetry.replayed(), 8);
+    assert_eq!(resumed.telemetry.evaluated(), iterations - 8);
+    assert_eq!(resumed.history.len(), iterations);
+    assert_eq!(resumed.best_unit, reference.best_unit);
+    assert_eq!(
+        resumed.best_error.to_bits(),
+        reference.best_error.to_bits(),
+        "resumed run must reach the same best error"
+    );
+
+    // The appended journal now replays as a complete run identical to the
+    // reference.
+    let full = replay(&path).unwrap();
+    assert!(full.complete);
+    assert_eq!(full.evals.len(), iterations);
+    for (journaled, ran) in full.evals.iter().zip(&reference.history) {
+        assert_eq!(journaled.unit, ran.unit);
+        assert_eq!(journaled.error.to_bits(), ran.error.to_bits());
+    }
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_trailing_line_is_tolerated() {
+    let path = tmp("torn.jsonl");
+    let m = meta("torn", 6, 2, 1);
+    let writer = JournalWriter::create(&path, &m).unwrap();
+    Executor::new(m.clone())
+        .journal(writer, false)
+        .run_seq(&mut bayes(42), &mut eval)
+        .unwrap();
+
+    // Simulate a crash mid-write: chop the last line in half.
+    let text = fs::read_to_string(&path).unwrap();
+    let torn = &text[..text.len() - text.lines().last().unwrap().len() / 2 - 1];
+    fs::write(&path, torn).unwrap();
+
+    let r = replay(&path).unwrap();
+    assert_eq!(r.dropped_lines, 1);
+    assert!(!r.complete, "the done event was the torn line");
+    assert_eq!(r.evals.len(), 6);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn journal_without_header_is_rejected() {
+    let path = tmp("headerless.jsonl");
+    fs::write(&path, "{\"event\":\"eval\",\"index\":0}\n").unwrap();
+    let err = replay(&path).unwrap_err();
+    assert!(err.to_string().contains("header"), "{err}");
+    let _ = fs::remove_file(&path);
+
+    let empty = tmp("empty.jsonl");
+    fs::write(&empty, "").unwrap();
+    assert!(replay(&empty).is_err());
+    let _ = fs::remove_file(&empty);
+}
+
+#[test]
+fn resume_refuses_a_mismatched_run() {
+    let path = tmp("mismatch.jsonl");
+    let m = meta("mismatch", 6, 2, 1);
+    let writer = JournalWriter::create(&path, &m).unwrap();
+    Executor::new(m.clone())
+        .journal(writer, false)
+        .run_seq(&mut bayes(42), &mut eval)
+        .unwrap();
+    let r = replay(&path).unwrap();
+
+    let mut other = m.clone();
+    other.seed = 43;
+    let Err(err) = Executor::new(other).resume(r.clone()) else {
+        panic!("resume accepted a journal with a different seed");
+    };
+    assert!(matches!(err, ExecError::ResumeMismatch(_)), "{err}");
+
+    // Changing only the worker count is allowed.
+    let mut more_workers = m;
+    more_workers.workers = 4;
+    assert!(Executor::new(more_workers).resume(r).is_ok());
+    let _ = fs::remove_file(&path);
+}
+
+#[derive(Default)]
+struct SinkLog {
+    started: usize,
+    replays: Vec<usize>,
+    evals: Vec<(usize, f64)>,
+    finished: Option<f64>,
+}
+
+/// A sink that records into shared state (`ProgressSink` has no `Send`
+/// bound; callbacks only ever run on the coordinator thread).
+#[derive(Clone, Default)]
+struct RecordingSink(std::rc::Rc<std::cell::RefCell<SinkLog>>);
+
+impl ProgressSink for RecordingSink {
+    fn on_start(&mut self, _meta: &RunMeta) {
+        self.0.borrow_mut().started += 1;
+    }
+    fn on_replay(&mut self, count: usize) {
+        self.0.borrow_mut().replays.push(count);
+    }
+    fn on_eval(&mut self, index: usize, error: f64, _best: f64) {
+        self.0.borrow_mut().evals.push((index, error));
+    }
+    fn on_finish(&mut self, best_error: f64, _telemetry: &Telemetry) {
+        self.0.borrow_mut().finished = Some(best_error);
+    }
+}
+
+#[test]
+fn progress_sink_sees_every_event() {
+    let sink = RecordingSink::default();
+    let out = Executor::new(meta("sink", 5, 2, 1))
+        .sink(Box::new(sink.clone()))
+        .run_seq(&mut RandomSearch::new(3, 42), &mut eval)
+        .unwrap();
+    let log = sink.0.borrow();
+    assert_eq!(log.started, 1);
+    assert!(log.replays.is_empty());
+    assert_eq!(log.evals.len(), 5);
+    assert_eq!(log.evals.last().unwrap().0, 4);
+    assert_eq!(log.finished, Some(out.best_error));
+}
+
+#[test]
+fn random_search_runs_through_the_pool() {
+    let run = |workers: usize| {
+        let mut m = meta("random", 16, 4, workers);
+        m.optimizer = "random".to_string();
+        Executor::new(m)
+            .run(&mut RandomSearch::new(3, 9), &eval)
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(3);
+    assert_eq!(points(&a.history), points(&b.history));
+    assert!(a.best_error <= a.history[0].error);
+}
+
+#[test]
+fn eval_record_is_plain_data() {
+    let rec = EvalRecord {
+        index: 0,
+        unit: vec![0.5],
+        error: 1.0,
+        stage_ms: vec![("profile".to_string(), 2.0)],
+    };
+    assert_eq!(rec.clone(), rec);
+}

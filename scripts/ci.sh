@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local CI: the tier-1 gate (ROADMAP.md) plus formatting and lints.
+#
+#   scripts/ci.sh            # run everything
+#   SKIP_TESTS=1 scripts/ci.sh   # lints/format only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+# Formatting and lints first: they fail fast and never depend on a
+# release build. Both components can be absent on minimal toolchains,
+# in which case they are skipped with a notice rather than failing CI.
+if cargo fmt --version >/dev/null 2>&1; then
+  run cargo fmt --all --check
+else
+  echo "==> cargo fmt not installed; skipping format check"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+  run cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "==> cargo clippy not installed; skipping lints"
+fi
+
+# Tier-1 gate.
+if [ -z "${SKIP_TESTS:-}" ]; then
+  run cargo build --release
+  run cargo test -q
+fi
+
+echo "==> CI passed"

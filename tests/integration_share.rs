@@ -9,7 +9,6 @@ use datamime::profile::Profile;
 use datamime::profiler::profile_workload;
 use datamime::search::{search, search_parallel, SearchConfig};
 use datamime::workload::{AppConfig, Workload};
-use datamime_apps::KvConfig;
 
 fn small_target() -> Workload {
     let mut w = Workload::mem_fb();
