@@ -43,5 +43,6 @@ pub use gp::{GaussianProcess, GpError};
 pub use kernel::Kernel;
 pub use linalg::{Cholesky, NotPositiveDefiniteError, SquareMatrix};
 pub use optimizer::{
-    latin_hypercube, Acquisition, BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch,
+    latin_hypercube, sanitize_objective, Acquisition, BayesOpt, BlackBoxOptimizer, BoConfig,
+    RandomSearch, PENALTY_OBJECTIVE,
 };

@@ -13,6 +13,32 @@ use crate::gp::GaussianProcess;
 use crate::kernel::Kernel;
 use datamime_stats::Rng;
 
+/// The finite penalty observed in place of a non-finite objective.
+///
+/// Datamime evaluations can fail (a profiling run panics, stalls past
+/// its deadline, or produces NaN/Inf error); a single such failure must
+/// not poison the surrogate or abort a multi-hour search. This constant
+/// is large enough that the optimizer is steered away from the failed
+/// region but finite so GP fitting stays well-conditioned. It matches
+/// the cap used by the constant-liar batch strategy.
+pub const PENALTY_OBJECTIVE: f64 = 1e6;
+
+/// Sanitizes a raw objective value before it enters an optimizer's
+/// history: finite values pass through unchanged, while NaN and ±Inf —
+/// which always indicate a failed or diverged evaluation, never a
+/// genuinely good point — are clamped to [`PENALTY_OBJECTIVE`].
+///
+/// `-Inf` is deliberately mapped to the *penalty* (not a reward):
+/// under minimization a `-Inf` observation would otherwise become the
+/// permanent incumbent and pin the whole search onto a broken point.
+pub fn sanitize_objective(y: f64) -> f64 {
+    if y.is_finite() {
+        y
+    } else {
+        PENALTY_OBJECTIVE
+    }
+}
+
 /// Samples an `n × dims` Latin hypercube design on the unit cube: each
 /// dimension is stratified into `n` equal bins with one sample per bin.
 ///
@@ -286,9 +312,13 @@ impl BlackBoxOptimizer for BayesOpt {
             .collect()
     }
 
+    /// Records an evaluated point. Non-finite objectives are sanitized to
+    /// [`PENALTY_OBJECTIVE`] (see [`sanitize_objective`]) rather than
+    /// asserted on: a failed evaluation penalizes its region instead of
+    /// aborting the search.
     fn observe(&mut self, x: Vec<f64>, y: f64) {
         assert_eq!(x.len(), self.dims, "observation dimension mismatch");
-        assert!(y.is_finite(), "objective must be finite");
+        let y = sanitize_objective(y);
         // A real observation supersedes its pending constant-liar fantasy.
         if let Some(pos) = self.fantasies.iter().position(|(fx, _)| fx == &x) {
             self.fantasies.remove(pos);
@@ -341,7 +371,7 @@ impl BlackBoxOptimizer for RandomSearch {
 
     fn observe(&mut self, x: Vec<f64>, y: f64) {
         assert_eq!(x.len(), self.dims, "observation dimension mismatch");
-        self.history.push((x, y));
+        self.history.push((x, sanitize_objective(y)));
     }
 
     fn best(&self) -> Option<(&[f64], f64)> {
@@ -479,11 +509,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "objective must be finite")]
-    fn nan_observation_panics() {
+    fn non_finite_observations_are_sanitized_to_penalty() {
         let mut bo = BayesOpt::new(BoConfig::for_dims(1), 1);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let x = bo.suggest();
+            bo.observe(x, bad);
+        }
+        assert_eq!(bo.history().len(), 3);
+        assert!(bo.history().iter().all(|(_, y)| *y == PENALTY_OBJECTIVE));
+        // -Inf must not become the incumbent: best is the finite penalty.
+        assert_eq!(bo.best().unwrap().1, PENALTY_OBJECTIVE);
+        // The optimizer keeps working after sanitized failures.
         let x = bo.suggest();
-        bo.observe(x, f64::NAN);
+        assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        bo.observe(x, 0.5);
+        assert_eq!(bo.best().unwrap().1, 0.5);
+    }
+
+    #[test]
+    fn sanitize_passes_finite_values_through() {
+        assert_eq!(sanitize_objective(1.25), 1.25);
+        assert_eq!(sanitize_objective(-3.0), -3.0);
+        assert_eq!(sanitize_objective(f64::NAN), PENALTY_OBJECTIVE);
+        assert_eq!(sanitize_objective(f64::INFINITY), PENALTY_OBJECTIVE);
+        assert_eq!(sanitize_objective(f64::NEG_INFINITY), PENALTY_OBJECTIVE);
     }
 }
 

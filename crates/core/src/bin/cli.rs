@@ -13,9 +13,11 @@ use datamime::metrics::DistMetric;
 use datamime::profiler::{profile_workload, ProfilingConfig};
 use datamime::search::{search, search_with_runtime, RuntimeOptions, SearchConfig};
 use datamime::workload::Workload;
+use datamime_runtime::FailPolicy;
 use datamime_sim::MachineConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 datamime — generate representative benchmarks by synthesizing datasets
@@ -39,6 +41,15 @@ OPTIONS:
     --resume <path>            with `clone`: resume an interrupted search
                                from its journal (journaled points are
                                re-observed, not re-profiled)
+    --eval-timeout <secs>      with `clone`: wall-clock budget per
+                               evaluation; a runaway profile is cancelled
+                               and the point penalized
+    --max-retries <n>          with `clone`: retries (with deterministic
+                               backoff) before a failing evaluation is
+                               penalized or aborts (default 1)
+    --fail-policy <policy>     with `clone`: what to do when an evaluation
+                               still fails after retries —
+                               penalize (default) | abort (fail fast)
     --paper                    paper-fidelity profiling (slower)
     --tsv                      with `profile`: dump raw samples as TSV
 ";
@@ -76,6 +87,9 @@ struct Options {
     parallel: Option<usize>,
     journal: Option<PathBuf>,
     resume: Option<PathBuf>,
+    eval_timeout: Option<Duration>,
+    max_retries: Option<u32>,
+    fail_policy: Option<FailPolicy>,
     paper: bool,
     tsv: bool,
 }
@@ -113,6 +127,41 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--resume" => {
                 o.resume = Some(args.get(i + 1).ok_or("--resume needs a path")?.into());
+                i += 2;
+            }
+            "--eval-timeout" => {
+                let secs: f64 = args
+                    .get(i + 1)
+                    .ok_or("--eval-timeout needs a value in seconds")?
+                    .parse()
+                    .map_err(|_| "--eval-timeout must be a number of seconds")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--eval-timeout must be positive".to_string());
+                }
+                o.eval_timeout = Some(Duration::from_secs_f64(secs));
+                i += 2;
+            }
+            "--max-retries" => {
+                o.max_retries = Some(
+                    args.get(i + 1)
+                        .ok_or("--max-retries needs a value")?
+                        .parse()
+                        .map_err(|_| "--max-retries must be a number")?,
+                );
+                i += 2;
+            }
+            "--fail-policy" => {
+                o.fail_policy = Some(
+                    match args
+                        .get(i + 1)
+                        .ok_or("--fail-policy needs a value")?
+                        .as_str()
+                    {
+                        "penalize" => FailPolicy::Penalize,
+                        "abort" => FailPolicy::Abort,
+                        _ => return Err("--fail-policy must be abort or penalize".to_string()),
+                    },
+                );
                 i += 2;
             }
             "--paper" => {
@@ -284,6 +333,12 @@ fn cmd_clone(workload: &Workload, opts: &Options) -> Result<(), String> {
         journal: opts.journal.clone().or_else(|| opts.resume.clone()),
         resume: opts.resume.clone(),
         progress: true,
+        eval_timeout: opts.eval_timeout,
+        // One retry by default: a long search should shrug off a
+        // transient failure without being asked.
+        max_retries: opts.max_retries.unwrap_or(1),
+        fail_policy: opts.fail_policy.unwrap_or_default(),
+        ..RuntimeOptions::default()
     };
     let outcome = search_with_runtime(generator.as_ref(), &target, &cfg, &runtime)
         .map_err(|e| e.to_string())?;
@@ -367,6 +422,12 @@ mod tests {
             "run.jsonl",
             "--resume",
             "old.jsonl",
+            "--eval-timeout",
+            "2.5",
+            "--max-retries",
+            "4",
+            "--fail-policy",
+            "abort",
             "--paper",
             "--tsv",
         ]))
@@ -379,7 +440,16 @@ mod tests {
             Some(std::path::Path::new("run.jsonl"))
         );
         assert_eq!(o.resume.as_deref(), Some(std::path::Path::new("old.jsonl")));
+        assert_eq!(o.eval_timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(o.max_retries, Some(4));
+        assert_eq!(o.fail_policy, Some(FailPolicy::Abort));
         assert!(o.paper && o.tsv);
+    }
+
+    #[test]
+    fn parses_penalize_fail_policy() {
+        let o = parse_options(&args(&["--fail-policy", "penalize"])).unwrap();
+        assert_eq!(o.fail_policy, Some(FailPolicy::Penalize));
     }
 
     #[test]
@@ -389,6 +459,11 @@ mod tests {
         assert!(parse_options(&args(&["--iters", "x"])).is_err());
         assert!(parse_options(&args(&["--journal"])).is_err());
         assert!(parse_options(&args(&["--resume"])).is_err());
+        assert!(parse_options(&args(&["--eval-timeout"])).is_err());
+        assert!(parse_options(&args(&["--eval-timeout", "-3"])).is_err());
+        assert!(parse_options(&args(&["--eval-timeout", "zero"])).is_err());
+        assert!(parse_options(&args(&["--max-retries", "x"])).is_err());
+        assert!(parse_options(&args(&["--fail-policy", "explode"])).is_err());
     }
 
     #[test]

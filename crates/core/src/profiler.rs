@@ -8,6 +8,7 @@ use crate::profile::{CurvePoint, Profile};
 use crate::workload::Workload;
 use datamime_apps::App;
 use datamime_loadgen::{Driver, WorkloadSpec};
+use datamime_runtime::CancelToken;
 use datamime_sim::{Machine, MachineConfig, Sampler};
 
 /// How cache-sensitivity curves are measured.
@@ -97,6 +98,25 @@ pub fn profile_workload(
     profile_app(&|| workload.app.build(), workload.load, machine_cfg, cfg)
 }
 
+/// Like [`profile_workload`], but polls `cancel` inside the sampling
+/// loops and between curve points, returning a truncated profile early
+/// when it fires (the supervised search discards it and classifies the
+/// evaluation as timed out).
+pub fn profile_workload_cancellable(
+    workload: &Workload,
+    machine_cfg: &MachineConfig,
+    cfg: &ProfilingConfig,
+    cancel: &CancelToken,
+) -> Profile {
+    profile_app_cancellable(
+        &|| workload.app.build(),
+        workload.load,
+        machine_cfg,
+        cfg,
+        cancel,
+    )
+}
+
 /// Profiles any [`App`] (built fresh per run by `build`) under a load spec.
 ///
 /// This is the generic entry point; [`profile_workload`] wraps it, and the
@@ -112,21 +132,52 @@ pub fn profile_app(
     machine_cfg: &MachineConfig,
     cfg: &ProfilingConfig,
 ) -> Profile {
+    // A token nobody cancels: the predicate never fires, so this is
+    // bit-for-bit the uncancellable profile.
+    profile_app_cancellable(build, load, machine_cfg, cfg, &CancelToken::new())
+}
+
+/// Like [`profile_app`], but cooperatively cancellable: the sampling
+/// loops poll `cancel` once per served request, and the curve sweep
+/// checks it between points. When cancellation fires the function
+/// returns early with whatever (truncated) profile exists — callers
+/// under supervision discard it.
+///
+/// # Panics
+///
+/// Panics if the profiling configuration requests zero samples.
+pub fn profile_app_cancellable(
+    build: &dyn Fn() -> Box<dyn App>,
+    load: WorkloadSpec,
+    machine_cfg: &MachineConfig,
+    cfg: &ProfilingConfig,
+    cancel: &CancelToken,
+) -> Profile {
     assert!(cfg.n_samples > 0, "need at least one sample");
+    let mut should_stop = || cancel.is_cancelled();
 
     // Main distribution run.
     let mut app = build();
     let mut machine = Machine::new(machine_cfg.clone());
     let mut sampler = Sampler::new(cfg.interval_cycles);
     let mut driver = Driver::new(load, cfg.seed);
-    driver.run(app.as_mut(), &mut machine, &mut sampler, cfg.n_samples);
+    driver.run_cancellable(
+        app.as_mut(),
+        &mut machine,
+        &mut sampler,
+        cfg.n_samples,
+        &mut should_stop,
+    );
 
     // Curve sweep with CAT-restricted LLC allocations.
     let mut curve = Vec::new();
-    if machine_cfg.llc.is_some() {
+    if machine_cfg.llc.is_some() && !cancel.is_cancelled() {
         match cfg.curve_method {
             CurveMethod::Restart => {
                 for &ways in &cfg.curve_ways {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     if ways == 0 || ways > machine_cfg.llc_partitions() {
                         continue;
                     }
@@ -135,11 +186,12 @@ pub fn profile_app(
                     let mut machine = Machine::new(part_cfg.clone());
                     let mut sampler = Sampler::new(cfg.interval_cycles);
                     let mut driver = Driver::new(load, cfg.seed ^ u64::from(ways));
-                    driver.run(
+                    driver.run_cancellable(
                         app.as_mut(),
                         &mut machine,
                         &mut sampler,
                         cfg.curve_samples.max(1),
+                        &mut should_stop,
                     );
                     curve.push(curve_point(&sampler, part_cfg.llc_bytes()));
                 }
@@ -152,16 +204,20 @@ pub fn profile_app(
                 let mut machine = Machine::new(machine_cfg.clone());
                 let mut driver = Driver::new(load, cfg.seed ^ 0xD1A);
                 for &ways in &cfg.curve_ways {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     if ways == 0 || ways > machine_cfg.llc_partitions() {
                         continue;
                     }
                     machine.set_llc_ways(ways);
                     let mut sampler = Sampler::new(cfg.interval_cycles);
-                    driver.run(
+                    driver.run_cancellable(
                         app.as_mut(),
                         &mut machine,
                         &mut sampler,
                         cfg.curve_samples.max(1),
+                        &mut should_stop,
                     );
                     let bytes = machine_cfg.with_llc_ways(ways).llc_bytes();
                     curve.push(curve_point(&sampler, bytes));

@@ -15,14 +15,16 @@
 use crate::error_model::{profile_error, MetricWeights};
 use crate::generator::DatasetGenerator;
 use crate::profile::Profile;
-use crate::profiler::{profile_workload, ProfilingConfig};
+use crate::profiler::{profile_workload, profile_workload_cancellable, ProfilingConfig};
 use crate::workload::Workload;
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
 use datamime_runtime::{
-    replay, ExecError, Executor, JournalWriter, RunMeta, RunOutcome, StageTimes, StderrSink,
+    replay, CancelToken, ExecError, Executor, FailPolicy, FaultPlan, JournalWriter, RunMeta,
+    RunOutcome, StageTimes, StderrSink, SupervisorConfig,
 };
 use datamime_sim::MachineConfig;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Which optimizer drives the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,7 +89,8 @@ impl SearchConfig {
     }
 }
 
-/// How the runtime executes a search: batching, workers, journaling.
+/// How the runtime executes a search: batching, workers, journaling, and
+/// fault tolerance.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeOptions {
     /// Suggestions drawn per optimizer batch (0 or 1 = sequential).
@@ -101,6 +104,18 @@ pub struct RuntimeOptions {
     pub resume: Option<PathBuf>,
     /// Stream progress lines to stderr.
     pub progress: bool,
+    /// Wall-clock budget per evaluation attempt (`None` = unlimited);
+    /// exceeding it cancels the profiler cooperatively and penalizes (or
+    /// aborts, per `fail_policy`) the evaluation.
+    pub eval_timeout: Option<Duration>,
+    /// Retries (with deterministic exponential backoff) after a failed
+    /// evaluation attempt before the fail policy applies.
+    pub max_retries: u32,
+    /// Whether an evaluation that still fails after retries aborts the
+    /// run or is penalized so the search continues (the default).
+    pub fail_policy: FailPolicy,
+    /// Deterministic fault-injection plan (tests and CI only).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RuntimeOptions {
@@ -180,20 +195,35 @@ fn run_meta(
 }
 
 /// One evaluation: instantiate → profile → error, with each stage timed.
+/// The cancel token reaches the profiler's sampling loops so a deadline
+/// can stop a runaway evaluation cooperatively.
 fn evaluate(
     generator: &dyn DatasetGenerator,
     target_profile: &Profile,
     cfg: &SearchConfig,
     unit: &[f64],
     stages: &mut StageTimes,
+    cancel: &CancelToken,
 ) -> f64 {
     let workload = stages.time("instantiate", || generator.instantiate(unit));
     let profile = stages.time("profile", || {
-        profile_workload(&workload, &cfg.machine, &cfg.profiling)
+        profile_workload_cancellable(&workload, &cfg.machine, &cfg.profiling, cancel)
     });
     stages.time("error", || {
         profile_error(target_profile, &profile, &cfg.weights).total
     })
+}
+
+/// The supervisor configuration implied by `opts` (penalty, backoff, and
+/// quarantine knobs keep their defaults).
+fn supervision(opts: &RuntimeOptions) -> SupervisorConfig {
+    SupervisorConfig {
+        deadline: opts.eval_timeout,
+        max_retries: opts.max_retries,
+        fail_policy: opts.fail_policy,
+        fault_plan: opts.fault_plan.clone(),
+        ..SupervisorConfig::default()
+    }
 }
 
 /// Re-profiles the best point and packages the outcome.
@@ -216,9 +246,10 @@ fn finish(generator: &dyn DatasetGenerator, cfg: &SearchConfig, run: RunOutcome)
     }
 }
 
-/// Builds the executor from `opts`: journal, resume, progress sink.
+/// Builds the executor from `opts`: supervision, journal, resume,
+/// progress sink.
 fn build_executor(meta: RunMeta, opts: &RuntimeOptions) -> Result<Executor, ExecError> {
-    let mut exec = Executor::new(meta);
+    let mut exec = Executor::new(meta).supervise(supervision(opts));
     if opts.progress {
         exec = exec.sink(Box::new(StderrSink::default()));
     }
@@ -265,8 +296,8 @@ pub fn search_with_runtime(
 ) -> Result<SearchOutcome, ExecError> {
     let mut optimizer = make_optimizer(cfg, generator.dims());
     let exec = build_executor(run_meta(generator, cfg, opts), opts)?;
-    let run = exec.run(optimizer.as_mut(), &|unit, stages| {
-        evaluate(generator, target_profile, cfg, unit, stages)
+    let run = exec.run(optimizer.as_mut(), &|unit, stages, cancel| {
+        evaluate(generator, target_profile, cfg, unit, stages, cancel)
     })?;
     Ok(finish(generator, cfg, run))
 }
@@ -275,8 +306,9 @@ pub fn search_with_runtime(
 /// mimic `target_profile`.
 ///
 /// This is the paper's sequential loop, executed on the runtime with
-/// `batch_k = 1` and no journal (so it cannot fail and needs no `Sync`
-/// bound on the generator).
+/// `batch_k = 1`, no journal, and no supervision (so it cannot fail,
+/// keeps the legacy fail-fast behavior, and needs no `Sync` bound on the
+/// generator).
 ///
 /// # Panics
 ///
@@ -290,8 +322,8 @@ pub fn search(
     let mut optimizer = make_optimizer(cfg, generator.dims());
     let exec = Executor::new(run_meta(generator, cfg, &opts));
     let run = exec
-        .run_seq(optimizer.as_mut(), &mut |unit, stages| {
-            evaluate(generator, target_profile, cfg, unit, stages)
+        .run_seq(optimizer.as_mut(), &mut |unit, stages, cancel| {
+            evaluate(generator, target_profile, cfg, unit, stages, cancel)
         })
         .expect("journal-less sequential run cannot fail");
     finish(generator, cfg, run)
@@ -418,6 +450,78 @@ mod tests {
         let machine = cfg.machine.clone();
         let target = profile_workload(&small_target(), &machine, &cfg.profiling);
         search(&KvGenerator::new(), &target, &cfg);
+    }
+
+    #[test]
+    fn faulty_evaluations_do_not_abort_the_search() {
+        use datamime_runtime::InjectedFault;
+        let mut cfg = SearchConfig::fast(8);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let opts = RuntimeOptions {
+            batch_k: 2,
+            workers: 2,
+            fault_plan: Some(
+                FaultPlan::new()
+                    .fail(1, InjectedFault::Panic)
+                    .fail(4, InjectedFault::Nan),
+            ),
+            ..RuntimeOptions::default()
+        };
+        let outcome = search_with_runtime(&KvGenerator::new(), &target, &cfg, &opts)
+            .expect("penalized faults must not abort the run");
+        assert_eq!(outcome.history.len(), 8);
+        assert!(outcome.best_error.is_finite());
+        assert_eq!(
+            outcome.history[1].error,
+            datamime_bayesopt::PENALTY_OBJECTIVE
+        );
+        assert_eq!(
+            outcome.history[4].error,
+            datamime_bayesopt::PENALTY_OBJECTIVE
+        );
+    }
+
+    #[test]
+    fn abort_fail_policy_keeps_fail_fast_behavior() {
+        use datamime_runtime::InjectedFault;
+        let mut cfg = SearchConfig::fast(4);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let opts = RuntimeOptions {
+            fail_policy: FailPolicy::Abort,
+            fault_plan: Some(FaultPlan::new().fail(2, InjectedFault::Panic)),
+            ..RuntimeOptions::default()
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            search_with_runtime(&KvGenerator::new(), &target, &cfg, &opts)
+        }))
+        .expect_err("abort policy must re-raise the injected panic");
+        let msg = datamime_runtime::supervisor::panic_message(err.as_ref());
+        assert!(msg.contains("injected panic"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn eval_timeout_penalizes_instead_of_hanging() {
+        // A deadline of zero cancels every evaluation immediately; the
+        // profiler returns a truncated profile, the supervisor classifies
+        // the attempt as a timeout, and the search still completes.
+        let mut cfg = SearchConfig::fast(3);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let opts = RuntimeOptions {
+            eval_timeout: Some(Duration::from_nanos(1)),
+            ..RuntimeOptions::default()
+        };
+        let outcome = search_with_runtime(&KvGenerator::new(), &target, &cfg, &opts)
+            .expect("timeouts must be penalized, not fatal");
+        assert_eq!(outcome.history.len(), 3);
+        for rec in &outcome.history {
+            assert_eq!(rec.error, datamime_bayesopt::PENALTY_OBJECTIVE);
+        }
     }
 
     #[test]

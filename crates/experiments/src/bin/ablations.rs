@@ -96,7 +96,7 @@ fn main() {
                 optimizer: "bayesian".to_string(),
             };
             let outcome = Executor::new(meta)
-                .run_seq(&mut bo, &mut |unit, stages| {
+                .run_seq(&mut bo, &mut |unit, stages, _cancel| {
                     let w = stages.time("instantiate", || generator.instantiate(unit));
                     let p = stages.time("profile", || {
                         profile_workload(&w, &base_cfg.machine, &base_cfg.profiling)

@@ -188,6 +188,24 @@ impl Driver {
         sampler: &mut Sampler,
         n_samples: usize,
     ) -> RunStats {
+        self.run_cancellable(app, machine, sampler, n_samples, &mut || false)
+    }
+
+    /// Like [`run`](Self::run), but polls `should_stop` once per served
+    /// request and returns early when it fires — the cooperative
+    /// cancellation point for supervised evaluation deadlines.
+    ///
+    /// The early return still guarantees at least one post-warm-up sample
+    /// (callers can aggregate a truncated run without special cases); with
+    /// a `should_stop` that never fires this is bit-for-bit [`run`].
+    pub fn run_cancellable(
+        &mut self,
+        app: &mut dyn App,
+        machine: &mut Machine,
+        sampler: &mut Sampler,
+        n_samples: usize,
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> RunStats {
         let freq_hz = machine.config().freq_ghz * 1e9;
         let mut state_high = false;
         let mut next_switch = machine.wall_cycles() as f64;
@@ -198,6 +216,11 @@ impl Driver {
         let mut warmed = false;
 
         while sampler.samples().len() < n_samples {
+            if warmed && !sampler.samples().is_empty() && should_stop() {
+                // Cancelled: stop as soon as a truncated-but-usable run
+                // (>= 1 real sample) exists.
+                break;
+            }
             // Advance the MMPP state machine.
             if let ArrivalProcess::Mmpp {
                 switch_mean_seconds,

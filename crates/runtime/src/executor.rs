@@ -11,10 +11,29 @@
 //! the paper's sequential suggest → evaluate → observe loop, which is how
 //! `datamime::search::search()` runs on top of it without changing any
 //! result.
+//!
+//! # Fault tolerance
+//!
+//! [`supervise`](Executor::supervise) attaches a
+//! [`Supervisor`](crate::supervisor::Supervisor): evaluations that
+//! panic, stall past their deadline, or return a non-finite objective
+//! are retried with deterministic backoff and finally *penalized* (a
+//! large finite objective is observed and a `fault` record journaled)
+//! instead of killing the run. Because all fault bookkeeping —
+//! quarantine of repeatedly-failing points, consecutive-failure counting
+//! and batch degradation — happens in the engine in **observation
+//! order**, a faulty run remains bit-for-bit deterministic across worker
+//! counts, and a resumed run (whose replayed fault records drive the
+//! same state machine) continues exactly where it would have gone.
+//! Without `supervise` the executor keeps its legacy fail-fast behavior.
 
 use crate::journal::{JournalError, JournalWriter, Replay};
+use crate::supervisor::{
+    CancelToken, Evaluated, FailedAttempt, FailureKind, FaultInfo, Supervisor, SupervisorConfig,
+};
 use crate::telemetry::{NullSink, ProgressSink, StageTimes, Telemetry};
 use datamime_bayesopt::BlackBoxOptimizer;
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -47,11 +66,13 @@ pub struct EvalRecord {
     pub index: usize,
     /// Unit-hypercube parameters.
     pub unit: Vec<f64>,
-    /// Objective value.
+    /// Objective value (the supervisor's penalty when `fault` is set).
     pub error: f64,
     /// Per-stage wall-clock milliseconds (empty for replayed points whose
-    /// journal carried none).
+    /// journal carried none, and for penalized faults).
     pub stage_ms: Vec<(String, f64)>,
+    /// The failure behind a penalized observation, if any.
+    pub fault: Option<FaultInfo>,
 }
 
 /// The outcome of an executor run.
@@ -95,9 +116,23 @@ impl From<JournalError> for ExecError {
     }
 }
 
-/// Evaluates a slice of units, returning `(error, stage times)` per unit
-/// in the same order — the engine's pluggable evaluation backend.
-type Dispatch<'a> = dyn FnMut(&[Vec<f64>]) -> Vec<(f64, StageTimes)> + 'a;
+/// Evaluates the given `(global index, unit)` jobs, returning one
+/// [`Evaluated`] verdict per job in the same order and reporting failed
+/// attempts through the callback — the engine's pluggable evaluation
+/// backend.
+type Dispatch<'a> =
+    dyn FnMut(&[(usize, Vec<f64>)], &mut dyn FnMut(FailedAttempt)) -> Vec<Evaluated> + 'a;
+
+/// How one batch position gets its record.
+enum SlotPlan {
+    /// Re-observed from the resumed journal.
+    Replayed,
+    /// Synthesized penalty: quarantine hit, or a fault whose retries were
+    /// journaled before a mid-retry kill.
+    Synth(FaultInfo),
+    /// Dispatched for real evaluation; holds the job-slice position.
+    Fresh(usize),
+}
 
 /// Builder-style run harness; see the module docs.
 pub struct Executor {
@@ -109,10 +144,12 @@ pub struct Executor {
     journal_has_prefix: bool,
     resume: Option<Replay>,
     sink: Box<dyn ProgressSink>,
+    supervision: Option<SupervisorConfig>,
 }
 
 impl Executor {
-    /// A run with no journal and no progress reporting.
+    /// A run with no journal, no progress reporting, and no supervision
+    /// (legacy fail-fast behavior).
     ///
     /// # Panics
     ///
@@ -129,6 +166,7 @@ impl Executor {
             journal_has_prefix: false,
             resume: None,
             sink: Box::new(NullSink),
+            supervision: None,
         }
     }
 
@@ -164,11 +202,25 @@ impl Executor {
         self
     }
 
+    /// Runs every evaluation under a fault-tolerant
+    /// [`Supervisor`](crate::supervisor::Supervisor) built from `cfg`
+    /// (seeded with `meta.seed`); see the module docs. Without this the
+    /// executor fails fast, exactly as before supervision existed.
+    #[must_use]
+    pub fn supervise(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervision = Some(cfg);
+        self
+    }
+
     /// Resumes from a replayed journal: journaled points are re-suggested
     /// from the optimizer (which, given the same seed, regenerates them
     /// bit-for-bit) and their journaled errors re-observed, so profiling
     /// never re-runs for them; evaluation picks up at the first
-    /// un-journaled point.
+    /// un-journaled point. Journaled `fault` records re-observe their
+    /// penalty (and re-drive quarantine/degradation) rather than
+    /// re-running the failed evaluation, and a point whose journal tail
+    /// holds only failed `attempt` records — a mid-retry kill — is
+    /// penalized directly under supervision instead of being retried.
     ///
     /// # Errors
     ///
@@ -207,7 +259,7 @@ impl Executor {
 
     /// Runs sequentially on the calling thread (no `Sync` bound on the
     /// evaluation), ignoring `meta.workers`. This is the exact legacy
-    /// Datamime loop when `batch_k = 1`.
+    /// Datamime loop when `batch_k = 1` and no supervision is attached.
     ///
     /// # Errors
     ///
@@ -215,24 +267,38 @@ impl Executor {
     pub fn run_seq(
         mut self,
         optimizer: &mut dyn BlackBoxOptimizer,
-        eval: &mut dyn FnMut(&[f64], &mut StageTimes) -> f64,
+        eval: &mut dyn FnMut(&[f64], &mut StageTimes, &CancelToken) -> f64,
     ) -> Result<RunOutcome, ExecError> {
-        self.engine(optimizer, &mut |units| {
-            units
-                .iter()
-                .map(|unit| {
-                    let mut stages = StageTimes::new();
-                    let error = eval(unit, &mut stages);
-                    (error, stages)
+        match self.supervision.clone() {
+            Some(cfg) => {
+                let sup = Supervisor::new(cfg, self.meta.seed);
+                self.engine(optimizer, &mut |jobs, on_attempt| {
+                    jobs.iter()
+                        .map(|(index, unit)| sup.evaluate(*index, unit, eval, on_attempt))
+                        .collect()
                 })
-                .collect()
-        })
+            }
+            None => self.engine(optimizer, &mut |jobs, _on_attempt| {
+                jobs.iter()
+                    .map(|(_, unit)| {
+                        let mut stages = StageTimes::new();
+                        let error = eval(unit, &mut stages, &CancelToken::new());
+                        Evaluated {
+                            error,
+                            stages,
+                            fault: None,
+                        }
+                    })
+                    .collect()
+            }),
+        }
     }
 
     /// Runs with `meta.workers` scoped worker threads draining a bounded
     /// work queue. Results are observed in batch order regardless of
     /// completion order, so the outcome is identical to
-    /// [`run_seq`](Self::run_seq) for the same `(seed, batch_k)`.
+    /// [`run_seq`](Self::run_seq) for the same `(seed, batch_k)` — with
+    /// or without supervision and injected faults.
     ///
     /// # Errors
     ///
@@ -240,36 +306,68 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Re-raises any panic from `eval`.
+    /// Re-raises any panic from `eval` when unsupervised (or when the
+    /// supervisor's fail policy is
+    /// [`Abort`](crate::supervisor::FailPolicy::Abort)).
     pub fn run(
         mut self,
         optimizer: &mut dyn BlackBoxOptimizer,
-        eval: &(dyn Fn(&[f64], &mut StageTimes) -> f64 + Sync),
+        eval: &(dyn Fn(&[f64], &mut StageTimes, &CancelToken) -> f64 + Sync),
     ) -> Result<RunOutcome, ExecError> {
         let workers = self.meta.workers;
         if workers == 1 {
-            return self.run_seq(optimizer, &mut |unit, stages| eval(unit, stages));
+            return self.run_seq(optimizer, &mut |unit, stages, token| {
+                eval(unit, stages, token)
+            });
         }
+        let supervisor = self
+            .supervision
+            .clone()
+            .map(|cfg| Supervisor::new(cfg, self.meta.seed));
+        let supervisor = &supervisor;
         // Bounded job queue: the coordinator blocks rather than buffering
         // a whole oversized batch. Created outside the scope so worker
         // borrows outlive every spawned thread.
-        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, Vec<f64>)>(2 * workers);
+        let (job_tx, job_rx) = mpsc::sync_channel::<(usize, usize, Vec<f64>)>(2 * workers);
         let job_rx = Mutex::new(job_rx);
-        type EvalResult = std::thread::Result<(f64, StageTimes)>;
-        let (res_tx, res_rx) = mpsc::channel::<(usize, EvalResult)>();
+        enum WorkerMsg {
+            Attempt(FailedAttempt),
+            Done(usize, std::thread::Result<Evaluated>),
+        }
+        let (res_tx, res_rx) = mpsc::channel::<WorkerMsg>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let res_tx = res_tx.clone();
                 let job_rx = &job_rx;
                 scope.spawn(move || loop {
                     let job = job_rx.lock().expect("job queue poisoned").recv();
-                    let Ok((slot, unit)) = job else { break };
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut stages = StageTimes::new();
-                        let error = eval(&unit, &mut stages);
-                        (error, stages)
-                    }));
-                    if res_tx.send((slot, outcome)).is_err() {
+                    let Ok((slot, index, unit)) = job else { break };
+                    // The outer catch keeps the pool alive so an Abort
+                    // re-raise (or an unsupervised panic) propagates via
+                    // the coordinator's resume_unwind, not a dead worker.
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || match supervisor {
+                                Some(sup) => sup.evaluate(
+                                    index,
+                                    &unit,
+                                    &mut |u, st, t| eval(u, st, t),
+                                    &mut |a| {
+                                        let _ = res_tx.send(WorkerMsg::Attempt(a));
+                                    },
+                                ),
+                                None => {
+                                    let mut stages = StageTimes::new();
+                                    let error = eval(&unit, &mut stages, &CancelToken::new());
+                                    Evaluated {
+                                        error,
+                                        stages,
+                                        fault: None,
+                                    }
+                                }
+                            },
+                        ));
+                    if res_tx.send(WorkerMsg::Done(slot, outcome)).is_err() {
                         break;
                     }
                 });
@@ -279,20 +377,27 @@ impl Executor {
             // `move` so `dispatch` owns `job_tx`: dropping it below hangs
             // up the job queue and lets the workers exit before the scope
             // joins them.
-            let mut dispatch = move |units: &[Vec<f64>]| -> Vec<(f64, StageTimes)> {
-                for (slot, unit) in units.iter().enumerate() {
+            let mut dispatch = move |jobs: &[(usize, Vec<f64>)],
+                                     on_attempt: &mut dyn FnMut(FailedAttempt)|
+                  -> Vec<Evaluated> {
+                for (slot, (index, unit)) in jobs.iter().enumerate() {
                     job_tx
-                        .send((slot, unit.clone()))
+                        .send((slot, *index, unit.clone()))
                         .expect("worker pool died before the batch was queued");
                 }
-                let mut slots: Vec<Option<(f64, StageTimes)>> = vec![None; units.len()];
-                for _ in 0..units.len() {
-                    let (slot, outcome) = res_rx
+                let mut slots: Vec<Option<Evaluated>> = (0..jobs.len()).map(|_| None).collect();
+                let mut filled = 0;
+                while filled < jobs.len() {
+                    let msg = res_rx
                         .recv()
                         .expect("worker pool died before the batch finished");
-                    match outcome {
-                        Ok(done) => slots[slot] = Some(done),
-                        Err(panic) => std::panic::resume_unwind(panic),
+                    match msg {
+                        WorkerMsg::Attempt(a) => on_attempt(a),
+                        WorkerMsg::Done(slot, Ok(verdict)) => {
+                            slots[slot] = Some(verdict);
+                            filled += 1;
+                        }
+                        WorkerMsg::Done(_, Err(panic)) => std::panic::resume_unwind(panic),
                     }
                 }
                 slots
@@ -307,8 +412,12 @@ impl Executor {
     }
 
     /// The batch loop shared by the sequential and pooled paths;
-    /// `dispatch` evaluates a slice of units and returns results in the
-    /// same order.
+    /// `dispatch` evaluates `(index, unit)` jobs and returns verdicts in
+    /// the same order.
+    ///
+    /// All fault bookkeeping lives here, updated in observation order, so
+    /// quarantine, degradation, and the outcome itself never depend on
+    /// thread scheduling.
     fn engine(
         &mut self,
         optimizer: &mut dyn BlackBoxOptimizer,
@@ -318,14 +427,14 @@ impl Executor {
         let mut telemetry = Telemetry::new();
         self.sink.on_start(&self.meta);
 
-        let replayed_prefix: Vec<EvalRecord> = self
-            .resume
-            .take()
-            .map(|mut r| {
+        let sup_cfg = self.supervision.clone();
+        let (replayed_prefix, mut pending_faults) = match self.resume.take() {
+            Some(mut r) => {
                 r.evals.truncate(iterations);
-                r.evals
-            })
-            .unwrap_or_default();
+                (r.evals, r.fault_attempts)
+            }
+            None => (Vec::new(), HashMap::new()),
+        };
         if !replayed_prefix.is_empty() {
             self.sink.on_replay(replayed_prefix.len());
         }
@@ -333,9 +442,15 @@ impl Executor {
         let mut history: Vec<EvalRecord> = Vec::with_capacity(iterations);
         let mut best: Option<(Vec<f64>, f64)> = None;
         let mut since_checkpoint = 0usize;
+        // Fault state machine (supervised runs only); driven by fresh and
+        // replayed records alike so resume stays deterministic.
+        let mut effective_k = self.meta.batch_k;
+        let mut consecutive_failures = 0u32;
+        let mut quarantine: Vec<Vec<f64>> = Vec::new();
+
         while history.len() < iterations {
             let done = history.len();
-            let k = self.meta.batch_k.min(iterations - done);
+            let k = effective_k.min(iterations - done);
             let suggest_started = Instant::now();
             let units = optimizer.suggest_batch(k);
             telemetry.record("suggest", suggest_started.elapsed());
@@ -352,43 +467,163 @@ impl Executor {
                     )));
                 }
             }
-            let results = if from_journal < k {
-                dispatch(&units[from_journal..])
-            } else {
+
+            // Plan the fresh tail: quarantined or journal-pending points
+            // are penalized without dispatch.
+            let mut jobs: Vec<(usize, Vec<f64>)> = Vec::new();
+            let mut slots: Vec<SlotPlan> = Vec::with_capacity(units.len());
+            for (i, unit) in units.iter().enumerate() {
+                let index = done + i;
+                if i < from_journal {
+                    slots.push(SlotPlan::Replayed);
+                    continue;
+                }
+                if let Some(cfg) = sup_cfg.as_ref() {
+                    if let Some(pending) = pending_faults.remove(&index) {
+                        slots.push(SlotPlan::Synth(FaultInfo {
+                            kind: pending.kind,
+                            detail: format!(
+                                "penalized from journaled retry attempts: {}",
+                                pending.detail
+                            ),
+                            retries: pending.attempts.saturating_sub(1),
+                        }));
+                        continue;
+                    }
+                    if quarantine
+                        .iter()
+                        .any(|q| within_radius(q, unit, cfg.quarantine_radius))
+                    {
+                        slots.push(SlotPlan::Synth(FaultInfo {
+                            kind: FailureKind::Quarantined,
+                            detail: format!(
+                                "point matches a quarantined failure within radius {}",
+                                cfg.quarantine_radius
+                            ),
+                            retries: 0,
+                        }));
+                        continue;
+                    }
+                }
+                slots.push(SlotPlan::Fresh(jobs.len()));
+                jobs.push((index, unit.clone()));
+            }
+
+            let results = if jobs.is_empty() {
                 Vec::new()
+            } else {
+                // Failed attempts are journaled eagerly (before their
+                // final verdict) so a kill mid-retry leaves evidence the
+                // resume path can penalize from. The callback cannot
+                // return an error, so journal failures are parked and
+                // surfaced right after the batch.
+                let mut journal_err: Option<JournalError> = None;
+                let results = {
+                    let journal = &mut self.journal;
+                    let sink = &mut self.sink;
+                    let telemetry = &mut telemetry;
+                    let mut on_attempt = |a: FailedAttempt| {
+                        telemetry.count_failed_attempt();
+                        sink.on_attempt(&a);
+                        if journal_err.is_none() {
+                            if let Some(j) = journal.as_mut() {
+                                if let Err(e) = j.attempt(&a) {
+                                    journal_err = Some(e);
+                                }
+                            }
+                        }
+                    };
+                    dispatch(&jobs, &mut on_attempt)
+                };
+                if let Some(e) = journal_err {
+                    return Err(e.into());
+                }
+                results
             };
 
             for (i, unit) in units.into_iter().enumerate() {
                 let index = done + i;
                 let is_new = i >= from_journal;
-                let rec = if is_new {
-                    let (error, stages) = &results[i - from_journal];
-                    telemetry.absorb(stages);
-                    telemetry.count_evaluated();
-                    EvalRecord {
+                let rec = match &slots[i] {
+                    SlotPlan::Replayed => {
+                        telemetry.count_replayed();
+                        let mut rec = replayed_prefix[index].clone();
+                        rec.unit = unit;
+                        rec
+                    }
+                    SlotPlan::Synth(fault) => EvalRecord {
                         index,
                         unit,
-                        error: *error,
-                        stage_ms: stages.to_millis(),
+                        error: sup_cfg
+                            .as_ref()
+                            .expect("synthesized slots only exist under supervision")
+                            .penalty,
+                        stage_ms: Vec::new(),
+                        fault: Some(fault.clone()),
+                    },
+                    SlotPlan::Fresh(j) => {
+                        let verdict = &results[*j];
+                        telemetry.absorb(&verdict.stages);
+                        telemetry.count_evaluated();
+                        EvalRecord {
+                            index,
+                            unit,
+                            error: verdict.error,
+                            stage_ms: verdict.stages.to_millis(),
+                            fault: verdict.fault.clone(),
+                        }
                     }
-                } else {
-                    telemetry.count_replayed();
-                    let mut rec = replayed_prefix[index].clone();
-                    rec.unit = unit;
-                    rec
                 };
+
+                // Fault bookkeeping, in observation order.
+                if let Some(cfg) = sup_cfg.as_ref() {
+                    match &rec.fault {
+                        Some(f) if f.kind == FailureKind::Quarantined => {
+                            telemetry.count_quarantine_hit();
+                        }
+                        Some(f) => {
+                            telemetry.count_fault(f.kind);
+                            if !quarantine
+                                .iter()
+                                .any(|q| within_radius(q, &rec.unit, cfg.quarantine_radius))
+                            {
+                                quarantine.push(rec.unit.clone());
+                            }
+                            consecutive_failures += 1;
+                            if cfg.degrade_after > 0
+                                && consecutive_failures >= cfg.degrade_after
+                                && effective_k > 1
+                            {
+                                let from = effective_k;
+                                effective_k = (effective_k / 2).max(1);
+                                consecutive_failures = 0;
+                                telemetry.count_degradation();
+                                self.sink.on_degrade(from, effective_k);
+                            }
+                        }
+                        None => consecutive_failures = 0,
+                    }
+                }
+
                 optimizer.observe(rec.unit.clone(), rec.error);
                 if best.as_ref().is_none_or(|(_, be)| rec.error < *be) {
                     best = Some((rec.unit.clone(), rec.error));
                 }
                 if let Some(journal) = &mut self.journal {
                     if is_new || !self.journal_has_prefix {
-                        journal.eval(&rec)?;
+                        if rec.fault.is_some() {
+                            journal.fault(&rec)?;
+                        } else {
+                            journal.eval(&rec)?;
+                        }
                     }
                 }
                 if is_new {
                     let (_, best_error) = best.as_ref().expect("best was just set");
                     self.sink.on_eval(index, rec.error, *best_error);
+                    if let Some(fault) = &rec.fault {
+                        self.sink.on_fault(index, fault);
+                    }
                     since_checkpoint += 1;
                     if self.checkpoint_every > 0 && since_checkpoint >= self.checkpoint_every {
                         since_checkpoint = 0;
@@ -416,4 +651,9 @@ impl Executor {
             replayed,
         })
     }
+}
+
+/// L∞ proximity test for the quarantine set.
+fn within_radius(a: &[f64], b: &[f64], radius: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= radius)
 }

@@ -1,0 +1,193 @@
+//! Deterministic fault injection for the evaluation supervisor.
+//!
+//! A [`FaultPlan`] is pure data: it names evaluation indexes that must
+//! misbehave (panic, stall past their deadline, or return a non-finite
+//! objective) and on which attempts. The supervisor consults the plan
+//! *before* running the real evaluation, so the same plan produces the
+//! same failures regardless of worker count or thread scheduling —
+//! which is exactly what the executor's determinism tests assert.
+//!
+//! The module is always compiled (the plan is plain configuration and
+//! costs one `Option` check per evaluation when absent); the cargo
+//! feature `faultinject` only gates the long-running stress tests in
+//! `tests/faultinject_stress.rs`.
+
+use crate::supervisor::CancelToken;
+use std::time::{Duration, Instant};
+
+/// What an injected fault does to the evaluation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic with a recognizable payload (`"injected panic"`).
+    Panic,
+    /// Stall cooperatively for up to this many milliseconds, polling the
+    /// cancel token every millisecond. With a deadline shorter than the
+    /// stall the watchdog cancels first and the attempt times out;
+    /// without one the stall simply elapses and the attempt falls
+    /// through as a timeout-free NaN (see [`FaultPlan::apply`]).
+    StallMs(u64),
+    /// Return `f64::NAN`.
+    Nan,
+    /// Return `f64::INFINITY`.
+    Inf,
+}
+
+/// One planned fault: evaluation `index` misbehaves with `kind` on its
+/// first `attempts` attempts (`None` = every attempt, i.e. persistent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Global evaluation index the fault applies to.
+    pub index: usize,
+    /// What the fault does.
+    pub kind: InjectedFault,
+    /// Number of attempts that fail (`None` = all of them).
+    pub attempts: Option<u32>,
+}
+
+/// A deterministic schedule of evaluation faults. Plain data — cloneable,
+/// comparable, and independent of wall clock and scheduling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a persistent fault: evaluation `index` fails with `kind` on
+    /// every attempt.
+    pub fn fail(mut self, index: usize, kind: InjectedFault) -> Self {
+        self.faults.push(PlannedFault {
+            index,
+            kind,
+            attempts: None,
+        });
+        self
+    }
+
+    /// Adds a transient fault: evaluation `index` fails with `kind` on
+    /// its first `attempts` attempts, then behaves normally — the
+    /// retry-path test vehicle.
+    pub fn fail_first(mut self, index: usize, kind: InjectedFault, attempts: u32) -> Self {
+        self.faults.push(PlannedFault {
+            index,
+            kind,
+            attempts: Some(attempts),
+        });
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// The fault scheduled for `(index, attempt)`, if any. First match
+    /// in insertion order wins.
+    pub fn lookup(&self, index: usize, attempt: u32) -> Option<InjectedFault> {
+        self.faults
+            .iter()
+            .find(|f| f.index == index && f.attempts.is_none_or(|n| attempt < n))
+            .map(|f| f.kind)
+    }
+
+    /// Executes the fault scheduled for `(index, attempt)`, if any:
+    /// panics for [`InjectedFault::Panic`], returns a non-finite value
+    /// for [`InjectedFault::Nan`]/[`InjectedFault::Inf`], and for
+    /// [`InjectedFault::StallMs`] sleeps cooperatively (checking `token`
+    /// every millisecond) then returns NaN — the supervisor classifies
+    /// the attempt as a timeout when the token fired, or as non-finite
+    /// when the stall outlived no deadline.
+    ///
+    /// Returns `None` when no fault is scheduled, in which case the
+    /// caller runs the real evaluation.
+    pub fn apply(&self, index: usize, attempt: u32, token: &CancelToken) -> Option<f64> {
+        match self.lookup(index, attempt)? {
+            InjectedFault::Panic => panic!("injected panic at evaluation {index}"),
+            InjectedFault::Nan => Some(f64::NAN),
+            InjectedFault::Inf => Some(f64::INFINITY),
+            InjectedFault::StallMs(ms) => {
+                let bound = Duration::from_millis(ms);
+                let start = Instant::now();
+                while !token.is_cancelled() && start.elapsed() < bound {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Some(f64::NAN)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.lookup(0, 0), None);
+        assert!(plan.apply(0, 0, &CancelToken::new()).is_none());
+    }
+
+    #[test]
+    fn persistent_fault_applies_to_every_attempt() {
+        let plan = FaultPlan::new().fail(2, InjectedFault::Nan);
+        for attempt in 0..5 {
+            assert_eq!(plan.lookup(2, attempt), Some(InjectedFault::Nan));
+        }
+        assert_eq!(plan.lookup(1, 0), None);
+    }
+
+    #[test]
+    fn transient_fault_clears_after_n_attempts() {
+        let plan = FaultPlan::new().fail_first(4, InjectedFault::Panic, 2);
+        assert_eq!(plan.lookup(4, 0), Some(InjectedFault::Panic));
+        assert_eq!(plan.lookup(4, 1), Some(InjectedFault::Panic));
+        assert_eq!(plan.lookup(4, 2), None);
+    }
+
+    #[test]
+    fn nan_and_inf_injections_return_nonfinite() {
+        let token = CancelToken::new();
+        let plan = FaultPlan::new()
+            .fail(0, InjectedFault::Nan)
+            .fail(1, InjectedFault::Inf);
+        assert!(plan.apply(0, 0, &token).unwrap().is_nan());
+        assert_eq!(plan.apply(1, 0, &token), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn injected_panic_carries_recognizable_payload() {
+        let plan = FaultPlan::new().fail(7, InjectedFault::Panic);
+        let err = std::panic::catch_unwind(|| plan.apply(7, 0, &CancelToken::new())).unwrap_err();
+        let msg = crate::supervisor::panic_message(err.as_ref());
+        assert!(msg.contains("injected panic at evaluation 7"));
+    }
+
+    #[test]
+    fn stall_respects_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let plan = FaultPlan::new().fail(0, InjectedFault::StallMs(60_000));
+        let start = Instant::now();
+        let out = plan.apply(0, 0, &token);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(out.unwrap().is_nan());
+    }
+
+    #[test]
+    fn bounded_stall_elapses_without_cancellation() {
+        let token = CancelToken::new();
+        let plan = FaultPlan::new().fail(0, InjectedFault::StallMs(5));
+        assert!(plan.apply(0, 0, &token).unwrap().is_nan());
+    }
+}

@@ -9,22 +9,37 @@
 //!   batch_k, workers, optimizer, format version;
 //! - `eval` — one evaluated point: index, unit params, error, stage
 //!   timings in milliseconds;
+//! - `fault` — one *penalized* point (since version 2): index, unit
+//!   params, the finite penalty observed, failure kind, detail, and
+//!   retry count;
+//! - `attempt` — one failed evaluation attempt (since version 2),
+//!   written *before* the final verdict so a process killed mid-retry
+//!   leaves evidence the resume path can penalize from;
 //! - `checkpoint` — periodic best-so-far marker;
 //! - `done` — final outcome.
 //!
 //! Resume does **not** re-run profiling for journaled points: the
 //! executor re-suggests them from the (deterministic, equally-seeded)
-//! optimizer and re-observes the journaled errors, reconstructing the
-//! optimizer state bit-for-bit before continuing with fresh evaluations.
+//! optimizer and re-observes the journaled errors — including the
+//! penalties of `fault` records, which therefore replay failures
+//! faithfully — reconstructing the optimizer state bit-for-bit before
+//! continuing with fresh evaluations.
 
 use crate::executor::{EvalRecord, RunMeta};
 use crate::json::{push_f64, push_f64_array, push_str_escaped, Json};
+use crate::supervisor::{FailedAttempt, FailureKind};
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-/// Journal format version written into (and required in) the header.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Journal format version written into the header. Version 2 added the
+/// `fault` and `attempt` events; [`replay`] accepts versions 1 and 2
+/// (a v1 journal simply contains no fault events).
+pub const JOURNAL_VERSION: u64 = 2;
+
+/// The oldest journal version [`replay`] still reads.
+pub const OLDEST_READABLE_VERSION: u64 = 1;
 
 /// A failure reading or writing a journal.
 #[derive(Debug)]
@@ -123,6 +138,47 @@ impl JournalWriter {
         self.write_line(&line)
     }
 
+    /// Appends one penalized point; `rec.fault` must be set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rec.fault` is `None` — faults are journaled through
+    /// this method precisely because they carry the failure metadata.
+    pub fn fault(&mut self, rec: &EvalRecord) -> Result<(), JournalError> {
+        let info = rec
+            .fault
+            .as_ref()
+            .expect("fault records must carry FaultInfo");
+        let mut line = String::from("{\"event\":\"fault\",\"index\":");
+        push_f64(&mut line, rec.index as f64);
+        line.push_str(",\"unit\":");
+        push_f64_array(&mut line, &rec.unit);
+        line.push_str(",\"penalty\":");
+        push_f64(&mut line, rec.error);
+        line.push_str(",\"kind\":");
+        push_str_escaped(&mut line, info.kind.tag());
+        line.push_str(",\"detail\":");
+        push_str_escaped(&mut line, &info.detail);
+        line.push_str(",\"retries\":");
+        push_f64(&mut line, f64::from(info.retries));
+        line.push('}');
+        self.write_line(&line)
+    }
+
+    /// Appends one failed evaluation attempt (retries may still follow).
+    pub fn attempt(&mut self, a: &FailedAttempt) -> Result<(), JournalError> {
+        let mut line = String::from("{\"event\":\"attempt\",\"index\":");
+        push_f64(&mut line, a.index as f64);
+        line.push_str(",\"attempt\":");
+        push_f64(&mut line, f64::from(a.attempt));
+        line.push_str(",\"kind\":");
+        push_str_escaped(&mut line, a.kind.tag());
+        line.push_str(",\"detail\":");
+        push_str_escaped(&mut line, &a.detail);
+        line.push('}');
+        self.write_line(&line)
+    }
+
     /// Appends a best-so-far checkpoint after `evals` total observations.
     pub fn checkpoint(
         &mut self,
@@ -158,13 +214,31 @@ impl JournalWriter {
     }
 }
 
+/// Failed attempts journaled for a point that never got a final record —
+/// the trace a mid-retry kill leaves behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingFault {
+    /// Failure kind of the latest journaled attempt.
+    pub kind: FailureKind,
+    /// Detail of the latest journaled attempt.
+    pub detail: String,
+    /// Number of attempts journaled (latest attempt number + 1).
+    pub attempts: u32,
+}
+
 /// The readable state of a journal file.
 #[derive(Debug, Clone)]
 pub struct Replay {
     /// The run configuration from the header.
     pub meta: RunMeta,
-    /// Evaluated points, a contiguous index-ordered prefix of the run.
+    /// Evaluated points, a contiguous index-ordered prefix of the run
+    /// (penalized `fault` records included, with their `fault` set).
     pub evals: Vec<EvalRecord>,
+    /// Failed attempts for points *beyond* the evaluated prefix: the
+    /// journal recorded retries in flight but no final verdict. A
+    /// supervised resume penalizes these points instead of re-running
+    /// them.
+    pub fault_attempts: HashMap<usize, PendingFault>,
     /// Whether a `done` event was seen (the run finished cleanly).
     pub complete: bool,
     /// Lines dropped as malformed or out-of-order (a crash mid-write
@@ -186,11 +260,29 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
     let meta = parse_header(&header)?;
 
     let mut evals = Vec::new();
+    let mut fault_attempts: HashMap<usize, PendingFault> = HashMap::new();
     let mut complete = false;
     let mut dropped_lines = 0;
     for line in lines {
         match parse_event(line, evals.len(), meta.dims) {
             Some(LineEvent::Eval(rec)) => evals.push(rec),
+            Some(LineEvent::Attempt {
+                index,
+                attempt,
+                kind,
+                detail,
+            }) => {
+                let entry = fault_attempts.entry(index).or_insert(PendingFault {
+                    kind,
+                    detail: String::new(),
+                    attempts: 0,
+                });
+                if attempt + 1 >= entry.attempts {
+                    entry.kind = kind;
+                    entry.detail = detail;
+                    entry.attempts = attempt + 1;
+                }
+            }
             Some(LineEvent::Checkpoint) => {}
             Some(LineEvent::Done) => complete = true,
             None => {
@@ -200,9 +292,13 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
             }
         }
     }
+    // Attempts whose point later got a final record are resolved; only
+    // in-flight ones (index beyond the prefix) matter to resume.
+    fault_attempts.retain(|index, _| *index >= evals.len());
     Ok(Replay {
         meta,
         evals,
+        fault_attempts,
         complete,
         dropped_lines,
     })
@@ -217,7 +313,7 @@ fn parse_header(v: &Json) -> Result<RunMeta, JournalError> {
         .get("version")
         .and_then(Json::as_usize)
         .ok_or_else(|| bad("missing version"))?;
-    if version as u64 != JOURNAL_VERSION {
+    if !(OLDEST_READABLE_VERSION..=JOURNAL_VERSION).contains(&(version as u64)) {
         return Err(bad("unsupported journal version"));
     }
     let seed = v
@@ -258,6 +354,12 @@ fn parse_header(v: &Json) -> Result<RunMeta, JournalError> {
 
 enum LineEvent {
     Eval(EvalRecord),
+    Attempt {
+        index: usize,
+        attempt: u32,
+        kind: FailureKind,
+        detail: String,
+    },
     Checkpoint,
     Done,
 }
@@ -265,21 +367,22 @@ enum LineEvent {
 /// Parses one post-header line; `None` means "corrupt from here on".
 fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent> {
     let v = Json::parse(line).ok()?;
+    let parse_unit = |v: &Json| -> Option<Vec<f64>> {
+        let unit: Vec<f64> = v
+            .get("unit")
+            .and_then(Json::as_arr)?
+            .iter()
+            .map(Json::as_f64)
+            .collect::<Option<_>>()?;
+        (unit.len() == dims).then_some(unit)
+    };
     match v.get("event").and_then(Json::as_str)? {
         "eval" => {
             let index = v.get("index").and_then(Json::as_usize)?;
             if index != expect_index {
                 return None;
             }
-            let unit: Vec<f64> = v
-                .get("unit")
-                .and_then(Json::as_arr)?
-                .iter()
-                .map(Json::as_f64)
-                .collect::<Option<_>>()?;
-            if unit.len() != dims {
-                return None;
-            }
+            let unit = parse_unit(&v)?;
             let error = v.get("error").and_then(Json::as_f64)?;
             if !error.is_finite() {
                 return None;
@@ -296,7 +399,49 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
                 unit,
                 error,
                 stage_ms,
+                fault: None,
             }))
+        }
+        "fault" => {
+            // Faults live in the same contiguous observation stream as
+            // evals — the penalty *was* observed at this index.
+            let index = v.get("index").and_then(Json::as_usize)?;
+            if index != expect_index {
+                return None;
+            }
+            let unit = parse_unit(&v)?;
+            let penalty = v.get("penalty").and_then(Json::as_f64)?;
+            if !penalty.is_finite() {
+                return None;
+            }
+            let kind = FailureKind::from_tag(v.get("kind").and_then(Json::as_str)?)?;
+            let detail = v.get("detail").and_then(Json::as_str)?.to_string();
+            let retries = v.get("retries").and_then(Json::as_usize)?;
+            Some(LineEvent::Eval(EvalRecord {
+                index,
+                unit,
+                error: penalty,
+                stage_ms: Vec::new(),
+                fault: Some(crate::supervisor::FaultInfo {
+                    kind,
+                    detail,
+                    retries: retries as u32,
+                }),
+            }))
+        }
+        "attempt" => {
+            // Attempts are not index-contiguous: a parallel batch journals
+            // them as they happen, ahead of the batch's final records.
+            let index = v.get("index").and_then(Json::as_usize)?;
+            let attempt = v.get("attempt").and_then(Json::as_usize)? as u32;
+            let kind = FailureKind::from_tag(v.get("kind").and_then(Json::as_str)?)?;
+            let detail = v.get("detail").and_then(Json::as_str)?.to_string();
+            Some(LineEvent::Attempt {
+                index,
+                attempt,
+                kind,
+                detail,
+            })
         }
         "checkpoint" => Some(LineEvent::Checkpoint),
         "done" => Some(LineEvent::Done),

@@ -1,14 +1,23 @@
 //! datamime-runtime: the run harness under the Datamime search loop.
 //!
-//! Three layers, each usable on its own:
+//! Five layers, each usable on its own:
 //!
 //! - [`executor`] — a worker pool draining batch-`k` suggestions from any
 //!   [`datamime_bayesopt::BlackBoxOptimizer`] through a bounded work
 //!   queue, with seed-stable deterministic ordering;
+//! - [`supervisor`] — fault-tolerant evaluation: panic containment,
+//!   watchdog deadlines via a cooperative [`CancelToken`], bounded retry
+//!   with deterministic backoff, and penalty verdicts the executor
+//!   quarantines and degrades on;
+//! - [`faultinject`] — a deterministic [`FaultPlan`] that makes chosen
+//!   evaluations panic, stall, or return NaN/Inf so every failure path is
+//!   testable in CI (the `faultinject` cargo feature only gates extra
+//!   stress tests — the module is always available);
 //! - [`journal`] — an append-only JSONL run journal plus [`replay`] for
-//!   crash-safe resume;
-//! - [`telemetry`] — per-stage wall-clock timers, eval counters, and a
-//!   pluggable [`ProgressSink`].
+//!   crash-safe resume, with `fault`/`attempt` events that replay
+//!   failures faithfully;
+//! - [`telemetry`] — per-stage wall-clock timers, eval/fault counters,
+//!   and a pluggable [`ProgressSink`].
 //!
 //! The crate is std-only by necessity (the build environment has no
 //! crates.io access), which is why [`json`] hand-rolls the small JSON
@@ -17,10 +26,20 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod faultinject;
 pub mod journal;
 pub mod json;
+pub mod supervisor;
 pub mod telemetry;
 
 pub use executor::{EvalRecord, ExecError, Executor, RunMeta, RunOutcome};
-pub use journal::{replay, JournalError, JournalWriter, Replay, JOURNAL_VERSION};
+pub use faultinject::{FaultPlan, InjectedFault, PlannedFault};
+pub use journal::{
+    replay, JournalError, JournalWriter, PendingFault, Replay, JOURNAL_VERSION,
+    OLDEST_READABLE_VERSION,
+};
+pub use supervisor::{
+    CancelToken, Evaluated, FailPolicy, FailedAttempt, FailureKind, FaultInfo, Supervisor,
+    SupervisorConfig, Watchdog,
+};
 pub use telemetry::{NullSink, ProgressSink, StageTimes, StderrSink, Telemetry};

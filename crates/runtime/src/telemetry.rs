@@ -8,6 +8,7 @@
 //! [`Telemetry`].
 
 use crate::executor::RunMeta;
+use crate::supervisor::{FailedAttempt, FailureKind, FaultInfo};
 use std::time::{Duration, Instant};
 
 /// Wall-clock time of each named stage of one evaluation, in the order
@@ -61,6 +62,10 @@ pub struct Telemetry {
     stages: Vec<(String, Duration, u64)>,
     evaluated: usize,
     replayed: usize,
+    faults: Vec<(FailureKind, usize)>,
+    failed_attempts: usize,
+    quarantine_hits: usize,
+    degradations: usize,
     started: Instant,
 }
 
@@ -77,6 +82,10 @@ impl Telemetry {
             stages: Vec::new(),
             evaluated: 0,
             replayed: 0,
+            faults: Vec::new(),
+            failed_attempts: 0,
+            quarantine_hits: 0,
+            degradations: 0,
             started: Instant::now(),
         }
     }
@@ -118,6 +127,61 @@ impl Telemetry {
         self.replayed
     }
 
+    /// Counts one penalized evaluation of failure kind `kind` (quarantine
+    /// hits are counted separately via
+    /// [`count_quarantine_hit`](Self::count_quarantine_hit)).
+    pub fn count_fault(&mut self, kind: FailureKind) {
+        if let Some((_, n)) = self.faults.iter_mut().find(|(k, _)| *k == kind) {
+            *n += 1;
+        } else {
+            self.faults.push((kind, 1));
+        }
+    }
+
+    /// Counts one failed evaluation attempt (retries included).
+    pub fn count_failed_attempt(&mut self) {
+        self.failed_attempts += 1;
+    }
+
+    /// Counts one point penalized without evaluation because it matched
+    /// the quarantine set.
+    pub fn count_quarantine_hit(&mut self) {
+        self.quarantine_hits += 1;
+    }
+
+    /// Counts one graceful batch degradation.
+    pub fn count_degradation(&mut self) {
+        self.degradations += 1;
+    }
+
+    /// Total penalized evaluations (excluding quarantine hits).
+    pub fn faults_total(&self) -> usize {
+        self.faults.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Penalized evaluations of one failure kind.
+    pub fn faults_of(&self, kind: FailureKind) -> usize {
+        self.faults
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Failed evaluation attempts, retries included.
+    pub fn failed_attempts(&self) -> usize {
+        self.failed_attempts
+    }
+
+    /// Points penalized without evaluation by the quarantine set.
+    pub fn quarantine_hits(&self) -> usize {
+        self.quarantine_hits
+    }
+
+    /// Graceful batch degradations.
+    pub fn degradations(&self) -> usize {
+        self.degradations
+    }
+
     /// Total time recorded for `stage`, if any evaluation recorded it.
     pub fn stage_total(&self, stage: &str) -> Option<Duration> {
         self.stages
@@ -149,6 +213,28 @@ impl Telemetry {
                 "  {name:<12} total {total:>10.2?}  mean {mean:>9.2?}  x{count}"
             );
         }
+        if self.faults_total() + self.failed_attempts + self.quarantine_hits + self.degradations > 0
+        {
+            let by_kind: Vec<String> = self
+                .faults
+                .iter()
+                .map(|(k, n)| format!("{} x{n}", k.tag()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  faults: {} penalized ({}), {} failed attempt(s), \
+                 {} quarantine hit(s), {} degradation(s)",
+                self.faults_total(),
+                if by_kind.is_empty() {
+                    "none".to_string()
+                } else {
+                    by_kind.join(", ")
+                },
+                self.failed_attempts,
+                self.quarantine_hits,
+                self.degradations
+            );
+        }
         out
     }
 }
@@ -171,6 +257,23 @@ pub trait ProgressSink {
     /// incumbent after this observation.
     fn on_eval(&mut self, index: usize, error: f64, best_error: f64) {
         let _ = (index, error, best_error);
+    }
+
+    /// One evaluation attempt failed (retries may still follow).
+    fn on_attempt(&mut self, attempt: &FailedAttempt) {
+        let _ = attempt;
+    }
+
+    /// Point `index` was penalized: every attempt failed, or the point
+    /// matched the quarantine set.
+    fn on_fault(&mut self, index: usize, fault: &FaultInfo) {
+        let _ = (index, fault);
+    }
+
+    /// The executor shrank its evaluation batch from `from_k` to `to_k`
+    /// after repeated consecutive failures (graceful degradation).
+    fn on_degrade(&mut self, from_k: usize, to_k: usize) {
+        let _ = (from_k, to_k);
     }
 
     /// The run finished.
@@ -229,6 +332,27 @@ impl ProgressSink for StderrSink {
                 self.iterations
             );
         }
+    }
+
+    fn on_attempt(&mut self, attempt: &FailedAttempt) {
+        eprintln!(
+            "warning: evaluation {} attempt {} failed ({}): {}",
+            attempt.index, attempt.attempt, attempt.kind, attempt.detail
+        );
+    }
+
+    fn on_fault(&mut self, index: usize, fault: &FaultInfo) {
+        eprintln!(
+            "warning: evaluation {index} penalized ({}, {} retr{}): {}",
+            fault.kind,
+            fault.retries,
+            if fault.retries == 1 { "y" } else { "ies" },
+            fault.detail
+        );
+    }
+
+    fn on_degrade(&mut self, from_k: usize, to_k: usize) {
+        eprintln!("warning: repeated failures — shrinking evaluation batch {from_k} -> {to_k}");
     }
 
     fn on_finish(&mut self, best_error: f64, telemetry: &Telemetry) {

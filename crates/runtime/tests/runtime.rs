@@ -3,8 +3,8 @@
 
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
 use datamime_runtime::{
-    replay, EvalRecord, ExecError, Executor, JournalWriter, ProgressSink, RunMeta, StageTimes,
-    Telemetry,
+    replay, CancelToken, EvalRecord, ExecError, Executor, JournalWriter, ProgressSink, RunMeta,
+    StageTimes, Telemetry,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -16,7 +16,7 @@ fn objective(unit: &[f64]) -> f64 {
     unit.iter().map(|x| (x - 0.3).powi(2)).sum()
 }
 
-fn eval(unit: &[f64], stages: &mut StageTimes) -> f64 {
+fn eval(unit: &[f64], stages: &mut StageTimes, _cancel: &CancelToken) -> f64 {
     stages.time("profile", || objective(unit))
 }
 
@@ -157,9 +157,9 @@ fn interrupted_run_resumes_without_re_evaluating() {
     assert!(!r.complete);
     assert_eq!(r.evals.len(), 8);
     let evaluated = AtomicUsize::new(0);
-    let counting_eval = |unit: &[f64], stages: &mut StageTimes| {
+    let counting_eval = |unit: &[f64], stages: &mut StageTimes, cancel: &CancelToken| {
         evaluated.fetch_add(1, Ordering::Relaxed);
-        eval(unit, stages)
+        eval(unit, stages, cancel)
     };
     let writer = JournalWriter::append(&path).unwrap();
     let resumed = Executor::new(m.clone())
@@ -319,6 +319,7 @@ fn eval_record_is_plain_data() {
         unit: vec![0.5],
         error: 1.0,
         stage_ms: vec![("profile".to_string(), 2.0)],
+        fault: None,
     };
     assert_eq!(rec.clone(), rec);
 }

@@ -30,6 +30,9 @@ fi
 if [ -z "${SKIP_TESTS:-}" ]; then
   run cargo build --release
   run cargo test -q
+  # Fault-injection stress pass: the supervisor must keep runs
+  # deterministic and crash-free under injected panics/stalls/NaNs.
+  run cargo test -q -p datamime-runtime --features faultinject
 fi
 
 echo "==> CI passed"
