@@ -1,0 +1,242 @@
+//! `audit.toml`: which paths each rule covers and what each rule denies.
+//!
+//! The configuration is explicit on purpose — the deterministic surface
+//! and the supervised-evaluation surface are *policy*, not something the
+//! tool can infer. See the workspace `audit.toml` for the commented
+//! canonical instance.
+
+use crate::toml::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Scope + deny-lists for the determinism rule.
+#[derive(Debug, Clone)]
+pub struct DeterminismConfig {
+    /// Files/directories (workspace-relative) declared deterministic.
+    pub paths: Vec<PathBuf>,
+    /// Identifiers whose mere use is a hazard (`HashMap`, `thread_rng`…).
+    pub deny_idents: Vec<String>,
+    /// `Type::method` paths that read ambient state (`Instant::now`…).
+    pub deny_calls: Vec<String>,
+}
+
+/// Scope + deny-lists for the panic-safety rule.
+#[derive(Debug, Clone)]
+pub struct PanicSafetyConfig {
+    /// Files/directories (workspace-relative) on the supervised
+    /// evaluation path.
+    pub paths: Vec<PathBuf>,
+    /// Method names that panic on failure (`unwrap`, `expect`).
+    pub deny_methods: Vec<String>,
+    /// Macro names that unconditionally panic (`panic`, `todo`…).
+    pub deny_macros: Vec<String>,
+}
+
+/// The full audit configuration.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Directories under the workspace root to scan for crates.
+    pub roots: Vec<PathBuf>,
+    /// Workspace-relative path prefixes to skip entirely (fixture
+    /// corpora, generated code).
+    pub exclude: Vec<PathBuf>,
+    /// Determinism rule settings.
+    pub determinism: DeterminismConfig,
+    /// Panic-safety rule settings.
+    pub panic_safety: PanicSafetyConfig,
+    /// Whether the lock-order rule runs.
+    pub lock_order: bool,
+    /// Whether the unsafe-forbidden rule runs.
+    pub unsafe_forbidden: bool,
+    /// Allowed internal dependencies per crate; a crate absent from the
+    /// matrix is itself a layering violation.
+    pub layering: BTreeMap<String, Vec<String>>,
+}
+
+/// A configuration failure (I/O, parse error, wrong value shape).
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "audit configuration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl AuditConfig {
+    /// Reads and interprets an `audit.toml`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_toml(&text)
+            .map_err(|ConfigError(msg)| ConfigError(format!("{}: {msg}", path.display())))
+    }
+
+    /// Interprets configuration text.
+    pub fn from_toml(text: &str) -> Result<Self, ConfigError> {
+        let doc = toml::parse(text).map_err(|e| ConfigError(e.to_string()))?;
+        let layering = doc
+            .table("layering.allow")
+            .into_iter()
+            .map(|e| Ok((e.key.clone(), string_array(&e.value, &e.key)?)))
+            .collect::<Result<_, ConfigError>>()?;
+        Ok(AuditConfig {
+            roots: path_list(&doc, "scan", "roots", &["crates"])?,
+            exclude: path_list(&doc, "scan", "exclude", &[])?,
+            determinism: DeterminismConfig {
+                paths: path_list(&doc, "determinism", "paths", &[])?,
+                deny_idents: str_list(
+                    &doc,
+                    "determinism",
+                    "deny-idents",
+                    &[
+                        "HashMap",
+                        "HashSet",
+                        "DefaultHasher",
+                        "thread_rng",
+                        "from_entropy",
+                    ],
+                )?,
+                deny_calls: str_list(
+                    &doc,
+                    "determinism",
+                    "deny-calls",
+                    &["Instant::now", "SystemTime::now"],
+                )?,
+            },
+            panic_safety: PanicSafetyConfig {
+                paths: path_list(&doc, "panic-safety", "paths", &[])?,
+                deny_methods: str_list(
+                    &doc,
+                    "panic-safety",
+                    "deny-methods",
+                    &["unwrap", "expect"],
+                )?,
+                deny_macros: str_list(
+                    &doc,
+                    "panic-safety",
+                    "deny-macros",
+                    &["panic", "unreachable", "todo", "unimplemented"],
+                )?,
+            },
+            lock_order: flag(&doc, "lock-order", "enabled", true)?,
+            unsafe_forbidden: flag(&doc, "unsafe-forbidden", "enabled", true)?,
+            layering,
+        })
+    }
+
+    /// Whether `rel` (workspace-relative) falls under any of `paths`
+    /// (each either a file or a directory prefix).
+    pub fn path_in_scope(rel: &Path, paths: &[PathBuf]) -> bool {
+        paths.iter().any(|p| rel.starts_with(p))
+    }
+
+    /// Whether `rel` is excluded from scanning entirely.
+    pub fn is_excluded(&self, rel: &Path) -> bool {
+        Self::path_in_scope(rel, &self.exclude)
+    }
+}
+
+fn string_array(v: &Value, what: &str) -> Result<Vec<String>, ConfigError> {
+    let arr = v
+        .as_array()
+        .ok_or_else(|| ConfigError(format!("`{what}` must be an array of strings")))?;
+    arr.iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ConfigError(format!("`{what}` must contain only strings")))
+        })
+        .collect()
+}
+
+fn str_list(
+    doc: &toml::Doc,
+    table: &str,
+    key: &str,
+    default: &[&str],
+) -> Result<Vec<String>, ConfigError> {
+    match doc.get(table, key) {
+        Some(e) => string_array(&e.value, &format!("[{table}] {key}")),
+        None => Ok(default.iter().map(|s| s.to_string()).collect()),
+    }
+}
+
+fn path_list(
+    doc: &toml::Doc,
+    table: &str,
+    key: &str,
+    default: &[&str],
+) -> Result<Vec<PathBuf>, ConfigError> {
+    Ok(str_list(doc, table, key, default)?
+        .into_iter()
+        .map(PathBuf::from)
+        .collect())
+}
+
+fn flag(doc: &toml::Doc, table: &str, key: &str, default: bool) -> Result<bool, ConfigError> {
+    match doc.get(table, key) {
+        Some(e) => e
+            .value
+            .as_bool()
+            .ok_or_else(|| ConfigError(format!("`[{table}] {key}` must be a boolean"))),
+        None => Ok(default),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_apply_when_sections_are_absent() {
+        let cfg = AuditConfig::from_toml("").unwrap();
+        assert_eq!(cfg.roots, vec![PathBuf::from("crates")]);
+        assert!(cfg.determinism.deny_idents.contains(&"HashMap".to_string()));
+        assert!(cfg.lock_order && cfg.unsafe_forbidden);
+        assert!(cfg.layering.is_empty());
+    }
+
+    #[test]
+    fn full_config_round_trips() {
+        let cfg = AuditConfig::from_toml(
+            r#"
+            [scan]
+            roots = ["crates"]
+            exclude = ["crates/audit/tests/fixtures"]
+            [determinism]
+            paths = ["crates/sim/src", "crates/core/src/search.rs"]
+            deny-idents = ["HashMap"]
+            deny-calls = ["Instant::now"]
+            [panic-safety]
+            paths = ["crates/core/src/profiler.rs"]
+            [lock-order]
+            enabled = false
+            [layering.allow]
+            datamime-stats = []
+            datamime-sim = ["datamime-stats"]
+            "#,
+        )
+        .unwrap();
+        assert!(cfg.is_excluded(Path::new("crates/audit/tests/fixtures/determinism.rs")));
+        assert!(AuditConfig::path_in_scope(
+            Path::new("crates/sim/src/cache.rs"),
+            &cfg.determinism.paths
+        ));
+        assert!(!AuditConfig::path_in_scope(
+            Path::new("crates/sim/tests/properties.rs"),
+            &cfg.determinism.paths
+        ));
+        assert!(!cfg.lock_order);
+        assert_eq!(cfg.layering["datamime-sim"], vec!["datamime-stats"]);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(AuditConfig::from_toml("[determinism]\npaths = \"not-a-list\"\n").is_err());
+        assert!(AuditConfig::from_toml("[lock-order]\nenabled = \"yes\"\n").is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! `datamime-audit`: a std-only static-analysis pass over the Datamime
+//! workspace.
+//!
+//! The search runtime promises bit-identical results across worker
+//! counts and journal replays, graceful degradation of supervised
+//! evaluations, and a layered crate graph. The compiler checks none of
+//! that — this crate does, with four CI-gating rules over a hand-rolled
+//! token stream (no `syn`: the build environment has no crates.io
+//! access, and the auditor must sit below every layer it audits):
+//!
+//! - **`determinism`** — no `HashMap`/`HashSet`/`DefaultHasher`/
+//!   `thread_rng`/`from_entropy` and no `Instant::now`/`SystemTime::now`
+//!   in paths declared deterministic.
+//! - **`panic-safety`** — no `.unwrap()`/`.expect(…)`/`panic!`-family
+//!   macros on the supervised evaluation path.
+//! - **`lock-order`** — no two locks acquired in both orders anywhere in
+//!   the workspace.
+//! - **`layering`** — internal dependencies match the
+//!   `[layering.allow]` matrix.
+//! - **`unsafe-forbidden`** — every crate root carries
+//!   `#![forbid(unsafe_code)]`, and no scanned code uses `unsafe`.
+//!
+//! Intentional exceptions are written in the source as
+//! `// audit:allow(rule): reason` on (or directly above) the flagged
+//! line. Allows are themselves audited: a malformed allow is an
+//! `allow-syntax` error and an allow that suppresses nothing is an
+//! `unused-allow` error, so the escape hatch cannot rot.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod toml;
+pub mod workspace;
+
+use config::AuditConfig;
+use diagnostics::Diagnostic;
+use std::path::Path;
+use workspace::{Workspace, WorkspaceError};
+
+/// The outcome of one `check` run.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// All violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+    /// Number of crates discovered.
+    pub crates_scanned: usize,
+}
+
+impl CheckReport {
+    /// Whether the workspace passed.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs every enabled rule over the workspace at `root` and applies the
+/// `audit:allow` suppression pass.
+pub fn run_check(root: &Path, cfg: &AuditConfig) -> Result<CheckReport, WorkspaceError> {
+    let ws = Workspace::discover(root, cfg)?;
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    let roots = ws.crate_roots();
+    let mut lock_fns = Vec::new();
+    for src in &ws.files {
+        if AuditConfig::path_in_scope(&src.rel_path, &cfg.determinism.paths) {
+            raw.extend(rules::determinism::check(src, &cfg.determinism));
+        }
+        if AuditConfig::path_in_scope(&src.rel_path, &cfg.panic_safety.paths) {
+            raw.extend(rules::panic_safety::check(src, &cfg.panic_safety));
+        }
+        if cfg.unsafe_forbidden {
+            raw.extend(rules::unsafe_forbidden::check_unsafe_use(src));
+            if roots.contains(src.rel_path.as_path()) {
+                raw.extend(rules::unsafe_forbidden::check_root(src));
+            }
+        }
+        if cfg.lock_order {
+            lock_fns.extend(rules::lock_order::collect(src));
+        }
+    }
+    if cfg.lock_order {
+        raw.extend(rules::lock_order::report(&lock_fns));
+    }
+    raw.extend(rules::layering::check(&ws.crates, &cfg.layering));
+
+    let mut diagnostics = apply_allows(&ws, raw);
+    diagnostics.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    Ok(CheckReport {
+        diagnostics,
+        files_scanned: ws.files.len(),
+        crates_scanned: ws.crates.len(),
+    })
+}
+
+/// Suppresses diagnostics covered by a well-formed
+/// `// audit:allow(rule): reason` on the same line or the line above,
+/// then reports the allows that misfired: unknown rule names and allows
+/// that suppressed nothing.
+fn apply_allows(ws: &Workspace, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // (file index, allow index) -> used?
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.allows.len()])
+        .collect();
+
+    for d in raw {
+        let mut suppressed = false;
+        if let Some(fi) = ws.files.iter().position(|f| f.rel_path == d.file) {
+            for (ai, allow) in ws.files[fi].allows.iter().enumerate() {
+                if allow.rule == d.rule && (allow.line == d.line || allow.line + 1 == d.line) {
+                    used[fi][ai] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+
+    for (fi, f) in ws.files.iter().enumerate() {
+        for b in &f.bad_allows {
+            out.push(Diagnostic::new(
+                "allow-syntax",
+                &f.rel_path,
+                b.line,
+                b.problem.clone(),
+            ));
+        }
+        for (ai, allow) in f.allows.iter().enumerate() {
+            if !rules::RULES.contains(&allow.rule.as_str()) {
+                out.push(Diagnostic::new(
+                    "allow-syntax",
+                    &f.rel_path,
+                    allow.line,
+                    format!(
+                        "audit:allow names unknown rule `{}` (rules: {})",
+                        allow.rule,
+                        rules::RULES.join(", ")
+                    ),
+                ));
+            } else if !used[fi][ai] {
+                out.push(Diagnostic::new(
+                    "unused-allow",
+                    &f.rel_path,
+                    allow.line,
+                    format!(
+                        "audit:allow({}) suppresses nothing — delete it (reason was: {})",
+                        allow.rule, allow.reason
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

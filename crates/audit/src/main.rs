@@ -1,0 +1,192 @@
+//! The `datamime-audit` command-line interface.
+//!
+//! ```text
+//! cargo run -p datamime-audit -- check [--root DIR] [--config FILE]
+//!                                      [--format human|json] [--quiet]
+//! cargo run -p datamime-audit -- rules
+//! ```
+//!
+//! Exit codes: `0` — clean; `1` — violations found; `2` — usage,
+//! configuration, or scan error. Without `--root`/`--config`, the
+//! workspace root is located by walking up from the current directory to
+//! the nearest `audit.toml`.
+
+#![forbid(unsafe_code)]
+
+use datamime_audit::config::AuditConfig;
+use datamime_audit::{diagnostics, run_check};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+datamime-audit: static-analysis gates for the Datamime workspace
+
+USAGE:
+    datamime-audit check [--root DIR] [--config FILE] [--format human|json] [--quiet]
+    datamime-audit rules
+
+OPTIONS:
+    --root DIR       Workspace root (default: nearest ancestor with audit.toml)
+    --config FILE    Configuration file (default: <root>/audit.toml)
+    --format KIND    Output format: human (default) or json
+    --quiet          Suppress the summary line on success
+";
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Options {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    format: Format,
+    quiet: bool,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "rules" => {
+            for rule in datamime_audit::rules::RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => match parse_options(args) {
+            Ok(opts) => check(&opts),
+            Err(msg) => {
+                eprintln!("datamime-audit: {msg}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("datamime-audit: unknown command `{other}`");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_options(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        config: None,
+        format: Format::Human,
+        quiet: false,
+    };
+    while let Some(arg) = args.next() {
+        // Accept both `--flag value` and `--flag=value`.
+        let (flag, mut inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let takes_value = matches!(flag.as_str(), "--root" | "--config" | "--format");
+        let value = if takes_value {
+            match inline.take() {
+                Some(v) => v,
+                None => args
+                    .next()
+                    .ok_or_else(|| format!("`{flag}` needs a value"))?,
+            }
+        } else {
+            String::new()
+        };
+        match flag.as_str() {
+            "--root" => opts.root = Some(PathBuf::from(value)),
+            "--config" => opts.config = Some(PathBuf::from(value)),
+            "--format" => {
+                opts.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--quiet" | "-q" => opts.quiet = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn check(opts: &Options) -> ExitCode {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => match find_root() {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "datamime-audit: no audit.toml found here or in any parent \
+                     directory (pass --root or --config)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("audit.toml"));
+    let cfg = match AuditConfig::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("datamime-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_check(&root, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("datamime-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match opts.format {
+        Format::Json => print!("{}", diagnostics::to_json(&report.diagnostics)),
+        Format::Human => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if !report.clean() {
+                eprintln!(
+                    "datamime-audit: {} violation(s) across {} file(s) in {} crate(s)",
+                    report.diagnostics.len(),
+                    report.files_scanned,
+                    report.crates_scanned
+                );
+            } else if !opts.quiet {
+                eprintln!(
+                    "datamime-audit: clean ({} files, {} crates)",
+                    report.files_scanned, report.crates_scanned
+                );
+            }
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walks up from the current directory to the nearest `audit.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Rule `determinism`: no unordered containers, wall clocks, or ambient
+//! entropy in code declared deterministic.
+//!
+//! Datamime's reproducibility contract — bit-identical search outcomes
+//! across worker counts and journal replays — holds only if the flagged
+//! paths never iterate a `HashMap`/`HashSet` (randomized order feeds the
+//! objective), never read `Instant::now`/`SystemTime::now`, and never
+//! draw from `thread_rng`/`from_entropy`/`DefaultHasher` (ambient
+//! entropy). The rule flags the *use* of these names, not just
+//! iteration: a `HashMap` that is only probed is one refactor away from
+//! being iterated, and `BTreeMap` costs nothing here.
+
+use crate::config::DeterminismConfig;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Checks one in-scope file.
+pub fn check(src: &SourceFile, cfg: &DeterminismConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || src.is_test_code(i) {
+            continue;
+        }
+        if cfg.deny_idents.contains(&t.text) {
+            out.push(Diagnostic::new(
+                "determinism",
+                &src.rel_path,
+                t.line,
+                format!(
+                    "`{}` in a deterministic path: unordered/entropic state can leak \
+                     into results (use BTreeMap/BTreeSet or a seeded RNG)",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `Type::method` call paths, e.g. `Instant::now`.
+        for call in &cfg.deny_calls {
+            if matches_call_path(toks, i, call) {
+                out.push(Diagnostic::new(
+                    "determinism",
+                    &src.rel_path,
+                    t.line,
+                    format!(
+                        "`{call}` in a deterministic path: wall-clock reads are not \
+                         replayable (thread timing budgets through config, not ambient time)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Whether the tokens starting at `i` spell `call` (segments separated by
+/// `::`), e.g. `Instant :: now` for `"Instant::now"`.
+fn matches_call_path(toks: &[crate::lexer::Token], i: usize, call: &str) -> bool {
+    let mut j = i;
+    for (n, seg) in call.split("::").enumerate() {
+        if n > 0 {
+            if !(toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':')))
+            {
+                return false;
+            }
+            j += 2;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident(seg)) {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn cfg() -> DeterminismConfig {
+        DeterminismConfig {
+            paths: Vec::new(),
+            deny_idents: vec!["HashMap".into(), "thread_rng".into()],
+            deny_calls: vec!["Instant::now".into(), "SystemTime::now".into()],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse(Path::new("f.rs"), src), &cfg())
+    }
+
+    #[test]
+    fn flags_idents_and_call_paths() {
+        let diags = run("use std::collections::HashMap;\n\
+             fn f() { let t = Instant::now(); let m: HashMap<u8, u8> = HashMap::new(); }\n");
+        assert_eq!(diags.len(), 4);
+        assert_eq!(diags[0].line, 1);
+        assert!(diags[1].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_test_code() {
+        let diags = run("// HashMap is fine in a comment\n\
+             fn f() { let s = \"Instant::now\"; }\n\
+             #[cfg(test)]\nmod tests { use std::collections::HashMap; }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn instant_alone_is_not_a_call_match() {
+        // `Instant` by itself (e.g. a type in a signature) is fine; only
+        // `Instant::now` reads the clock.
+        let diags = run("fn f(deadline: Instant) {}\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,289 @@
+//! Rule `lock-order`: consistent `Mutex`/`RwLock` acquisition order.
+//!
+//! The runtime's executor, supervisor, and watchdog coordinate through a
+//! handful of locks; a deadlock between them stalls a whole search run.
+//! This rule extracts, per function, the ordered sequence of
+//! `<receiver>.lock()` / `.read()` / `.write()` acquisitions (exactly
+//! the zero-argument forms `Mutex::lock`, `RwLock::read`,
+//! `RwLock::write` take — `io::Write::write(buf)` never matches), builds
+//! a workspace-wide acquired-before graph keyed by receiver path (with a
+//! leading `self.` stripped so methods and free functions agree on a
+//! lock's name), and reports every pair of locks acquired in both
+//! orders.
+//!
+//! Heuristics, stated honestly: guards are assumed held to the end of
+//! the function (an early `drop(guard)` can false-positive — suppress
+//! with `audit:allow(lock-order)` and a reason), and re-acquiring the
+//! *same* lock in one function is *not* flagged (loops that re-lock per
+//! iteration are common and correct).
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// One lock acquisition site.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Normalized receiver path naming the lock (`shared.state`).
+    pub lock: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// The ordered acquisitions of one function.
+#[derive(Debug, Clone)]
+pub struct FnLocks {
+    /// Function name.
+    pub function: String,
+    /// File the function lives in (workspace-relative).
+    pub file: PathBuf,
+    /// Acquisitions in source order.
+    pub acquisitions: Vec<Acquisition>,
+}
+
+/// Extracts per-function acquisition sequences from one file.
+pub fn collect(src: &SourceFile) -> Vec<FnLocks> {
+    let toks = &src.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            && !src.is_test_code(i)
+        {
+            let name = toks[i + 1].text.clone();
+            if let Some((body_start, body_end)) = body_span(toks, i + 2) {
+                let acquisitions = acquisitions_in(toks, body_start, body_end);
+                if !acquisitions.is_empty() {
+                    out.push(FnLocks {
+                        function: name,
+                        file: src.rel_path.clone(),
+                        acquisitions,
+                    });
+                }
+                // Continue scanning *inside* the body too: nested fns are
+                // picked up as their own functions on later iterations.
+                i = body_start + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Finds the `{ … }` body of a function whose signature starts at `i`;
+/// `None` for body-less declarations (`fn f();` in traits).
+fn body_span(toks: &[Token], mut i: usize) -> Option<(usize, usize)> {
+    let mut paren_depth = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            paren_depth += 1;
+        } else if t.is_punct(')') {
+            paren_depth = paren_depth.saturating_sub(1);
+        } else if paren_depth == 0 {
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_punct('{') {
+                let mut depth = 0usize;
+                let start = i;
+                while i < toks.len() {
+                    if toks[i].is_punct('{') {
+                        depth += 1;
+                    } else if toks[i].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((start, i));
+                        }
+                    }
+                    i += 1;
+                }
+                return Some((start, toks.len()));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collects `receiver.lock()/read()/write()` acquisitions in
+/// `toks[start..end]`, skipping nested `fn` bodies (they are reported as
+/// their own functions).
+fn acquisitions_in(toks: &[Token], start: usize, end: usize) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            if let Some((_, nested_end)) = body_span(toks, i + 2) {
+                i = nested_end + 1;
+                continue;
+            }
+        }
+        let is_acquire = matches!(toks[i].text.as_str(), "lock" | "read" | "write")
+            && toks[i].kind == TokKind::Ident
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'));
+        if is_acquire {
+            if let Some(lock) = receiver_path(toks, i - 2) {
+                out.push(Acquisition {
+                    lock,
+                    line: toks[i].line,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Reconstructs the dotted receiver ending at token `leaf`
+/// (`self.shared.state` → `shared.state`); `None` when the receiver is
+/// not a plain path (e.g. `make().lock()`).
+fn receiver_path(toks: &[Token], leaf: usize) -> Option<String> {
+    if toks.get(leaf)?.kind != TokKind::Ident {
+        return None;
+    }
+    let mut parts = vec![toks[leaf].text.clone()];
+    let mut i = leaf;
+    while i >= 2 && toks[i - 1].is_punct('.') && toks[i - 2].kind == TokKind::Ident {
+        i -= 2;
+        parts.push(toks[i].text.clone());
+    }
+    parts.reverse();
+    if parts.first().is_some_and(|p| p == "self") {
+        parts.remove(0);
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    Some(parts.join("."))
+}
+
+/// A witness that `first` was acquired before `second`.
+#[derive(Debug, Clone)]
+struct Edge {
+    function: String,
+    file: PathBuf,
+    line: u32,
+}
+
+/// Builds the acquired-before graph and reports both-orders pairs.
+pub fn report(functions: &[FnLocks]) -> Vec<Diagnostic> {
+    // (first, second) -> first witness.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for f in functions {
+        for (a_idx, a) in f.acquisitions.iter().enumerate() {
+            for b in f.acquisitions.iter().skip(a_idx + 1) {
+                if a.lock == b.lock {
+                    continue; // re-acquiring in a loop is not an inversion
+                }
+                edges
+                    .entry((a.lock.clone(), b.lock.clone()))
+                    .or_insert_with(|| Edge {
+                        function: f.function.clone(),
+                        file: f.file.clone(),
+                        line: b.line,
+                    });
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((a, b), fwd) in &edges {
+        let key = if a < b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        if reported.contains(&key) {
+            continue;
+        }
+        if let Some(rev) = edges.get(&(b.clone(), a.clone())) {
+            reported.insert(key);
+            out.push(Diagnostic::new(
+                "lock-order",
+                &fwd.file,
+                fwd.line,
+                format!(
+                    "potential deadlock: `{a}` is acquired before `{b}` in `{}` \
+                     ({}:{}), but `{b}` before `{a}` in `{}` ({}:{})",
+                    fwd.function,
+                    fwd.file.display(),
+                    fwd.line,
+                    rev.function,
+                    rev.file.display(),
+                    rev.line,
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn locks_of(src: &str) -> Vec<FnLocks> {
+        collect(&SourceFile::parse(Path::new("f.rs"), src))
+    }
+
+    #[test]
+    fn extracts_ordered_acquisitions_with_self_stripped() {
+        let fns = locks_of(
+            "impl W {\n\
+               fn register(&self) {\n\
+                 let a = self.shared.state.lock().unwrap();\n\
+                 let b = queue.write();\n\
+               }\n\
+             }\n\
+             fn watch(shared: &S) { let g = shared.state.lock(); }\n",
+        );
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].function, "register");
+        assert_eq!(fns[0].acquisitions[0].lock, "shared.state");
+        assert_eq!(fns[0].acquisitions[1].lock, "queue");
+        assert_eq!(fns[1].acquisitions[0].lock, "shared.state");
+    }
+
+    #[test]
+    fn io_write_with_arguments_is_not_an_acquisition() {
+        let fns = locks_of("fn f(w: &mut W) { w.write(buf); out.write_all(b).unwrap(); }\n");
+        assert!(fns.is_empty(), "{fns:?}");
+    }
+
+    #[test]
+    fn inversion_across_functions_is_reported_once() {
+        let fns = locks_of(
+            "fn ab() { let x = a.lock(); let y = b.lock(); }\n\
+             fn ba() { let y = b.lock(); let x = a.lock(); }\n",
+        );
+        let diags = report(&fns);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("potential deadlock"));
+        assert!(diags[0].message.contains("`ab`") && diags[0].message.contains("`ba`"));
+    }
+
+    #[test]
+    fn relocking_in_a_loop_is_not_flagged() {
+        let fns = locks_of("fn pump() { loop { let j = rx.lock(); drop(j); } }\n");
+        let diags = report(&fns);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn consistent_order_across_functions_is_clean() {
+        let fns = locks_of(
+            "fn one() { let x = a.lock(); let y = b.lock(); }\n\
+             fn two() { let x = a.lock(); let y = b.lock(); }\n",
+        );
+        assert!(report(&fns).is_empty());
+    }
+}

@@ -1,0 +1,21 @@
+//! The audit rules.
+//!
+//! Each rule consumes lexed [`SourceFile`](crate::source::SourceFile)s
+//! or parsed manifests and emits [`Diagnostic`](crate::diagnostics::Diagnostic)s;
+//! the engine in [`crate::run_check`] owns scoping (which files a rule
+//! sees) and the `audit:allow` suppression pass.
+
+pub mod determinism;
+pub mod layering;
+pub mod lock_order;
+pub mod panic_safety;
+pub mod unsafe_forbidden;
+
+/// Every rule identifier an `audit:allow(...)` comment may name.
+pub const RULES: [&str; 5] = [
+    "determinism",
+    "panic-safety",
+    "lock-order",
+    "layering",
+    "unsafe-forbidden",
+];

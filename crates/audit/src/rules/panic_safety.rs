@@ -1,0 +1,105 @@
+//! Rule `panic-safety`: no panicking shortcuts on the supervised
+//! evaluation path.
+//!
+//! The runtime supervisor contains evaluation panics with
+//! `catch_unwind` and penalizes them — but containment is the net, not
+//! the policy. Code on the evaluation path (`instantiate → profile →
+//! error`) must degrade gracefully: a stray `unwrap()` turns a
+//! recoverable condition (a cancelled profile, a non-finite sample)
+//! into a `FailureKind::Panic` verdict with a misleading payload, burns
+//! the retry budget, and — under `FailPolicy::Abort` — kills the whole
+//! run. The rule flags `.unwrap()` / `.expect(…)` method calls and
+//! unconditionally-panicking macros in the configured paths.
+
+use crate::config::PanicSafetyConfig;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Checks one in-scope file.
+pub fn check(src: &SourceFile, cfg: &PanicSafetyConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || src.is_test_code(i) {
+            continue;
+        }
+        // `.method(` — a call, not a definition or path mention.
+        let is_method_call =
+            i > 0 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if is_method_call && cfg.deny_methods.contains(&t.text) {
+            out.push(Diagnostic::new(
+                "panic-safety",
+                &src.rel_path,
+                t.line,
+                format!(
+                    "`.{}(…)` on the supervised evaluation path: return the error \
+                     (or a penalized verdict) instead of panicking into catch_unwind",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `macro!(` / `macro!{` / `macro![`.
+        let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct('{') || n.is_punct('['));
+        if is_macro && cfg.deny_macros.contains(&t.text) {
+            out.push(Diagnostic::new(
+                "panic-safety",
+                &src.rel_path,
+                t.line,
+                format!(
+                    "`{}!` on the supervised evaluation path: panics here masquerade \
+                     as evaluation faults and can abort the run under FailPolicy::Abort",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn cfg() -> PanicSafetyConfig {
+        PanicSafetyConfig {
+            paths: Vec::new(),
+            deny_methods: vec!["unwrap".into(), "expect".into()],
+            deny_macros: vec!["panic".into(), "todo".into()],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse(Path::new("f.rs"), src), &cfg())
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let diags = run("fn f() {\n\
+               let a = x.unwrap();\n\
+               let b = y.expect(\"msg\");\n\
+               panic!(\"boom\");\n\
+               todo!();\n\
+             }\n");
+        assert_eq!(diags.len(), 4);
+        assert_eq!(diags[1].line, 3);
+    }
+
+    #[test]
+    fn definitions_mentions_and_cousins_are_not_calls() {
+        let diags = run("fn unwrap() {}\n\
+             fn g() { let a = x.unwrap_or_else(|| 3); let p = Self::unwrap; }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_may_panic() {
+        let diags = run("#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); panic!(); }\n}\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Rule `unsafe-forbidden`: every crate root carries
+//! `#![forbid(unsafe_code)]`, and no scanned file uses `unsafe`.
+//!
+//! The attribute makes the compiler the enforcer; this rule makes its
+//! *presence* CI-gated, so a refactor that drops the line (or a new
+//! crate that never had it) fails the audit rather than silently
+//! weakening the workspace. The textual `unsafe`-use check is the
+//! belt-and-braces half: it fires even on code the compiler has not
+//! built (a feature-gated module, a new bin target), and it gives the
+//! audit's fixtures something observable without compiling them.
+
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// Checks that a crate-root file declares `#![forbid(unsafe_code)]`.
+pub fn check_root(src: &SourceFile) -> Option<Diagnostic> {
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let is_inner_attr_head = t.is_punct('#')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('['))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("forbid"))
+            && toks.get(i + 4).is_some_and(|n| n.is_punct('('));
+        if !is_inner_attr_head {
+            continue;
+        }
+        // Scan the forbid argument list for `unsafe_code`.
+        let mut j = i + 5;
+        while let Some(n) = toks.get(j) {
+            if n.is_punct(')') {
+                break;
+            }
+            if n.is_ident("unsafe_code") {
+                return None;
+            }
+            j += 1;
+        }
+    }
+    Some(Diagnostic::new(
+        "unsafe-forbidden",
+        &src.rel_path,
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]`",
+    ))
+}
+
+/// Flags every textual use of the `unsafe` keyword outside test code.
+pub fn check_unsafe_use(src: &SourceFile) -> Vec<Diagnostic> {
+    src.tokens
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| t.is_ident("unsafe") && !src.is_test_code(*i))
+        .map(|(_, t)| {
+            Diagnostic::new(
+                "unsafe-forbidden",
+                &src.rel_path,
+                t.line,
+                "`unsafe` is forbidden workspace-wide (every invariant here is \
+                 enforceable in safe Rust)",
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse(Path::new("crates/x/src/lib.rs"), src)
+    }
+
+    #[test]
+    fn forbid_attribute_satisfies_the_root_check() {
+        let src = parse("#![forbid(unsafe_code)]\n//! Docs.\npub fn f() {}\n");
+        assert!(check_root(&src).is_none());
+    }
+
+    #[test]
+    fn missing_or_wrong_attribute_is_reported() {
+        for text in [
+            "pub fn f() {}\n",
+            "#![deny(unsafe_code)]\n", // deny is overridable; forbid is not
+            "#![forbid(dead_code)]\n", // wrong lint
+            "#[forbid(unsafe_code)]\nfn f() {}\n", // outer attr on an item, not the crate
+        ] {
+            let d = check_root(&parse(text));
+            assert!(d.is_some(), "{text:?} passed");
+            assert_eq!(d.unwrap().line, 1);
+        }
+    }
+
+    #[test]
+    fn forbid_among_other_inner_attrs_is_found() {
+        let src = parse("#![warn(missing_docs)]\n#![forbid(unsafe_code, dead_code)]\n");
+        assert!(check_root(&src).is_none());
+    }
+
+    #[test]
+    fn unsafe_use_is_flagged_outside_tests_only() {
+        let src = parse(
+            "fn f() { unsafe { *p } }\n\
+             #[cfg(test)]\nmod tests { fn t() { unsafe {} } }\n",
+        );
+        let diags = check_unsafe_use(&src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end audit runs: each fixture mini-workspace under
+//! `tests/fixtures/` trips exactly its intended rule, the CLI reports
+//! violations with a non-zero exit, and — the self-check — the live
+//! workspace passes with zero violations.
+
+use datamime_audit::config::AuditConfig;
+use datamime_audit::diagnostics::Diagnostic;
+use datamime_audit::run_check;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_fixture(name: &str) -> Vec<Diagnostic> {
+    let root = fixture_root(name);
+    let cfg = AuditConfig::load(&root.join("audit.toml")).expect("fixture config loads");
+    run_check(&root, &cfg)
+        .expect("fixture scan succeeds")
+        .diagnostics
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn determinism_fixture_trips_only_determinism() {
+    let diags = check_fixture("determinism");
+    // `use … HashMap` + two `HashMap` in the body + one `Instant::now`.
+    assert_eq!(rules_of(&diags), vec!["determinism"; 4], "{diags:?}");
+    assert!(diags.iter().any(|d| d.message.contains("Instant::now")));
+    assert!(diags
+        .iter()
+        .all(|d| d.file.ends_with("crates/det/src/lib.rs")));
+}
+
+#[test]
+fn panic_safety_fixture_trips_only_panic_safety() {
+    let diags = check_fixture("panic_safety");
+    assert_eq!(rules_of(&diags), vec!["panic-safety"; 3], "{diags:?}");
+    assert_eq!(diags[0].line, 6, "unwrap site");
+    assert_eq!(diags[1].line, 7, "expect site");
+    assert_eq!(diags[2].line, 9, "panic! site");
+}
+
+#[test]
+fn lock_order_fixture_reports_the_inversion_once() {
+    let diags = check_fixture("lock_order");
+    assert_eq!(rules_of(&diags), vec!["lock-order"], "{diags:?}");
+    assert!(diags[0].message.contains("`ab`"));
+    assert!(diags[0].message.contains("`ba`"));
+}
+
+#[test]
+fn layering_fixture_flags_the_skipped_layer() {
+    let diags = check_fixture("layering");
+    assert_eq!(rules_of(&diags), vec!["layering"], "{diags:?}");
+    assert!(diags[0].file.ends_with("crates/top/Cargo.toml"));
+    assert!(diags[0].message.contains("`top` may not depend on `base`"));
+}
+
+#[test]
+fn unsafe_fixture_flags_missing_forbid_and_unsafe_use() {
+    let diags = check_fixture("unsafe_missing");
+    assert_eq!(rules_of(&diags), vec!["unsafe-forbidden"; 2], "{diags:?}");
+    assert!(diags[0]
+        .message
+        .contains("missing `#![forbid(unsafe_code)]`"));
+    assert!(diags[1].message.contains("`unsafe` is forbidden"));
+}
+
+#[test]
+fn misfiring_allows_are_themselves_violations() {
+    let diags = check_fixture("unused_allow");
+    let mut rules = rules_of(&diags);
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        vec!["allow-syntax", "allow-syntax", "unused-allow"],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_and_its_allow_counts_as_used() {
+    let diags = check_fixture("clean");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_a_fixture_and_zero_on_the_workspace() {
+    let bin = env!("CARGO_BIN_EXE_datamime-audit");
+    let bad = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(fixture_root("panic_safety"))
+        .arg("--format=json")
+        .output()
+        .expect("audit binary runs");
+    assert_eq!(bad.status.code(), Some(1), "fixture must fail the audit");
+    let json = String::from_utf8_lossy(&bad.stdout);
+    assert!(json.contains("\"rule\":\"panic-safety\""), "{json}");
+
+    let good = Command::new(bin)
+        .args(["check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("audit binary runs");
+    assert_eq!(
+        good.status.code(),
+        Some(0),
+        "live workspace must pass: {}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/audit sits two levels below the root")
+        .to_path_buf()
+}
+
+/// The self-check gate: the workspace this crate ships in must audit
+/// clean under its own committed policy.
+#[test]
+fn live_workspace_audits_clean() {
+    let root = workspace_root();
+    let cfg = AuditConfig::load(&root.join("audit.toml")).expect("workspace audit.toml loads");
+    let report = run_check(&root, &cfg).expect("workspace scan succeeds");
+    assert!(
+        report.diagnostics.is_empty(),
+        "live workspace has audit violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the workspace.
+    assert!(report.crates_scanned >= 10, "{}", report.crates_scanned);
+    assert!(report.files_scanned >= 50, "{}", report.files_scanned);
+}

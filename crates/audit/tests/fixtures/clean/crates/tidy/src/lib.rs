@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: a compliant crate, including one *used* allow.
+
+use std::time::Instant;
+
+/// Stamps an operator-facing log line.
+pub fn log_stamp() -> Instant {
+    // audit:allow(determinism): operator-facing log timestamp, never journaled
+    Instant::now()
+}

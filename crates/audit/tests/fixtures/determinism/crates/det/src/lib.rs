@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: intentional determinism violations.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Iterates a randomized-order map and reads the wall clock.
+pub fn hazard() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _t = Instant::now();
+    m.len()
+}

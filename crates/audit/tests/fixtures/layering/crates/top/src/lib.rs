@@ -1,0 +1,2 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: top layer, reaching past `mid` straight to `base`.

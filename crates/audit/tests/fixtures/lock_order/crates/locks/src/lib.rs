@@ -1,0 +1,18 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: an intentional lock-order inversion.
+
+use std::sync::Mutex;
+
+/// Locks `a` then `b`.
+pub fn ab(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let x = a.lock().unwrap();
+    let y = b.lock().unwrap();
+    *x + *y
+}
+
+/// Locks `b` then `a` — the inversion.
+pub fn ba(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let y = b.lock().unwrap();
+    let x = a.lock().unwrap();
+    *x + *y
+}

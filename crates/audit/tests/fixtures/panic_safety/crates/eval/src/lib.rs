@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: intentional panic-safety violations.
+
+/// Panics three different ways on bad input.
+pub fn brittle(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a + b > 100 {
+        panic!("too large");
+    }
+    a + b
+}

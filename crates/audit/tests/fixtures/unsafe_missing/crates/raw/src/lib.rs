@@ -1,0 +1,6 @@
+//! Audit fixture: no `#![forbid(unsafe_code)]`, and an `unsafe` block.
+
+/// Reads through a raw pointer.
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

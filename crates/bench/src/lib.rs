@@ -1,1 +1,3 @@
 //! Criterion benches live in benches/; see DESIGN.md for the table/figure index.
+
+#![forbid(unsafe_code)]

@@ -8,6 +8,7 @@
 //! datamime clone mem-fb --iters 60       # run the Datamime search
 //! ```
 
+#![forbid(unsafe_code)]
 use datamime::generator::generator_for_program;
 use datamime::metrics::DistMetric;
 use datamime::profiler::{profile_workload, ProfilingConfig};

@@ -63,7 +63,8 @@ impl Profile {
     ///
     /// # Errors
     ///
-    /// Returns an error if `samples` is empty.
+    /// Returns an error if `samples` is empty or any metric column
+    /// contains a non-finite value.
     pub fn from_samples(
         samples: &[MetricSample],
         curve: Vec<CurvePoint>,
@@ -71,20 +72,20 @@ impl Profile {
         if samples.is_empty() {
             return Err(EmptyProfileError);
         }
-        let column = |f: fn(&MetricSample) -> f64| -> Ecdf {
-            Ecdf::new(samples.iter().map(f).collect()).expect("non-empty finite samples")
+        let column = |f: fn(&MetricSample) -> f64| -> Result<Ecdf, EmptyProfileError> {
+            Ecdf::new(samples.iter().map(f).collect()).map_err(|_| EmptyProfileError)
         };
         let mut dists = BTreeMap::new();
-        dists.insert(DistMetric::Ipc, column(|s| s.ipc));
-        dists.insert(DistMetric::ICacheMpki, column(|s| s.l1i_mpki));
-        dists.insert(DistMetric::ItlbMpki, column(|s| s.itlb_mpki));
-        dists.insert(DistMetric::L1dMpki, column(|s| s.l1d_mpki));
-        dists.insert(DistMetric::L2Mpki, column(|s| s.l2_mpki));
-        dists.insert(DistMetric::LlcMpki, column(|s| s.llc_mpki));
-        dists.insert(DistMetric::DtlbMpki, column(|s| s.dtlb_mpki));
-        dists.insert(DistMetric::BranchMpki, column(|s| s.branch_mpki));
-        dists.insert(DistMetric::CpuUtilization, column(|s| s.cpu_utilization));
-        dists.insert(DistMetric::MemoryBandwidth, column(|s| s.memory_bw_gbps));
+        dists.insert(DistMetric::Ipc, column(|s| s.ipc)?);
+        dists.insert(DistMetric::ICacheMpki, column(|s| s.l1i_mpki)?);
+        dists.insert(DistMetric::ItlbMpki, column(|s| s.itlb_mpki)?);
+        dists.insert(DistMetric::L1dMpki, column(|s| s.l1d_mpki)?);
+        dists.insert(DistMetric::L2Mpki, column(|s| s.l2_mpki)?);
+        dists.insert(DistMetric::LlcMpki, column(|s| s.llc_mpki)?);
+        dists.insert(DistMetric::DtlbMpki, column(|s| s.dtlb_mpki)?);
+        dists.insert(DistMetric::BranchMpki, column(|s| s.branch_mpki)?);
+        dists.insert(DistMetric::CpuUtilization, column(|s| s.cpu_utilization)?);
+        dists.insert(DistMetric::MemoryBandwidth, column(|s| s.memory_bw_gbps)?);
         Ok(Profile { dists, curve })
     }
 

@@ -9,7 +9,7 @@ use crate::workload::Workload;
 use datamime_apps::App;
 use datamime_loadgen::{Driver, WorkloadSpec};
 use datamime_runtime::CancelToken;
-use datamime_sim::{Machine, MachineConfig, Sampler};
+use datamime_sim::{Machine, MachineConfig, MetricSample, Sampler};
 
 /// How cache-sensitivity curves are measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,7 +226,19 @@ pub fn profile_app_cancellable(
         }
     }
 
-    Profile::from_samples(sampler.samples(), curve).expect("sampler produced samples")
+    // A run cancelled before its first interval sample leaves the sampler
+    // empty; fall back to a single zero sample so profiling degrades
+    // gracefully instead of panicking into the supervisor's catch_unwind
+    // (the cancelled evaluation is recorded as a timeout and this profile
+    // is discarded unread).
+    let zero_fallback = [MetricSample::default()];
+    let samples = if sampler.samples().is_empty() {
+        &zero_fallback[..]
+    } else {
+        sampler.samples()
+    };
+    // audit:allow(panic-safety): the fallback above makes emptiness impossible; a non-finite sample is a simulator bug worth a loud stop
+    Profile::from_samples(samples, curve).expect("finite samples build a profile")
 }
 
 fn curve_point(sampler: &Sampler, cache_bytes: u64) -> CurvePoint {

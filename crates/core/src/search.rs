@@ -325,6 +325,7 @@ pub fn search(
         .run_seq(optimizer.as_mut(), &mut |unit, stages, cancel| {
             evaluate(generator, target_profile, cfg, unit, stages, cancel)
         })
+        // audit:allow(panic-safety): run_seq only fails on journal I/O, and this run has no journal
         .expect("journal-less sequential run cannot fail");
     finish(generator, cfg, run)
 }
@@ -354,6 +355,7 @@ pub fn search_parallel(
         cfg,
         &RuntimeOptions::parallel(batch),
     )
+    // audit:allow(panic-safety): search_with_runtime only fails on journal I/O, and these options set no journal
     .expect("journal-less parallel run cannot fail")
 }
 

@@ -10,6 +10,7 @@
 //! target and reports the final best error under the *EMD-equal* yardstick
 //! so numbers are comparable across arms.
 
+#![forbid(unsafe_code)]
 use datamime::error_model::{profile_error, DistanceKind, MetricWeights};
 use datamime::generator::KvGenerator;
 use datamime::profiler::profile_workload;

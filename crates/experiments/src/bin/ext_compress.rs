@@ -8,6 +8,7 @@
 //! ratio mismatch added to the EMD objective. The synthesized dataset
 //! should match both the performance profile and the compression ratio.
 
+#![forbid(unsafe_code)]
 use datamime::compress::{
     search_compress_aware, workload_compression_ratio, KvGeneratorCompressible,
 };

@@ -7,6 +7,7 @@
 //! the speedup the paper predicts for combining statistical modeling with
 //! profile-guided generation.
 
+#![forbid(unsafe_code)]
 use datamime::constrained::{ConstrainedGenerator, ParamConstraint};
 use datamime::generator::KvGenerator;
 use datamime::profiler::profile_workload;

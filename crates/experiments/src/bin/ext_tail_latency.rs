@@ -8,6 +8,7 @@
 //! should track the target's, while the PerfProx proxy has no request
 //! structure at all.
 
+#![forbid(unsafe_code)]
 use datamime::workload::Workload;
 use datamime_experiments::{clone_target, row, Report, Settings};
 use datamime_loadgen::Driver;

@@ -6,6 +6,7 @@
 //! benchmark — compared on IPC and ICache MPKI on Broadwell, and IPC on
 //! Zen 2 (cross-microarchitecture validation).
 
+#![forbid(unsafe_code)]
 use datamime::metrics::DistMetric;
 use datamime::workload::Workload;
 use datamime_experiments::{

@@ -5,6 +5,7 @@
 //! and also reports how close the 25%-budget point gets to the final
 //! minimum, mirroring the paper's 50-of-200-iterations discussion.
 
+#![forbid(unsafe_code)]
 use datamime::generator::generator_for_program;
 use datamime::profiler::profile_workload;
 use datamime::search::search_with_runtime;

@@ -3,6 +3,7 @@
 //! and report what a single-metric Datamime search actually achieves
 //! (points on y = x are reachable).
 
+#![forbid(unsafe_code)]
 use datamime::generator::{
     DatasetGenerator, DnnGenerator, KvGenerator, SiloGenerator, XapianGenerator,
 };

@@ -3,6 +3,7 @@
 //! the kernel network stack and requests incur NIC/network latency; the
 //! search runs against the networked target's profile.
 
+#![forbid(unsafe_code)]
 use datamime::generator::{DatasetGenerator, KvGenerator, ParamSpec};
 use datamime::metrics::{CurveMetric, DistMetric};
 use datamime::profiler::profile_workload;

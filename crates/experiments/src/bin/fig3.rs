@@ -2,6 +2,7 @@
 //! (public dataset, PerfProx, Datamime), each validated on Broadwell,
 //! Zen 2, and Silvermont.
 
+#![forbid(unsafe_code)]
 use datamime::metrics::DistMetric;
 use datamime_experiments::{
     clone_target, primary_targets_with_programs, profile, profile_perfprox, public_counterpart,

@@ -5,6 +5,7 @@
 //! and the Datamime benchmark, plus the spread (p90 − p10) that makes the
 //! static-proxy failure obvious.
 
+#![forbid(unsafe_code)]
 use datamime::metrics::DistMetric;
 use datamime::workload::Workload;
 use datamime_experiments::{clone_target, profile, profile_perfprox, row, Report, Settings};

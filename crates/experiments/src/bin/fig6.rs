@@ -2,6 +2,7 @@
 //! target workloads versus the PerfProx and Datamime benchmarks, on
 //! Broadwell (absolute values; the paper normalizes to the target).
 
+#![forbid(unsafe_code)]
 use datamime::metrics::DistMetric;
 use datamime_experiments::{
     clone_target, primary_targets_with_programs, profile, profile_perfprox, row, Report, Settings,

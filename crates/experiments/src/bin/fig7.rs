@@ -2,6 +2,7 @@
 //! way partitioning) for each workload, comparing target, PerfProx, and
 //! Datamime.
 
+#![forbid(unsafe_code)]
 use datamime::metrics::CurveMetric;
 use datamime::profile::Profile;
 use datamime_experiments::{

@@ -2,6 +2,7 @@
 //! for the target, PerfProx, and Datamime. Printed as quartile tables plus
 //! the per-metric normalized EMD that quantifies distribution match.
 
+#![forbid(unsafe_code)]
 use datamime::metrics::DistMetric;
 use datamime_experiments::{
     clone_target, primary_targets_with_programs, profile, profile_perfprox, Report, Settings,

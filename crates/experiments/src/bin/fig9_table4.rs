@@ -7,6 +7,7 @@
 //! the paper's observation that reweighting trades LLC-curve accuracy for
 //! IPC accuracy.
 
+#![forbid(unsafe_code)]
 use datamime::metrics::{CurveMetric, DistMetric};
 use datamime::workload::Workload;
 use datamime::MetricWeights;

@@ -2,6 +2,7 @@
 //! evaluation under `results/`. Equivalent to the loop in README.md but
 //! with per-step timing and a final manifest.
 
+#![forbid(unsafe_code)]
 use std::process::Command;
 use std::time::Instant;
 

@@ -1,5 +1,6 @@
 //! Table II: specifications of the three evaluation platforms.
 
+#![forbid(unsafe_code)]
 use datamime_experiments::Report;
 use datamime_sim::MachineConfig;
 

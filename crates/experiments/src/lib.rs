@@ -15,6 +15,7 @@
 //! `results/search_cache/` keyed by target, generator, fidelity, and
 //! iteration count.
 
+#![forbid(unsafe_code)]
 use datamime::generator::{generator_for_program, DatasetGenerator};
 use datamime::profile::Profile;
 use datamime::profiler::{profile_workload, ProfilingConfig};

@@ -33,7 +33,7 @@ use crate::supervisor::{
 };
 use crate::telemetry::{NullSink, ProgressSink, StageTimes, Telemetry};
 use datamime_bayesopt::BlackBoxOptimizer;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -433,7 +433,7 @@ impl Executor {
                 r.evals.truncate(iterations);
                 (r.evals, r.fault_attempts)
             }
-            None => (Vec::new(), HashMap::new()),
+            None => (Vec::new(), BTreeMap::new()),
         };
         if !replayed_prefix.is_empty() {
             self.sink.on_replay(replayed_prefix.len());
@@ -451,6 +451,7 @@ impl Executor {
         while history.len() < iterations {
             let done = history.len();
             let k = effective_k.min(iterations - done);
+            // audit:allow(determinism): stage timing feeds telemetry only, never the optimizer or journal
             let suggest_started = Instant::now();
             let units = optimizer.suggest_batch(k);
             telemetry.record("suggest", suggest_started.elapsed());

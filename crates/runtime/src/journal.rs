@@ -28,7 +28,7 @@
 use crate::executor::{EvalRecord, RunMeta};
 use crate::json::{push_f64, push_f64_array, push_str_escaped, Json};
 use crate::supervisor::{FailedAttempt, FailureKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -238,7 +238,7 @@ pub struct Replay {
     /// journal recorded retries in flight but no final verdict. A
     /// supervised resume penalizes these points instead of re-running
     /// them.
-    pub fault_attempts: HashMap<usize, PendingFault>,
+    pub fault_attempts: BTreeMap<usize, PendingFault>,
     /// Whether a `done` event was seen (the run finished cleanly).
     pub complete: bool,
     /// Lines dropped as malformed or out-of-order (a crash mid-write
@@ -260,7 +260,7 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
     let meta = parse_header(&header)?;
 
     let mut evals = Vec::new();
-    let mut fault_attempts: HashMap<usize, PendingFault> = HashMap::new();
+    let mut fault_attempts: BTreeMap<usize, PendingFault> = BTreeMap::new();
     let mut complete = false;
     let mut dropped_lines = 0;
     for line in lines {

@@ -23,6 +23,7 @@
 //! crates.io access), which is why [`json`] hand-rolls the small JSON
 //! subset the journal needs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod executor;

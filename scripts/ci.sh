@@ -26,6 +26,12 @@ else
   echo "==> cargo clippy not installed; skipping lints"
 fi
 
+# Static-analysis gate: determinism, panic-safety, lock-order, layering,
+# and unsafe-forbidden invariants (policy in audit.toml, tool in
+# crates/audit). Runs before the tests — it is fast and its findings
+# usually explain any downstream flakiness.
+run cargo run -q -p datamime-audit -- check
+
 # Tier-1 gate.
 if [ -z "${SKIP_TESTS:-}" ]; then
   run cargo build --release

@@ -9,6 +9,7 @@
 //! iterations or the `measurement_time` budget is exhausted, reporting
 //! mean per-iteration wall time. No statistics, plots, or baselines.
 
+#![forbid(unsafe_code)]
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting benched code.

@@ -17,6 +17,7 @@
 //! Neither difference weakens what the tests check — only how failures
 //! are minimized and how rejected samples are replaced.
 
+#![forbid(unsafe_code)]
 use std::ops::{Range, RangeInclusive};
 
 /// Number of generated cases when a test block carries no
