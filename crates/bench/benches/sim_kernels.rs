@@ -1,0 +1,25 @@
+//! Criterion view of the simulator-kernel microbenchmarks — the hot loops
+//! every search evaluation pays for (cache lookup, TLB translation, the
+//! full machine access path, counter sampling).
+//!
+//! The canonical numbers live in `BENCH_sim.json`, produced by
+//! `scripts/bench.sh` from the same kernels with median + IQR reporting;
+//! this bench exists so `cargo bench --workspace` covers them too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datamime_bench::simbench::all_kernels;
+
+fn sim_kernels(c: &mut Criterion) {
+    for mut kernel in all_kernels() {
+        // One warm-up invocation, then steady-state timing.
+        let _ = (kernel.run)();
+        c.bench_function(kernel.name, |b| b.iter(&mut kernel.run));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sim_kernels
+}
+criterion_main!(benches);

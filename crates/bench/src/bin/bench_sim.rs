@@ -1,0 +1,226 @@
+//! Emits `BENCH_sim.json`: median + IQR ns/op for every simulator kernel
+//! in [`datamime_bench::simbench`], measured with fixed seeds.
+//!
+//! ```text
+//! bench_sim [-o FILE] [--baseline FILE] [--check] [--reps N]
+//! ```
+//!
+//! - `-o FILE` — write the JSON report to FILE (default: stdout);
+//! - `--baseline FILE` — read a previous report and record its numbers as
+//!   `before_ns_per_op` (plus a `speedup` ratio) per bench; checksums are
+//!   compared and a mismatch **fails the run**, because it means the
+//!   kernel's simulated behaviour changed rather than just its speed;
+//! - `--check` — smoke mode for CI: one rep, one invocation per kernel,
+//!   no report. Proves the benches still compile and run deterministically
+//!   within the tier-1 time budget;
+//! - `--reps N` — timed repetitions per kernel (default 15);
+//! - `--memo-json FILE` — embed FILE (the JSON object `memo_fig10` from
+//!   the `datamime-experiments` binary of that name) in the report as the
+//!   search-level memo-cache accounting. The file is produced elsewhere
+//!   because this crate deliberately does not depend on the runtime (see
+//!   `audit.toml` layering).
+//!
+//! See docs/PERFORMANCE.md for how to read the report.
+
+#![forbid(unsafe_code)]
+use datamime_bench::simbench::{all_kernels, quartiles, BENCH_SEED};
+use std::time::Instant;
+
+struct BenchRow {
+    name: &'static str,
+    ops: u64,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    checksum: u64,
+}
+
+/// One prior result scraped from a `--baseline` report.
+struct BaselineRow {
+    name: String,
+    median: f64,
+    checksum: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut check = false;
+    let mut reps: usize = 15;
+    let mut memo_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => out_path = Some(expect_value(it.next(), "-o")),
+            "--baseline" => baseline_path = Some(expect_value(it.next(), "--baseline")),
+            "--memo-json" => memo_path = Some(expect_value(it.next(), "--memo-json")),
+            "--check" => check = true,
+            "--reps" => {
+                reps = expect_value(it.next(), "--reps")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--reps: {e}")))
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if check {
+        reps = 1;
+    }
+
+    let baseline = baseline_path.as_deref().map(|p| {
+        read_baseline(p).unwrap_or_else(|e| die(&format!("cannot read baseline {p}: {e}")))
+    });
+
+    let mut rows = Vec::new();
+    for mut kernel in all_kernels() {
+        // One untimed warm-up invocation brings cache/TLB/predictor state
+        // to steady state so reps measure the warm hot loop. Its checksum
+        // is the recorded one: invocation-count independent, so `--check`
+        // runs and full runs fingerprint identically.
+        let checksum = (kernel.run)();
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let started = Instant::now();
+            std::hint::black_box((kernel.run)());
+            samples.push(started.elapsed().as_secs_f64() * 1e9 / kernel.ops as f64);
+        }
+        let (q1, median, q3) = quartiles(&mut samples);
+        eprintln!(
+            "{:<24} median {median:>8.2} ns/op  IQR {:>6.2}  checksum {checksum:#018x}",
+            kernel.name,
+            q3 - q1,
+        );
+        rows.push(BenchRow {
+            name: kernel.name,
+            ops: kernel.ops,
+            q1,
+            median,
+            q3,
+            checksum,
+        });
+    }
+
+    if check {
+        eprintln!("bench_sim --check: {} kernels ran clean", rows.len());
+        return;
+    }
+
+    let memo = memo_path.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .unwrap_or_else(|e| die(&format!("cannot read memo accounting {p}: {e}")))
+    });
+    let report = render_report(&rows, baseline.as_deref(), memo.as_deref());
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &report).unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
+            eprintln!("wrote {p}");
+        }
+        None => println!("{report}"),
+    }
+}
+
+fn expect_value(v: Option<&String>, flag: &str) -> String {
+    v.cloned()
+        .unwrap_or_else(|| die(&format!("{flag} requires a value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_sim: {msg}");
+    std::process::exit(2);
+}
+
+fn render_report(
+    rows: &[BenchRow],
+    baseline: Option<&[BaselineRow]>,
+    memo: Option<&str>,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"datamime-bench-sim/1\",\n");
+    s.push_str(&format!("  \"seed\": \"{BENCH_SEED:#x}\",\n"));
+    s.push_str("  \"unit\": \"ns_per_op\",\n");
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"name\":\"{}\",\"ops\":{},\"median_ns_per_op\":{:.3},\
+             \"iqr_ns_per_op\":{:.3},\"q1\":{:.3},\"q3\":{:.3},\"checksum\":\"{:#018x}\"",
+            r.name,
+            r.ops,
+            r.median,
+            r.q3 - r.q1,
+            r.q1,
+            r.q3,
+            r.checksum
+        );
+        if let Some(base) = baseline {
+            if let Some(b) = base.iter().find(|b| b.name == r.name) {
+                let got = format!("{:#018x}", r.checksum);
+                if b.checksum != got {
+                    die(&format!(
+                        "{}: checksum changed ({} -> {got}); the kernel's simulated \
+                         behaviour diverged from the baseline",
+                        r.name, b.checksum
+                    ));
+                }
+                line.push_str(&format!(
+                    ",\"before_ns_per_op\":{:.3},\"speedup\":{:.2}",
+                    b.median,
+                    b.median / r.median
+                ));
+            }
+        }
+        line.push('}');
+        if i + 1 < rows.len() {
+            line.push(',');
+        }
+        s.push_str(&line);
+        s.push('\n');
+    }
+    s.push_str("  ]");
+    if let Some(memo) = memo {
+        s.push_str(",\n  \"memo_fig10\": ");
+        s.push_str(memo.trim());
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Scrapes `name` / `median_ns_per_op` / `checksum` out of a report this
+/// binary produced earlier (one bench object per line; not a general JSON
+/// parser).
+fn read_baseline(path: &str) -> Result<Vec<BaselineRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name) = scrape_str(line, "\"name\":\"") else {
+            continue;
+        };
+        let median = scrape_num(line, "\"median_ns_per_op\":")
+            .ok_or_else(|| format!("bench {name} has no median_ns_per_op"))?;
+        let checksum = scrape_str(line, "\"checksum\":\"")
+            .ok_or_else(|| format!("bench {name} has no checksum"))?;
+        rows.push(BaselineRow {
+            name,
+            median,
+            checksum,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no bench rows found".to_string());
+    }
+    Ok(rows)
+}
+
+fn scrape_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn scrape_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let end = line[start..]
+        .find([',', '}'])
+        .map_or(line.len(), |i| i + start);
+    line[start..end].trim().parse().ok()
+}

@@ -1,0 +1,264 @@
+//! Simulator-kernel microbenchmarks with deterministic inputs.
+//!
+//! Each [`Kernel`] is a self-contained measurement target: a fixed-seed
+//! workload driven through one `datamime-sim` hot loop (cache lookup, TLB
+//! translation, the full `Machine` access path, counter sampling). The
+//! kernels are shared by the `sim_kernels` Criterion bench and the
+//! `bench_sim` binary behind `scripts/bench.sh`, which reports
+//! median + IQR nanoseconds per operation into `BENCH_sim.json`.
+//!
+//! Every kernel returns a **checksum** folded from the simulator's own
+//! counters. The checksum is a semantic fingerprint: any change to the
+//! kernels that alters hit/miss behaviour — rather than just making the
+//! same behaviour faster — shows up as a checksum mismatch against the
+//! committed baseline, which is how the benchmark enforces that the
+//! fast-path rewrites stayed bit-identical.
+
+use datamime_sim::{Cache, CacheConfig, Machine, MachineConfig, Replacement, Sampler, Tlb};
+use datamime_stats::Rng;
+
+/// Seed for every kernel's address-stream generator.
+pub const BENCH_SEED: u64 = 0xBE7C_517E;
+
+/// One microbenchmark: a name, the number of simulated operations one
+/// invocation performs, and the invocation itself.
+pub struct Kernel {
+    /// Bench identifier (`sim/...`), stable across runs.
+    pub name: &'static str,
+    /// Simulated operations per invocation (the ns/op divisor).
+    pub ops: u64,
+    /// Runs one invocation and returns the counter checksum.
+    pub run: Box<dyn FnMut() -> u64>,
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    // splitmix64 finalizer — order-sensitive fold for checksums.
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// Deterministic address stream: draws from a hot, a warm, and a big
+/// region so a cache hierarchy sees hits and misses at every level.
+fn address_stream(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Rng::with_seed(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = rng.f64();
+        let addr = if r < 0.55 {
+            // Hot: 16 KB, L1-resident.
+            0x1000_0000 + rng.below(16 * 1024 / 64) * 64
+        } else if r < 0.85 {
+            // Warm: 192 KB, L2-resident.
+            0x2000_0000 + rng.below(192 * 1024 / 64) * 64
+        } else {
+            // Big: 32 MB, spills the LLC.
+            0x4000_0000 + rng.below(32 * (1 << 20) / 64) * 64
+        };
+        out.push(addr);
+    }
+    out
+}
+
+/// The headline kernel: a three-level L1/L2/LLC lookup chain (Broadwell
+/// geometries, DRRIP LLC) over a mixed-locality address stream.
+pub fn l1l2llc_access() -> Kernel {
+    const N: usize = 200_000;
+    let stream = address_stream(N, BENCH_SEED);
+    let mut l1 = Cache::new(CacheConfig::new(32 * 1024, 8));
+    let mut l2 = Cache::new(CacheConfig::new(256 * 1024, 8));
+    let mut llc = Cache::new(CacheConfig {
+        size_bytes: 12 << 20,
+        ways: 12,
+        line_bytes: 64,
+        replacement: Replacement::Drrip,
+    });
+    Kernel {
+        name: "sim/l1l2llc_access",
+        ops: N as u64,
+        run: Box::new(move || {
+            for &a in &stream {
+                if l1.access(a, false).is_miss() && l2.access(a, false).is_miss() {
+                    let _ = llc.access(a, false);
+                }
+            }
+            mix(mix(mix(0, l1.hits()), l2.misses()), llc.misses())
+        }),
+    }
+}
+
+/// Pure L1 hit loop: a 16 KB working set cycled through a 32 KB 8-way
+/// cache — the best case the lookup fast path must win on.
+pub fn cache_l1_hit() -> Kernel {
+    const N: usize = 262_144;
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 8));
+    let lines: Vec<u64> = (0..256u64).map(|i| 0x1000_0000 + i * 64).collect();
+    Kernel {
+        name: "sim/cache_l1_hit",
+        ops: N as u64,
+        run: Box::new(move || {
+            for i in 0..N {
+                let _ = cache.access(lines[i & 255], i & 7 == 0);
+            }
+            mix(cache.hits(), cache.misses())
+        }),
+    }
+}
+
+/// DRRIP eviction churn: a 2× working set cycled through a 16 KB LLC
+/// slice, exercising victim selection and set dueling.
+pub fn cache_llc_drrip() -> Kernel {
+    const N: usize = 131_072;
+    let mut cache = Cache::new(CacheConfig {
+        size_bytes: 16 * 1024,
+        ways: 8,
+        line_bytes: 64,
+        replacement: Replacement::Drrip,
+    });
+    let lines: Vec<u64> = (0..512u64).map(|i| 0x1000_0000 + i * 64).collect();
+    Kernel {
+        name: "sim/cache_llc_drrip",
+        ops: N as u64,
+        run: Box::new(move || {
+            for i in 0..N {
+                let _ = cache.access(lines[i & 511], false);
+            }
+            mix(cache.hits(), cache.misses())
+        }),
+    }
+}
+
+/// TLB translation loop over a page stream with reach-sized locality.
+pub fn tlb_access() -> Kernel {
+    const N: usize = 262_144;
+    let mut tlb = Tlb::new(datamime_sim::TlbConfig::new(64, 4));
+    let mut rng = Rng::with_seed(BENCH_SEED ^ 0x71b);
+    let pages: Vec<u64> = (0..N).map(|_| rng.below(96) * 4096).collect();
+    Kernel {
+        name: "sim/tlb_access",
+        ops: N as u64,
+        run: Box::new(move || {
+            for &p in &pages {
+                let _ = tlb.access(p);
+            }
+            mix(tlb.hits(), tlb.misses())
+        }),
+    }
+}
+
+/// The full data-side `Machine::load` path (TLB + prefetcher + L1/L2/LLC
+/// + penalty accounting) over the mixed-locality stream.
+pub fn machine_load() -> Kernel {
+    const N: usize = 100_000;
+    let stream = address_stream(N, BENCH_SEED ^ 0x10ad);
+    let mut m = Machine::new(MachineConfig::broadwell());
+    Kernel {
+        name: "sim/machine_load",
+        ops: N as u64,
+        run: Box::new(move || {
+            for &a in &stream {
+                m.load(a, 8);
+            }
+            let c = m.counters();
+            mix(
+                mix(mix(c.busy_cycles, c.l1d_misses), c.llc_misses),
+                c.dtlb_misses,
+            )
+        }),
+    }
+}
+
+/// The frontend `Machine::exec` path: straight-line spans through the
+/// ITLB and L1I with a modest code footprint.
+pub fn machine_exec() -> Kernel {
+    const N: usize = 50_000;
+    let mut m = Machine::new(MachineConfig::broadwell());
+    let mut rng = Rng::with_seed(BENCH_SEED ^ 0xe8ec);
+    let spans: Vec<u64> = (0..N).map(|_| 0x4000_0000 + rng.below(24) * 4096).collect();
+    Kernel {
+        name: "sim/machine_exec",
+        ops: N as u64,
+        run: Box::new(move || {
+            for &pc in &spans {
+                m.exec(pc, 256, 64);
+            }
+            let c = m.counters();
+            mix(mix(c.busy_cycles, c.l1i_misses), c.itlb_misses)
+        }),
+    }
+}
+
+/// Counter sampling: `Sampler::poll` called far more often than the
+/// interval elapses — the no-sample early-out is the hot path.
+pub fn sampler_poll() -> Kernel {
+    const N: usize = 200_000;
+    let mut m = Machine::new(MachineConfig::broadwell());
+    let mut s = Sampler::new(1_000_000);
+    Kernel {
+        name: "sim/sampler_poll",
+        ops: N as u64,
+        run: Box::new(move || {
+            for _ in 0..N {
+                m.exec(0x4000_0000, 64, 32);
+                s.poll(&m);
+            }
+            mix(m.counters().busy_cycles, s.samples().len() as u64)
+        }),
+    }
+}
+
+/// Every simulator kernel, in report order.
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        l1l2llc_access(),
+        cache_l1_hit(),
+        cache_llc_drrip(),
+        tlb_access(),
+        machine_load(),
+        machine_exec(),
+        sampler_poll(),
+    ]
+}
+
+/// `(q1, median, q3)` of a sample set (linear interpolation).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn quartiles(samples: &mut [f64]) -> (f64, f64, f64) {
+    assert!(!samples.is_empty(), "quartiles of an empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("bench times are finite"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (samples.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        samples[lo] * (1.0 - frac) + samples[hi] * frac
+    };
+    (q(0.25), q(0.5), q(0.75))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_deterministic() {
+        // Two fresh instances of the same kernel produce the same
+        // checksum on their first invocation.
+        for (mut a, mut b) in all_kernels().into_iter().zip(all_kernels()) {
+            assert_eq!((a.run)(), (b.run)(), "{} not deterministic", a.name);
+        }
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let mut xs = [4.0, 1.0, 2.0, 3.0];
+        let (q1, med, q3) = quartiles(&mut xs);
+        assert_eq!(med, 2.5);
+        assert_eq!(q1, 1.75);
+        assert_eq!(q3, 3.25);
+    }
+}

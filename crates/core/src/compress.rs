@@ -19,7 +19,7 @@ use crate::error_model::profile_error;
 use crate::generator::{DatasetGenerator, KvGenerator, ParamSpec};
 use crate::profile::Profile;
 use crate::profiler::profile_workload;
-use crate::search::{IterationRecord, SearchConfig, SearchOutcome};
+use crate::search::{IterationRecord, SearchConfig, SearchOutcome, SearchStats};
 use crate::workload::{AppConfig, Workload};
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig};
 use datamime_stats::compress::estimate_compression_ratio;
@@ -143,6 +143,10 @@ pub fn search_compress_aware(
         best_profile,
         best_error,
         history,
+        stats: SearchStats {
+            evaluated: cfg.iterations + 1, // every iteration plus the final re-profile
+            ..SearchStats::default()
+        },
     }
 }
 

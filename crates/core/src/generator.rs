@@ -27,6 +27,12 @@ pub struct ParamSpec {
     /// Map the unit interval through a log scale (for ranges spanning
     /// orders of magnitude).
     pub log: bool,
+    /// Search resolution: `Some(s)` snaps the unit coordinate to a grid
+    /// of `s + 1` evenly spaced values before scaling, `None` keeps the
+    /// axis continuous. Bounding the resolution makes re-suggested points
+    /// *exactly* equal (so the evaluation memo cache can serve them) at
+    /// the cost of sub-cell detail the profiler cannot resolve anyway.
+    pub steps: Option<u32>,
 }
 
 impl ParamSpec {
@@ -39,6 +45,7 @@ impl ParamSpec {
             hi,
             integer: false,
             log: false,
+            steps: None,
         }
     }
 
@@ -51,6 +58,7 @@ impl ParamSpec {
             hi,
             integer: false,
             log: true,
+            steps: None,
         }
     }
 
@@ -63,6 +71,7 @@ impl ParamSpec {
             hi,
             integer: true,
             log: false,
+            steps: None,
         }
     }
 
@@ -75,12 +84,40 @@ impl ParamSpec {
             hi,
             integer: true,
             log: true,
+            steps: None,
+        }
+    }
+
+    /// The same parameter with its unit axis snapped to `steps + 1` grid
+    /// values (see [`ParamSpec::steps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn with_steps(mut self, steps: u32) -> Self {
+        assert!(steps > 0, "resolution needs at least one step");
+        self.steps = Some(steps);
+        self
+    }
+
+    /// Projects a unit coordinate onto this parameter's grid (identity
+    /// for continuous axes). Idempotent; every [`ParamSpec::denormalize`]
+    /// passes through this first, so two unit points that snap together
+    /// are guaranteed to describe the same native value.
+    pub fn snap(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        match self.steps {
+            Some(s) => {
+                let s = f64::from(s);
+                (u * s).round() / s
+            }
+            None => u,
         }
     }
 
     /// Maps a unit-interval coordinate to the parameter's native range.
     pub fn denormalize(&self, u: f64) -> f64 {
-        let u = u.clamp(0.0, 1.0);
+        let u = self.snap(u);
         let v = if self.log {
             (self.lo.ln() + u * (self.hi.ln() - self.lo.ln())).exp()
         } else {
@@ -425,6 +462,62 @@ impl DatasetGenerator for DnnGenerator {
     }
 }
 
+/// Wraps any generator with a bounded search resolution: every parameter
+/// axis is snapped to `steps + 1` evenly spaced unit-grid values before
+/// the inner generator sees it.
+///
+/// In a fully continuous space, two optimizer suggestions are never
+/// bit-equal, so the evaluation memo cache can only fire on journal
+/// replay. Bounding the resolution makes repeat visits *exact*: as the
+/// optimizer converges its proposals cluster into a few grid cells, and
+/// every revisit is served from the memo instead of paying another
+/// simulator run. The grid lives in unit space and [`ParamSpec::snap`] is
+/// idempotent, so the memo key (the denormalized parameter vector) and
+/// the instantiated workload agree exactly.
+#[derive(Debug, Clone)]
+pub struct QuantizedGenerator<G> {
+    inner: G,
+    specs: Vec<ParamSpec>,
+}
+
+impl<G: DatasetGenerator> QuantizedGenerator<G> {
+    /// Wraps `inner`, snapping every axis to `steps + 1` grid values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn new(inner: G, steps: u32) -> Self {
+        let specs = inner
+            .param_specs()
+            .iter()
+            .cloned()
+            .map(|s| s.with_steps(steps))
+            .collect();
+        QuantizedGenerator { inner, specs }
+    }
+}
+
+impl<G: DatasetGenerator> DatasetGenerator for QuantizedGenerator<G> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn param_specs(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    fn instantiate(&self, unit: &[f64]) -> Workload {
+        check_dims(&self.specs, unit);
+        let snapped: Vec<f64> = self
+            .specs
+            .iter()
+            .zip(unit)
+            .map(|(s, &u)| s.snap(u))
+            .collect();
+        self.inner.instantiate(&snapped)
+    }
+}
+
 /// Returns the generator matching a target workload's program, used by the
 /// experiments (the Sec. V-C case study deliberately mismatches them).
 pub fn generator_for_program(program: &str) -> Option<Box<dyn DatasetGenerator + Send + Sync>> {
@@ -457,6 +550,39 @@ mod tests {
 
         let il = ParamSpec::int_log("w", 1.0, 64.0);
         assert_eq!(il.denormalize(0.5), 8.0);
+    }
+
+    #[test]
+    fn snapping_is_idempotent_and_bounds_the_axis() {
+        let spec = ParamSpec::linear("x", 0.0, 10.0).with_steps(4);
+        // Grid of 5 values: 0, 0.25, 0.5, 0.75, 1.
+        assert_eq!(spec.snap(0.3), 0.25);
+        assert_eq!(spec.snap(0.13), 0.25);
+        assert_eq!(spec.snap(0.12), 0.0);
+        assert_eq!(spec.snap(spec.snap(0.3)), spec.snap(0.3));
+        assert_eq!(spec.denormalize(0.3), 2.5);
+        assert_eq!(spec.denormalize(0.26), 2.5);
+        // Continuous axes are untouched.
+        let cont = ParamSpec::linear("x", 0.0, 10.0);
+        assert_eq!(cont.snap(0.3), 0.3);
+    }
+
+    #[test]
+    fn quantized_generator_collapses_nearby_points() {
+        let g = QuantizedGenerator::new(KvGenerator::new(), 8);
+        assert_eq!(g.dims(), 6);
+        assert_eq!(g.name(), "memcached");
+        let a = [0.26, 0.5, 0.5, 0.5, 0.5, 0.5];
+        let b = [0.24, 0.5, 0.5, 0.5, 0.5, 0.5];
+        assert_eq!(g.describe(&a), g.describe(&b));
+        // The instantiated workloads agree with the snapped description.
+        let wa = g.instantiate(&a);
+        let wb = g.instantiate(&b);
+        assert_eq!(format!("{:?}", wa.app), format!("{:?}", wb.app));
+        assert_eq!(wa.load.qps.to_bits(), wb.load.qps.to_bits());
+        // And disagree once the points land in different grid cells.
+        let c = [0.40, 0.5, 0.5, 0.5, 0.5, 0.5];
+        assert_ne!(g.instantiate(&c).load.qps.to_bits(), wa.load.qps.to_bits());
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub use compress::{search_compress_aware, workload_compression_ratio, KvGenerato
 pub use constrained::{ConstrainedGenerator, ConstraintError, ParamConstraint};
 pub use error_model::{profile_error, DistanceKind, ErrorBreakdown, MetricWeights};
 pub use generator::{
-    generator_for_program, DatasetGenerator, DnnGenerator, KvGenerator, ParamSpec, SiloGenerator,
-    XapianGenerator,
+    generator_for_program, DatasetGenerator, DnnGenerator, KvGenerator, ParamSpec,
+    QuantizedGenerator, SiloGenerator, XapianGenerator,
 };
 pub use metrics::{CurveMetric, DistMetric};
 pub use profile::{CurvePoint, EmptyProfileError, Profile};
@@ -69,7 +69,7 @@ pub use profiler::{profile_app, profile_workload, ProfilingConfig};
 pub use scalar::{scalar_search, scalar_sweep, ScalarOutcome, ScalarSearchConfig};
 pub use search::{
     search, search_parallel, search_with_runtime, IterationRecord, OptimizerKind, RuntimeOptions,
-    SearchConfig, SearchOutcome,
+    SearchConfig, SearchOutcome, SearchStats,
 };
 pub use validate::{validate_clone, validate_paper_setup, ValidationReport, ValidationRow};
 pub use workload::{AppConfig, Workload};

@@ -13,17 +13,18 @@
 //! worker pools, journaling and resume.
 
 use crate::error_model::{profile_error, MetricWeights};
-use crate::generator::DatasetGenerator;
+use crate::generator::{DatasetGenerator, ParamSpec};
 use crate::profile::Profile;
 use crate::profiler::{profile_workload, profile_workload_cancellable, ProfilingConfig};
 use crate::workload::Workload;
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
 use datamime_runtime::{
-    replay, CancelToken, ExecError, Executor, FailPolicy, FaultPlan, JournalWriter, RunMeta,
-    RunOutcome, StageTimes, StderrSink, SupervisorConfig,
+    canonical_bits, fingerprint, replay, CancelToken, ExecError, Executor, FailPolicy, FaultPlan,
+    JournalWriter, MemoKeyFn, RunMeta, RunOutcome, StageTimes, StderrSink, SupervisorConfig,
 };
 use datamime_sim::MachineConfig;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Which optimizer drives the search.
@@ -91,6 +92,24 @@ impl SearchConfig {
 
 /// How the runtime executes a search: batching, workers, journaling, and
 /// fault tolerance.
+///
+/// # Examples
+///
+/// ```
+/// use datamime::search::RuntimeOptions;
+/// use std::time::Duration;
+///
+/// // Four-wide parallel search with a five-minute evaluation deadline,
+/// // two retries per failing point, and a crash-safe journal.
+/// let opts = RuntimeOptions {
+///     journal: Some("run.jsonl".into()),
+///     eval_timeout: Some(Duration::from_secs(300)),
+///     max_retries: 2,
+///     ..RuntimeOptions::parallel(4)
+/// };
+/// assert_eq!((opts.batch_k, opts.workers), (4, 4));
+/// assert!(!opts.no_memo); // the evaluation memo cache is on by default
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeOptions {
     /// Suggestions drawn per optimizer batch (0 or 1 = sequential).
@@ -116,6 +135,12 @@ pub struct RuntimeOptions {
     pub fail_policy: FailPolicy,
     /// Deterministic fault-injection plan (tests and CI only).
     pub fault_plan: Option<FaultPlan>,
+    /// Disable the evaluation memo cache, forcing every suggestion to pay
+    /// a fresh simulator run even when its quantized dataset parameters
+    /// were already evaluated. Memoization never changes results (hits
+    /// observe the exact error the original evaluation produced), so this
+    /// exists for A/B accounting and debugging, not correctness.
+    pub no_memo: bool,
 }
 
 impl RuntimeOptions {
@@ -143,6 +168,20 @@ pub struct IterationRecord {
     pub error: f64,
 }
 
+/// Evaluation accounting for one search run: how many points actually
+/// paid for a simulator profile versus being served for free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Points profiled through the simulator.
+    pub evaluated: usize,
+    /// Points observed from the evaluation memo cache (the optimizer
+    /// re-suggested a point whose quantized dataset parameters were
+    /// already evaluated).
+    pub cache_hits: usize,
+    /// Points re-observed from a resumed journal.
+    pub replayed: usize,
+}
+
 /// The outcome of a Datamime search.
 #[derive(Debug)]
 pub struct SearchOutcome {
@@ -156,6 +195,8 @@ pub struct SearchOutcome {
     pub best_error: f64,
     /// Every evaluated iteration, in order.
     pub history: Vec<IterationRecord>,
+    /// Evaluation accounting (memo-cache savings included).
+    pub stats: SearchStats,
 }
 
 impl SearchOutcome {
@@ -194,6 +235,101 @@ fn run_meta(
     }
 }
 
+/// Denormalizes a unit point through the generator's parameter specs —
+/// the *quantized* parameter values that actually shape the dataset.
+/// Integer rounding and log scales map many unit points onto one
+/// parameter point, which is exactly what the evaluation memo cache keys
+/// on.
+fn denormalized_params(specs: &[ParamSpec], unit: &[f64]) -> Vec<f64> {
+    specs
+        .iter()
+        .zip(unit)
+        .map(|(spec, &u)| spec.denormalize(u))
+        .collect()
+}
+
+/// The memo key projection handed to the executor: unit point →
+/// quantized parameter point, owned so it outlives the borrowed
+/// generator.
+fn memo_key(generator: &dyn DatasetGenerator) -> MemoKeyFn {
+    let specs: Vec<ParamSpec> = generator.param_specs().to_vec();
+    Box::new(move |unit| denormalized_params(&specs, unit))
+}
+
+/// FNV-1a over a string, for folding `Debug` representations of
+/// configuration into the memo context fingerprint.
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The memo context: everything beyond the parameter point that fixes an
+/// evaluation's outcome — machine configuration, profiling fidelity,
+/// error-model weights, and the seed.
+fn memo_context(cfg: &SearchConfig) -> u64 {
+    fingerprint(&[
+        cfg.seed,
+        hash_str(&format!("{:?}", cfg.machine)),
+        hash_str(&format!("{:?}", cfg.profiling)),
+        hash_str(&format!("{:?}", cfg.weights)),
+    ])
+}
+
+/// The winning evaluation's artifacts, remembered so [`finish`] can
+/// package the outcome without re-instantiating and re-profiling the
+/// best point (which used to cost one full extra simulator run).
+struct BestEval {
+    error: f64,
+    key_bits: Vec<u64>,
+    workload: Workload,
+    profile: Profile,
+}
+
+/// Tracks the lowest-error evaluation seen so far. Shared across worker
+/// threads behind a mutex; [`finish`] validates the remembered artifacts
+/// against the executor's (deterministic) winner before reusing them, so
+/// completion-order races can only cost a recomputation, never change
+/// the result.
+#[derive(Default)]
+struct BestTracker(Mutex<Option<BestEval>>);
+
+impl BestTracker {
+    /// Offers one finished evaluation; keeps it if it beats the
+    /// incumbent.
+    fn offer(&self, error: f64, key_bits: Vec<u64>, workload: &Workload, profile: &Profile) {
+        if !error.is_finite() {
+            return;
+        }
+        // A poisoned lock means another evaluation panicked mid-offer;
+        // the slot still holds a complete incumbent (the Option is only
+        // ever replaced whole), and `finish` re-validates whatever we
+        // keep, so recovering is always safe — and panicking here would
+        // burn a supervisor retry on bookkeeping.
+        let mut slot = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.as_ref().is_none_or(|b| error < b.error) {
+            *slot = Some(BestEval {
+                error,
+                key_bits,
+                workload: workload.clone(),
+                profile: profile.clone(),
+            });
+        }
+    }
+
+    fn take(self) -> Option<BestEval> {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// One evaluation: instantiate → profile → error, with each stage timed.
 /// The cancel token reaches the profiler's sampling loops so a deadline
 /// can stop a runaway evaluation cooperatively.
@@ -201,6 +337,7 @@ fn evaluate(
     generator: &dyn DatasetGenerator,
     target_profile: &Profile,
     cfg: &SearchConfig,
+    tracker: &BestTracker,
     unit: &[f64],
     stages: &mut StageTimes,
     cancel: &CancelToken,
@@ -209,9 +346,16 @@ fn evaluate(
     let profile = stages.time("profile", || {
         profile_workload_cancellable(&workload, &cfg.machine, &cfg.profiling, cancel)
     });
-    stages.time("error", || {
+    let error = stages.time("error", || {
         profile_error(target_profile, &profile, &cfg.weights).total
-    })
+    });
+    // A cancelled evaluation produced a truncated profile and will be
+    // penalized by the supervisor — its artifacts must not be remembered.
+    if !cancel.is_cancelled() {
+        let key_bits = canonical_bits(&denormalized_params(generator.param_specs(), unit));
+        tracker.offer(error, key_bits, &workload, &profile);
+    }
+    error
 }
 
 /// The supervisor configuration implied by `opts` (penalty, backoff, and
@@ -226,10 +370,37 @@ fn supervision(opts: &RuntimeOptions) -> SupervisorConfig {
     }
 }
 
-/// Re-profiles the best point and packages the outcome.
-fn finish(generator: &dyn DatasetGenerator, cfg: &SearchConfig, run: RunOutcome) -> SearchOutcome {
-    let best_workload = generator.instantiate(&run.best_unit);
-    let best_profile = profile_workload(&best_workload, &cfg.machine, &cfg.profiling);
+/// Packages the outcome, reusing the tracked best evaluation's workload
+/// and profile when they provably belong to the executor's winner (same
+/// error bits, same quantized parameter point); otherwise re-profiles the
+/// best point as before — the only case left is a resumed run whose best
+/// point was replayed from the journal rather than evaluated here.
+fn finish(
+    generator: &dyn DatasetGenerator,
+    cfg: &SearchConfig,
+    run: RunOutcome,
+    tracker: BestTracker,
+) -> SearchOutcome {
+    let stats = SearchStats {
+        evaluated: run.telemetry.evaluated(),
+        cache_hits: run.telemetry.cache_hits(),
+        replayed: run.replayed,
+    };
+    let best_key = canonical_bits(&denormalized_params(
+        generator.param_specs(),
+        &run.best_unit,
+    ));
+    let reuse = tracker
+        .take()
+        .filter(|b| b.error.to_bits() == run.best_error.to_bits() && b.key_bits == best_key);
+    let (best_workload, best_profile) = match reuse {
+        Some(b) => (b.workload, b.profile),
+        None => {
+            let w = generator.instantiate(&run.best_unit);
+            let p = profile_workload(&w, &cfg.machine, &cfg.profiling);
+            (w, p)
+        }
+    };
     SearchOutcome {
         best_unit_params: run.best_unit,
         best_workload,
@@ -243,13 +414,24 @@ fn finish(generator: &dyn DatasetGenerator, cfg: &SearchConfig, run: RunOutcome)
                 error: r.error,
             })
             .collect(),
+        stats,
     }
 }
 
-/// Builds the executor from `opts`: supervision, journal, resume,
-/// progress sink.
-fn build_executor(meta: RunMeta, opts: &RuntimeOptions) -> Result<Executor, ExecError> {
+/// Builds the executor from `opts`: supervision, memoization, journal,
+/// resume, progress sink. Memoization is keyed on the generator's
+/// quantized parameter point (not the raw unit point) so re-suggestions
+/// that round to an already-evaluated dataset are served from cache.
+fn build_executor(
+    generator: &dyn DatasetGenerator,
+    cfg: &SearchConfig,
+    meta: RunMeta,
+    opts: &RuntimeOptions,
+) -> Result<Executor, ExecError> {
     let mut exec = Executor::new(meta).supervise(supervision(opts));
+    if !opts.no_memo {
+        exec = exec.memoize_keyed(memo_context(cfg), memo_key(generator));
+    }
     if opts.progress {
         exec = exec.sink(Box::new(StderrSink::default()));
     }
@@ -295,11 +477,20 @@ pub fn search_with_runtime(
     opts: &RuntimeOptions,
 ) -> Result<SearchOutcome, ExecError> {
     let mut optimizer = make_optimizer(cfg, generator.dims());
-    let exec = build_executor(run_meta(generator, cfg, opts), opts)?;
+    let exec = build_executor(generator, cfg, run_meta(generator, cfg, opts), opts)?;
+    let tracker = BestTracker::default();
     let run = exec.run(optimizer.as_mut(), &|unit, stages, cancel| {
-        evaluate(generator, target_profile, cfg, unit, stages, cancel)
+        evaluate(
+            generator,
+            target_profile,
+            cfg,
+            &tracker,
+            unit,
+            stages,
+            cancel,
+        )
     })?;
-    Ok(finish(generator, cfg, run))
+    Ok(finish(generator, cfg, run, tracker))
 }
 
 /// Runs a Datamime search for a dataset that makes `generator`'s program
@@ -320,14 +511,24 @@ pub fn search(
 ) -> SearchOutcome {
     let opts = RuntimeOptions::sequential();
     let mut optimizer = make_optimizer(cfg, generator.dims());
-    let exec = Executor::new(run_meta(generator, cfg, &opts));
+    let exec = Executor::new(run_meta(generator, cfg, &opts))
+        .memoize_keyed(memo_context(cfg), memo_key(generator));
+    let tracker = BestTracker::default();
     let run = exec
         .run_seq(optimizer.as_mut(), &mut |unit, stages, cancel| {
-            evaluate(generator, target_profile, cfg, unit, stages, cancel)
+            evaluate(
+                generator,
+                target_profile,
+                cfg,
+                &tracker,
+                unit,
+                stages,
+                cancel,
+            )
         })
         // audit:allow(panic-safety): run_seq only fails on journal I/O, and this run has no journal
         .expect("journal-less sequential run cannot fail");
-    finish(generator, cfg, run)
+    finish(generator, cfg, run, tracker)
 }
 
 /// Runs a Datamime search with *parallel* candidate evaluation: the
@@ -523,6 +724,87 @@ mod tests {
         assert_eq!(outcome.history.len(), 3);
         for rec in &outcome.history {
             assert_eq!(rec.error, datamime_bayesopt::PENALTY_OBJECTIVE);
+        }
+    }
+
+    #[test]
+    fn resuggested_points_hit_the_memo_cache() {
+        // On a bounded-resolution search space, GP-EI's proposals cluster
+        // into a few grid cells as it converges, so it re-suggests points
+        // whose quantized dataset parameters were already evaluated; those
+        // must be served from the memo cache, not re-profiled.
+        use crate::generator::QuantizedGenerator;
+        let mut cfg = SearchConfig::fast(48);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let outcome = search(
+            &QuantizedGenerator::new(KvGenerator::new(), 4),
+            &target,
+            &cfg,
+        );
+        assert_eq!(outcome.history.len(), 48);
+        assert_eq!(
+            outcome.stats.evaluated + outcome.stats.cache_hits,
+            48,
+            "every iteration is either profiled or served from cache"
+        );
+        assert!(
+            outcome.stats.cache_hits > 0,
+            "expected at least one re-suggested point to hit the memo cache; stats: {:?}",
+            outcome.stats
+        );
+    }
+
+    #[test]
+    fn best_profile_matches_fresh_profiling_of_best_workload() {
+        // `finish` reuses the tracked winner's profile instead of
+        // re-profiling; that cached profile must be byte-identical to a
+        // fresh simulation of the same workload.
+        let mut cfg = SearchConfig::fast(10);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let outcome = search(&KvGenerator::new(), &target, &cfg);
+        let fresh = profile_workload(&outcome.best_workload, &cfg.machine, &cfg.profiling);
+        assert_eq!(
+            outcome.best_profile.to_tsv(),
+            fresh.to_tsv(),
+            "cached best profile diverges from a fresh evaluation"
+        );
+    }
+
+    #[test]
+    fn outcome_is_bit_identical_across_worker_counts() {
+        // Memoization and best-profile caching must not perturb the
+        // executor's determinism guarantee: same seed + batch_k, different
+        // worker counts, byte-identical best profile and identical stats.
+        let mut cfg = SearchConfig::fast(12);
+        cfg.profiling = cfg.profiling.without_curves();
+        let machine = cfg.machine.clone();
+        let target = profile_workload(&small_target(), &machine, &cfg.profiling);
+        let run = |workers: usize| {
+            search_with_runtime(
+                &KvGenerator::new(),
+                &target,
+                &cfg,
+                &RuntimeOptions {
+                    batch_k: 4,
+                    workers,
+                    ..RuntimeOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.best_unit_params, b.best_unit_params);
+        assert_eq!(a.best_error.to_bits(), b.best_error.to_bits());
+        assert_eq!(a.best_profile.to_tsv(), b.best_profile.to_tsv());
+        assert_eq!(a.stats, b.stats);
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.unit_params, y.unit_params);
+            assert_eq!(x.error.to_bits(), y.error.to_bits());
         }
     }
 

@@ -4,10 +4,12 @@
 
 use datamime::error_model::{profile_error, MetricWeights};
 use datamime::generator::{
-    DatasetGenerator, DnnGenerator, KvGenerator, ParamSpec, SiloGenerator, XapianGenerator,
+    DatasetGenerator, DnnGenerator, KvGenerator, ParamSpec, QuantizedGenerator, SiloGenerator,
+    XapianGenerator,
 };
 use datamime::profile::{CurvePoint, Profile};
-use datamime_sim::MetricSample;
+use datamime::profiler::{profile_workload, ProfilingConfig};
+use datamime_sim::{MachineConfig, MetricSample};
 use proptest::prelude::*;
 
 fn unit_vec(dims: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -121,5 +123,40 @@ proptest! {
         let e = profile_error(&a, &b, &w);
         let sum: f64 = e.dists.values().sum::<f64>() + e.curves.values().sum::<f64>();
         prop_assert!((e.total - sum).abs() < 1e-9 * (1.0 + sum));
+    }
+}
+
+// Profiling is a full simulator run, so this property gets its own small
+// case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Soundness of the evaluation memo cache, as a property: the cache
+    /// keys on the *quantized* parameter point, so a hit is only correct
+    /// if (a) every unit point in a grid cell instantiates the identical
+    /// workload and (b) profiling that workload is reproducible byte for
+    /// byte. (Worker-count independence of a whole cached search is the
+    /// deterministic `outcome_is_bit_identical_across_worker_counts`
+    /// test in `core::search` — the cache is engine-thread-only, so no
+    /// per-point property depends on the worker count.)
+    #[test]
+    fn cached_and_fresh_evaluation_agree_bit_for_bit(unit in unit_vec(6)) {
+        let g = QuantizedGenerator::new(KvGenerator::new(), 4);
+        let snapped: Vec<f64> = g
+            .param_specs()
+            .iter()
+            .zip(&unit)
+            .map(|(spec, &u)| spec.snap(u))
+            .collect();
+        // The raw point and its grid representative build one workload…
+        let fresh = g.instantiate(&unit);
+        let cached = g.instantiate(&snapped);
+        prop_assert_eq!(format!("{fresh:?}"), format!("{cached:?}"));
+        // …and that workload profiles to identical bytes every time.
+        let machine = MachineConfig::broadwell();
+        let profiling = ProfilingConfig::fast().without_curves();
+        let p_fresh = profile_workload(&fresh, &machine, &profiling);
+        let p_cached = profile_workload(&cached, &machine, &profiling);
+        prop_assert_eq!(p_fresh.to_tsv(), p_cached.to_tsv());
     }
 }

@@ -197,7 +197,7 @@ impl Driver {
     ///
     /// The early return still guarantees at least one post-warm-up sample
     /// (callers can aggregate a truncated run without special cases); with
-    /// a `should_stop` that never fires this is bit-for-bit [`run`].
+    /// a `should_stop` that never fires this is bit-for-bit [`run`](Self::run).
     pub fn run_cancellable(
         &mut self,
         app: &mut dyn App,

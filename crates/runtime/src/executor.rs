@@ -15,7 +15,7 @@
 //! # Fault tolerance
 //!
 //! [`supervise`](Executor::supervise) attaches a
-//! [`Supervisor`](crate::supervisor::Supervisor): evaluations that
+//! [`Supervisor`]: evaluations that
 //! panic, stall past their deadline, or return a non-finite objective
 //! are retried with deterministic backoff and finally *penalized* (a
 //! large finite objective is observed and a `fault` record journaled)
@@ -28,6 +28,7 @@
 //! Without `supervise` the executor keeps its legacy fail-fast behavior.
 
 use crate::journal::{JournalError, JournalWriter, Replay};
+use crate::memo::{MemoCache, MemoEntry};
 use crate::supervisor::{
     CancelToken, Evaluated, FailedAttempt, FailureKind, FaultInfo, Supervisor, SupervisorConfig,
 };
@@ -73,6 +74,9 @@ pub struct EvalRecord {
     pub stage_ms: Vec<(String, f64)>,
     /// The failure behind a penalized observation, if any.
     pub fault: Option<FaultInfo>,
+    /// When this observation was served from the evaluation memo cache,
+    /// the index of the evaluation that originally produced the value.
+    pub cached: Option<usize>,
 }
 
 /// The outcome of an executor run.
@@ -123,6 +127,10 @@ impl From<JournalError> for ExecError {
 type Dispatch<'a> =
     dyn FnMut(&[(usize, Vec<f64>)], &mut dyn FnMut(FailedAttempt)) -> Vec<Evaluated> + 'a;
 
+/// Pure projection from a unit point to the memo-cache key it is cached
+/// under (see [`Executor::memoize_keyed`]).
+pub type MemoKeyFn = Box<dyn Fn(&[f64]) -> Vec<f64>>;
+
 /// How one batch position gets its record.
 enum SlotPlan {
     /// Re-observed from the resumed journal.
@@ -130,6 +138,9 @@ enum SlotPlan {
     /// Synthesized penalty: quarantine hit, or a fault whose retries were
     /// journaled before a mid-retry kill.
     Synth(FaultInfo),
+    /// Served from the evaluation memo cache: the memoized error and the
+    /// index of the evaluation that produced it.
+    Memo(MemoEntry),
     /// Dispatched for real evaluation; holds the job-slice position.
     Fresh(usize),
 }
@@ -145,6 +156,12 @@ pub struct Executor {
     resume: Option<Replay>,
     sink: Box<dyn ProgressSink>,
     supervision: Option<SupervisorConfig>,
+    memo: Option<MemoCache>,
+    /// Projects a unit point onto the memo key space (e.g. the dataset
+    /// generator's quantized parameter values, so unit points that
+    /// instantiate identical datasets share one cache entry). Identity
+    /// when absent. Only ever called on the engine thread.
+    memo_key: Option<MemoKeyFn>,
 }
 
 impl Executor {
@@ -167,6 +184,8 @@ impl Executor {
             resume: None,
             sink: Box::new(NullSink),
             supervision: None,
+            memo: None,
+            memo_key: None,
         }
     }
 
@@ -203,13 +222,61 @@ impl Executor {
     }
 
     /// Runs every evaluation under a fault-tolerant
-    /// [`Supervisor`](crate::supervisor::Supervisor) built from `cfg`
+    /// [`Supervisor`] built from `cfg`
     /// (seeded with `meta.seed`); see the module docs. Without this the
     /// executor fails fast, exactly as before supervision existed.
     #[must_use]
     pub fn supervise(mut self, cfg: SupervisorConfig) -> Self {
         self.supervision = Some(cfg);
         self
+    }
+
+    /// Memoizes successful evaluations in a [`MemoCache`] bound to
+    /// `context` (a [`crate::memo::fingerprint`] of whatever fixes the
+    /// objective beyond the unit point — machine configuration and seed
+    /// for the Datamime search). When the optimizer re-suggests a point
+    /// whose canonical bits are already cached, the executor observes the
+    /// memoized error without dispatching an evaluation and journals a
+    /// `cache_hit` event carrying the source index, so a resumed run
+    /// replays the hit bit-identically.
+    ///
+    /// Because every evaluation is a pure function of `(unit, context)`,
+    /// memoization never changes an observed value — only how fast it
+    /// arrives — so the run's outcome stays bit-for-bit identical with
+    /// the cache on or off, across any worker count. Penalized (faulted)
+    /// points are deliberately never memoized: they stay in the
+    /// quarantine machinery.
+    ///
+    /// On resume the cache is rebuilt from the replayed prefix before any
+    /// fresh evaluation runs, so hits keep working across restarts.
+    #[must_use]
+    pub fn memoize(mut self, context: u64) -> Self {
+        self.memo = Some(MemoCache::new(context));
+        self
+    }
+
+    /// Like [`memoize`](Self::memoize), but keys the cache on
+    /// `key(unit)` instead of the raw unit point. The Datamime search
+    /// passes the generator's denormalization here: parameter
+    /// quantization (integer rounding, log scales) maps many unit points
+    /// onto one dataset, and all of them share a single evaluation.
+    ///
+    /// `key` must be pure — called only on the engine thread, in
+    /// observation order.
+    #[must_use]
+    pub fn memoize_keyed(mut self, context: u64, key: MemoKeyFn) -> Self {
+        self.memo = Some(MemoCache::new(context));
+        self.memo_key = Some(key);
+        self
+    }
+
+    /// The memo key for `unit`: the projected parameter point when a key
+    /// projection is installed, the unit point itself otherwise.
+    fn memo_key_of(&self, unit: &[f64]) -> Vec<f64> {
+        match &self.memo_key {
+            Some(key) => key(unit),
+            None => unit.to_vec(),
+        }
     }
 
     /// Resumes from a replayed journal: journaled points are re-suggested
@@ -506,6 +573,13 @@ impl Executor {
                         continue;
                     }
                 }
+                if self.memo.is_some() {
+                    let key = self.memo_key_of(unit);
+                    if let Some(entry) = self.memo.as_ref().and_then(|m| m.lookup(&key)) {
+                        slots.push(SlotPlan::Memo(*entry));
+                        continue;
+                    }
+                }
                 slots.push(SlotPlan::Fresh(jobs.len()));
                 jobs.push((index, unit.clone()));
             }
@@ -561,7 +635,19 @@ impl Executor {
                             .penalty,
                         stage_ms: Vec::new(),
                         fault: Some(fault.clone()),
+                        cached: None,
                     },
+                    SlotPlan::Memo(entry) => {
+                        telemetry.count_cache_hit();
+                        EvalRecord {
+                            index,
+                            unit,
+                            error: entry.error,
+                            stage_ms: Vec::new(),
+                            fault: None,
+                            cached: Some(entry.source),
+                        }
+                    }
                     SlotPlan::Fresh(j) => {
                         let verdict = &results[*j];
                         telemetry.absorb(&verdict.stages);
@@ -572,9 +658,21 @@ impl Executor {
                             error: verdict.error,
                             stage_ms: verdict.stages.to_millis(),
                             fault: verdict.fault.clone(),
+                            cached: None,
                         }
                     }
                 };
+
+                // Memoize every successful first-time value — fresh or
+                // replayed — on the observation path, so the cache's
+                // contents never depend on thread scheduling and a
+                // resumed run rebuilds it from its journaled prefix.
+                if rec.fault.is_none() && rec.cached.is_none() && self.memo.is_some() {
+                    let key = self.memo_key_of(&rec.unit);
+                    if let Some(memo) = self.memo.as_mut() {
+                        memo.insert(&key, rec.error, rec.index);
+                    }
+                }
 
                 // Fault bookkeeping, in observation order.
                 if let Some(cfg) = sup_cfg.as_ref() {
@@ -614,6 +712,8 @@ impl Executor {
                     if is_new || !self.journal_has_prefix {
                         if rec.fault.is_some() {
                             journal.fault(&rec)?;
+                        } else if rec.cached.is_some() {
+                            journal.cache_hit(&rec)?;
                         } else {
                             journal.eval(&rec)?;
                         }
@@ -624,6 +724,9 @@ impl Executor {
                     self.sink.on_eval(index, rec.error, *best_error);
                     if let Some(fault) = &rec.fault {
                         self.sink.on_fault(index, fault);
+                    }
+                    if let Some(source) = rec.cached {
+                        self.sink.on_cache_hit(index, source);
                     }
                     since_checkpoint += 1;
                     if self.checkpoint_every > 0 && since_checkpoint >= self.checkpoint_every {

@@ -15,6 +15,10 @@
 //! - `attempt` — one failed evaluation attempt (since version 2),
 //!   written *before* the final verdict so a process killed mid-retry
 //!   leaves evidence the resume path can penalize from;
+//! - `cache_hit` — one point observed from the evaluation memo cache
+//!   (since version 2): index, unit params, the memoized error, and the
+//!   `source` index of the evaluation that originally produced it. Lives
+//!   in the same contiguous observation stream as `eval`/`fault`;
 //! - `checkpoint` — periodic best-so-far marker;
 //! - `done` — final outcome.
 //!
@@ -34,8 +38,9 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Journal format version written into the header. Version 2 added the
-/// `fault` and `attempt` events; [`replay`] accepts versions 1 and 2
-/// (a v1 journal simply contains no fault events).
+/// `fault`, `attempt`, and `cache_hit` events; [`replay`] accepts
+/// versions 1 and 2 (a v1 journal simply contains no fault or cache-hit
+/// events).
 pub const JOURNAL_VERSION: u64 = 2;
 
 /// The oldest journal version [`replay`] still reads.
@@ -161,6 +166,28 @@ impl JournalWriter {
         push_str_escaped(&mut line, &info.detail);
         line.push_str(",\"retries\":");
         push_f64(&mut line, f64::from(info.retries));
+        line.push('}');
+        self.write_line(&line)
+    }
+
+    /// Appends one memo-cache hit; `rec.cached` must be set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rec.cached` is `None` — cache hits are journaled
+    /// through this method precisely because they carry the source index.
+    pub fn cache_hit(&mut self, rec: &EvalRecord) -> Result<(), JournalError> {
+        let source = rec
+            .cached
+            .expect("cache_hit records must carry a source index");
+        let mut line = String::from("{\"event\":\"cache_hit\",\"index\":");
+        push_f64(&mut line, rec.index as f64);
+        line.push_str(",\"unit\":");
+        push_f64_array(&mut line, &rec.unit);
+        line.push_str(",\"error\":");
+        push_f64(&mut line, rec.error);
+        line.push_str(",\"source\":");
+        push_f64(&mut line, source as f64);
         line.push('}');
         self.write_line(&line)
     }
@@ -400,6 +427,29 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
                 error,
                 stage_ms,
                 fault: None,
+                cached: None,
+            }))
+        }
+        "cache_hit" => {
+            // Cache hits live in the same contiguous observation stream
+            // as evals — the memoized error *was* observed at this index.
+            let index = v.get("index").and_then(Json::as_usize)?;
+            if index != expect_index {
+                return None;
+            }
+            let unit = parse_unit(&v)?;
+            let error = v.get("error").and_then(Json::as_f64)?;
+            if !error.is_finite() {
+                return None;
+            }
+            let source = v.get("source").and_then(Json::as_usize)?;
+            Some(LineEvent::Eval(EvalRecord {
+                index,
+                unit,
+                error,
+                stage_ms: Vec::new(),
+                fault: None,
+                cached: Some(source),
             }))
         }
         "fault" => {
@@ -427,6 +477,7 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
                     detail,
                     retries: retries as u32,
                 }),
+                cached: None,
             }))
         }
         "attempt" => {

@@ -15,7 +15,11 @@
 //!   stress tests — the module is always available);
 //! - [`journal`] — an append-only JSONL run journal plus [`replay`] for
 //!   crash-safe resume, with `fault`/`attempt` events that replay
-//!   failures faithfully;
+//!   failures faithfully and `cache_hit` events that replay memoized
+//!   observations;
+//! - [`memo`] — a deterministic evaluation memo cache keyed by the
+//!   canonical bit pattern of the parameter point under a machine-config
+//!   + seed fingerprint, so re-suggested points skip the simulator;
 //! - [`telemetry`] — per-stage wall-clock timers, eval/fault counters,
 //!   and a pluggable [`ProgressSink`].
 //!
@@ -30,15 +34,17 @@ pub mod executor;
 pub mod faultinject;
 pub mod journal;
 pub mod json;
+pub mod memo;
 pub mod supervisor;
 pub mod telemetry;
 
-pub use executor::{EvalRecord, ExecError, Executor, RunMeta, RunOutcome};
+pub use executor::{EvalRecord, ExecError, Executor, MemoKeyFn, RunMeta, RunOutcome};
 pub use faultinject::{FaultPlan, InjectedFault, PlannedFault};
 pub use journal::{
     replay, JournalError, JournalWriter, PendingFault, Replay, JOURNAL_VERSION,
     OLDEST_READABLE_VERSION,
 };
+pub use memo::{canonical_bits, fingerprint, MemoCache, MemoEntry};
 pub use supervisor::{
     CancelToken, Evaluated, FailPolicy, FailedAttempt, FailureKind, FaultInfo, Supervisor,
     SupervisorConfig, Watchdog,

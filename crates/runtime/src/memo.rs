@@ -1,0 +1,168 @@
+//! Deterministic evaluation memo cache.
+//!
+//! A Bayesian search re-suggests points it has already paid to evaluate:
+//! after a quarantine release, after resuming a journal, or simply because
+//! the acquisition function converges onto the incumbent. Every evaluation
+//! in this workspace is a pure function of `(parameter point, machine
+//! configuration, seed)`, so re-running the simulator for a repeated point
+//! burns seconds to recompute a value the run already holds.
+//!
+//! [`MemoCache`] memoizes those evaluations. The key is the *canonical bit
+//! pattern* of the unit-hypercube point ([`canonical_bits`]) so lookups
+//! are exact — no epsilon comparisons, no float formatting — under a
+//! context fingerprint ([`fingerprint`]) that binds the cache to one
+//! `(machine config, seed)` world. The executor consults the cache before
+//! dispatching a point, observes the memoized error on a hit, and journals
+//! a `cache_hit` event instead of an `eval`, so a resumed run replays the
+//! hit bit-identically without the cache having to be persisted itself.
+//!
+//! Ordering discipline: the cache is only read and written on the
+//! engine's observation path (never from worker threads), so its contents
+//! are a deterministic function of the observation sequence — identical
+//! across worker counts, like everything else the engine does.
+
+use std::collections::BTreeMap;
+
+/// Canonical bit pattern of a unit point: each coordinate's IEEE-754 bits
+/// with `-0.0` normalized to `+0.0` so the two zero encodings cannot miss
+/// each other.
+///
+/// NaN coordinates are left as their raw bit patterns: a NaN point can
+/// never match anything (the optimizer does not produce NaNs; if one
+/// appears it should be evaluated, fail, and be quarantined — not served
+/// from cache).
+pub fn canonical_bits(unit: &[f64]) -> Vec<u64> {
+    unit.iter()
+        .map(|&x| {
+            if x == 0.0 {
+                0.0f64.to_bits()
+            } else {
+                x.to_bits()
+            }
+        })
+        .collect()
+}
+
+/// Folds identity words (config hash, seed, …) into one context
+/// fingerprint with a splitmix64 pass per word — cheap, stable across
+/// runs, and order-sensitive.
+pub fn fingerprint(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &p in parts {
+        let mut z = h ^ p;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// One memoized evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoEntry {
+    /// The objective value originally observed.
+    pub error: f64,
+    /// Observation index of the evaluation that produced `error` — the
+    /// provenance recorded in the journal's `cache_hit` event.
+    pub source: usize,
+}
+
+/// An exact-match memo of successful evaluations, keyed by
+/// [`canonical_bits`] under a single context [`fingerprint`].
+///
+/// # Examples
+///
+/// ```
+/// use datamime_runtime::memo::{fingerprint, MemoCache};
+///
+/// let mut memo = MemoCache::new(fingerprint(&[0xbeef, 42]));
+/// let point = [0.25, 0.75];
+/// assert!(memo.lookup(&point).is_none());
+/// memo.insert(&point, 0.125, 7);
+/// let hit = memo.lookup(&point).expect("exact re-suggestion hits");
+/// assert_eq!((hit.error, hit.source), (0.125, 7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemoCache {
+    context: u64,
+    map: BTreeMap<Vec<u64>, MemoEntry>,
+}
+
+impl MemoCache {
+    /// An empty cache bound to `context` (see [`fingerprint`]).
+    pub fn new(context: u64) -> Self {
+        MemoCache {
+            context,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The context fingerprint this cache is bound to.
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// Looks up a point by exact canonical bits.
+    pub fn lookup(&self, unit: &[f64]) -> Option<&MemoEntry> {
+        self.map.get(&canonical_bits(unit))
+    }
+
+    /// Memoizes `error` for `unit`; the first insertion wins so `source`
+    /// always names the evaluation that actually ran.
+    pub fn insert(&mut self, unit: &[f64], error: f64, source: usize) {
+        self.map
+            .entry(canonical_bits(unit))
+            .or_insert(MemoEntry { error, source });
+    }
+
+    /// Number of memoized points.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_bits_hit_and_nearby_points_miss() {
+        let mut memo = MemoCache::new(1);
+        memo.insert(&[0.5, 0.5], 1.0, 0);
+        assert!(memo.lookup(&[0.5, 0.5]).is_some());
+        assert!(memo.lookup(&[0.5, 0.5 + 1e-17]).is_some()); // rounds to the same f64
+        assert!(memo.lookup(&[0.5, 0.5000001]).is_none());
+        assert!(memo.lookup(&[0.5]).is_none());
+    }
+
+    #[test]
+    fn negative_zero_matches_positive_zero() {
+        let mut memo = MemoCache::new(1);
+        memo.insert(&[0.0], 2.0, 3);
+        let hit = memo.lookup(&[-0.0]).expect("-0.0 canonicalizes to +0.0");
+        assert_eq!((hit.error, hit.source), (2.0, 3));
+    }
+
+    #[test]
+    fn first_insertion_wins() {
+        let mut memo = MemoCache::new(1);
+        memo.insert(&[0.25], 1.0, 2);
+        memo.insert(&[0.25], 9.0, 8);
+        let e = memo.lookup(&[0.25]).unwrap();
+        assert_eq!((e.error, e.source), (1.0, 2));
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        assert_eq!(fingerprint(&[1, 2]), fingerprint(&[1, 2]));
+        assert_ne!(fingerprint(&[1, 2]), fingerprint(&[2, 1]));
+        assert_ne!(fingerprint(&[]), fingerprint(&[0]));
+    }
+}

@@ -62,6 +62,7 @@ pub struct Telemetry {
     stages: Vec<(String, Duration, u64)>,
     evaluated: usize,
     replayed: usize,
+    cache_hits: usize,
     faults: Vec<(FailureKind, usize)>,
     failed_attempts: usize,
     quarantine_hits: usize,
@@ -82,6 +83,7 @@ impl Telemetry {
             stages: Vec::new(),
             evaluated: 0,
             replayed: 0,
+            cache_hits: 0,
             faults: Vec::new(),
             failed_attempts: 0,
             quarantine_hits: 0,
@@ -125,6 +127,17 @@ impl Telemetry {
     /// Points re-observed from a journal without re-evaluation.
     pub fn replayed(&self) -> usize {
         self.replayed
+    }
+
+    /// Counts one point observed from the evaluation memo cache.
+    pub fn count_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Points served from the evaluation memo cache without dispatching
+    /// an evaluation.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
     }
 
     /// Counts one penalized evaluation of failure kind `kind` (quarantine
@@ -201,9 +214,10 @@ impl Telemetry {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "evaluated {} point(s) ({} replayed from journal) in {:.2?}",
+            "evaluated {} point(s) ({} replayed from journal, {} memo cache hit(s)) in {:.2?}",
             self.evaluated,
             self.replayed,
+            self.cache_hits,
             self.wall()
         );
         for (name, total, count) in &self.stages {
@@ -262,6 +276,12 @@ pub trait ProgressSink {
     /// One evaluation attempt failed (retries may still follow).
     fn on_attempt(&mut self, attempt: &FailedAttempt) {
         let _ = attempt;
+    }
+
+    /// Point `index` was observed from the evaluation memo cache; its
+    /// value came from evaluation `source`.
+    fn on_cache_hit(&mut self, index: usize, source: usize) {
+        let _ = (index, source);
     }
 
     /// Point `index` was penalized: every attempt failed, or the point

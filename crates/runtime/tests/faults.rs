@@ -499,3 +499,97 @@ fn resumed_fault_records_drive_the_same_state_machine() {
     assert_eq!(points(&resumed.history), points(&reference.history));
     let _ = fs::remove_file(&path);
 }
+
+/// A faulted point must stay in the quarantine machinery, never the memo
+/// cache: its re-suggestions are quarantine-penalized without dispatch,
+/// while healthy re-suggested points are served from the memo. This is
+/// the `core::search` re-suggestion shape (satellite of the memo-cache
+/// work) exercised at the executor level.
+#[test]
+fn quarantined_points_are_never_memoized_but_healthy_ones_are() {
+    struct Cycle4 {
+        suggested: usize,
+        history: Vec<(Vec<f64>, f64)>,
+    }
+    impl BlackBoxOptimizer for Cycle4 {
+        fn suggest(&mut self) -> Vec<f64> {
+            const POINTS: [[f64; 3]; 4] = [
+                [0.1, 0.2, 0.3],
+                [0.4, 0.5, 0.6],
+                [0.7, 0.8, 0.9],
+                [0.25, 0.25, 0.25],
+            ];
+            let p = POINTS[self.suggested % 4].to_vec();
+            self.suggested += 1;
+            p
+        }
+        fn observe(&mut self, x: Vec<f64>, y: f64) {
+            self.history.push((x, y));
+        }
+        fn best(&self) -> Option<(&[f64], f64)> {
+            self.history
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(x, y)| (x.as_slice(), *y))
+        }
+        fn history(&self) -> &[(Vec<f64>, f64)] {
+            &self.history
+        }
+    }
+
+    let evaluations = AtomicUsize::new(0);
+    let counted_eval = |unit: &[f64], stages: &mut StageTimes, cancel: &CancelToken| {
+        evaluations.fetch_add(1, Ordering::SeqCst);
+        eval(unit, stages, cancel)
+    };
+
+    // Point 1 (index 1, the cycle's second point) faults on first visit.
+    let cfg = SupervisorConfig {
+        fault_plan: Some(FaultPlan::new().fail(1, InjectedFault::Nan)),
+        ..supervision()
+    };
+    let out = Executor::new(meta("memo-quarantine", 12, 1, 1))
+        .supervise(cfg)
+        .memoize(0xFACADE)
+        .run_seq(
+            &mut Cycle4 {
+                suggested: 0,
+                history: Vec::new(),
+            },
+            &mut { counted_eval },
+        )
+        .unwrap();
+
+    // Three healthy points evaluated once each; the faulted point and its
+    // two re-suggestions never reach the evaluator.
+    assert_eq!(evaluations.load(Ordering::SeqCst), 3);
+    assert_eq!(
+        out.telemetry.cache_hits(),
+        6,
+        "healthy revisits hit the memo"
+    );
+    assert_eq!(
+        out.telemetry.quarantine_hits(),
+        2,
+        "faulted-point revisits are quarantine-penalized, not memoized"
+    );
+    for (i, rec) in out.history.iter().enumerate() {
+        if i % 4 == 1 {
+            // The faulted point: penalty on every lap, never from cache.
+            assert_eq!(rec.error, PENALTY_OBJECTIVE, "record {i}");
+            assert!(rec.fault.is_some(), "record {i} must carry a fault");
+            assert_eq!(rec.cached, None, "record {i} must not be cached");
+            if i > 1 {
+                assert_eq!(
+                    rec.fault.as_ref().unwrap().kind,
+                    FailureKind::Quarantined,
+                    "record {i}"
+                );
+            }
+        } else if i >= 4 {
+            assert_eq!(rec.cached, Some(i % 4), "record {i} should be a memo hit");
+        } else {
+            assert_eq!(rec.cached, None, "record {i} is the first visit");
+        }
+    }
+}

@@ -320,6 +320,155 @@ fn eval_record_is_plain_data() {
         error: 1.0,
         stage_ms: vec![("profile".to_string(), 2.0)],
         fault: None,
+        cached: None,
     };
     assert_eq!(rec.clone(), rec);
+}
+
+/// A deterministic optimizer that cycles through a fixed point set, so
+/// every point past the first lap is an exact re-suggestion — the memo
+/// cache's best case, and the quarantine-release shape `core::search`
+/// needs it for.
+struct Cycler {
+    points: Vec<Vec<f64>>,
+    suggested: usize,
+    history: Vec<(Vec<f64>, f64)>,
+}
+
+impl Cycler {
+    fn new() -> Self {
+        Cycler {
+            points: vec![
+                vec![0.1, 0.2, 0.3],
+                vec![0.4, 0.5, 0.6],
+                vec![0.7, 0.8, 0.9],
+                vec![0.25, 0.25, 0.25],
+            ],
+            suggested: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+impl BlackBoxOptimizer for Cycler {
+    fn suggest(&mut self) -> Vec<f64> {
+        let p = self.points[self.suggested % self.points.len()].clone();
+        self.suggested += 1;
+        p
+    }
+    fn observe(&mut self, x: Vec<f64>, y: f64) {
+        self.history.push((x, y));
+    }
+    fn best(&self) -> Option<(&[f64], f64)> {
+        self.history
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(x, y)| (x.as_slice(), *y))
+    }
+    fn history(&self) -> &[(Vec<f64>, f64)] {
+        &self.history
+    }
+}
+
+#[test]
+fn memo_serves_duplicates_without_reevaluating() {
+    let evaluations = AtomicUsize::new(0);
+    let counted_eval = |unit: &[f64], stages: &mut StageTimes, cancel: &CancelToken| {
+        evaluations.fetch_add(1, Ordering::SeqCst);
+        eval(unit, stages, cancel)
+    };
+
+    let plain = Executor::new(meta("memo", 12, 1, 1))
+        .run_seq(&mut Cycler::new(), &mut { counted_eval })
+        .unwrap();
+    assert_eq!(evaluations.swap(0, Ordering::SeqCst), 12);
+
+    let memoized = Executor::new(meta("memo", 12, 1, 1))
+        .memoize(0xC0FFEE)
+        .run_seq(&mut Cycler::new(), &mut { counted_eval })
+        .unwrap();
+    // Four distinct points: one real evaluation each, eight cache hits.
+    assert_eq!(evaluations.load(Ordering::SeqCst), 4);
+    assert_eq!(memoized.telemetry.cache_hits(), 8);
+    assert_eq!(memoized.telemetry.evaluated(), 4);
+
+    // Memoization changes cost, never results.
+    assert_eq!(points(&plain.history), points(&memoized.history));
+    assert_eq!(plain.best_error.to_bits(), memoized.best_error.to_bits());
+    for (i, rec) in memoized.history.iter().enumerate() {
+        if i < 4 {
+            assert_eq!(rec.cached, None);
+        } else {
+            assert_eq!(rec.cached, Some(i % 4), "record {i}");
+        }
+    }
+}
+
+#[test]
+fn memo_hits_match_across_worker_counts() {
+    let run = |workers: usize| {
+        Executor::new(meta("memo-pool", 12, 4, workers))
+            .memoize(7)
+            .run(&mut Cycler::new(), &eval)
+            .unwrap()
+    };
+    let serial = run(1);
+    let pooled = run(4);
+    assert_eq!(points(&serial.history), points(&pooled.history));
+    assert_eq!(serial.telemetry.cache_hits(), pooled.telemetry.cache_hits());
+}
+
+#[test]
+fn cache_hits_journal_and_resume_rebuilds_the_memo() {
+    // A full memoized run, journaled.
+    let path = tmp("memo-journal.jsonl");
+    let m = meta("memo-journal", 12, 1, 1);
+    let writer = JournalWriter::create(&path, &m).unwrap();
+    let full = Executor::new(m.clone())
+        .memoize(99)
+        .journal(writer, false)
+        .run_seq(&mut Cycler::new(), &mut eval)
+        .unwrap();
+
+    // The journal replays with provenance intact.
+    let r = replay(&path).unwrap();
+    assert_eq!(r.evals.len(), 12);
+    for (i, rec) in r.evals.iter().enumerate() {
+        let expect = if i < 4 { None } else { Some(i % 4) };
+        assert_eq!(rec.cached, expect, "journaled record {i}");
+        assert_eq!(rec.error.to_bits(), full.history[i].error.to_bits());
+    }
+
+    // Simulate a crash after 6 observations (4 evals + 2 cache hits):
+    // keep the header plus the first 6 event lines.
+    let text = fs::read_to_string(&path).unwrap();
+    let truncated: Vec<&str> = text.lines().take(7).collect();
+    fs::write(&path, truncated.join("\n")).unwrap();
+
+    let resumed_path = tmp("memo-journal-resumed.jsonl");
+    let writer = JournalWriter::create(&resumed_path, &m).unwrap();
+    let evaluations = AtomicUsize::new(0);
+    let resumed = Executor::new(m)
+        .memoize(99)
+        .journal(writer, false)
+        .resume(replay(&path).unwrap())
+        .unwrap()
+        .run_seq(
+            &mut Cycler::new(),
+            &mut |unit: &[f64], stages: &mut StageTimes, cancel: &CancelToken| {
+                evaluations.fetch_add(1, Ordering::SeqCst);
+                eval(unit, stages, cancel)
+            },
+        )
+        .unwrap();
+
+    // The memo was rebuilt from the replayed prefix, so the six fresh
+    // observations are all cache hits: nothing re-evaluates.
+    assert_eq!(resumed.replayed, 6);
+    assert_eq!(evaluations.load(Ordering::SeqCst), 0);
+    assert_eq!(resumed.telemetry.cache_hits(), 6);
+    assert_eq!(points(&full.history), points(&resumed.history));
+
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&resumed_path);
 }

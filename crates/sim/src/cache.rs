@@ -113,25 +113,34 @@ impl Access {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// LRU timestamp or RRPV depending on policy.
-    meta: u64,
-}
+/// Sentinel tag marking an invalid (never-filled) way.
+///
+/// A real tag is `addr >> set_shift`, which can only collide with the
+/// sentinel for 1-byte lines at the very top of the address space — a
+/// geometry no modeled machine uses (`debug_assert`ed in `access`).
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative cache.
 ///
 /// The model is storage-free: only tags and metadata are tracked, which is
-/// all the performance metrics need.
+/// all the performance metrics need. Storage is structure-of-arrays over a
+/// single contiguous ways axis (`set * ways + way`): the lookup scans a
+/// dense `u64` tag slice instead of wider per-line structs, which is what
+/// makes `access` cheap enough to run a 200-iteration Bayesian search
+/// against (see docs/PERFORMANCE.md).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: u64,
+    set_mask: u64,
     set_shift: u32,
-    lines: Vec<Line>,
+    ways: usize,
+    /// Per-way tags; `INVALID_TAG` marks an empty way.
+    tags: Vec<u64>,
+    /// Per-way LRU timestamp or RRPV depending on policy.
+    meta: Vec<u64>,
+    /// Per-way dirty bit.
+    dirty: Vec<bool>,
     clock: u64,
     // DRRIP set-dueling state.
     psel: i32,
@@ -152,11 +161,16 @@ impl Cache {
     /// Panics if the geometry is invalid (see [`CacheConfig::sets`]).
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
+        let n = (sets * cfg.ways as u64) as usize;
         Cache {
             cfg,
             sets,
+            set_mask: sets - 1,
             set_shift: cfg.line_bytes.trailing_zeros(),
-            lines: vec![Line::default(); (sets * cfg.ways as u64) as usize],
+            ways: cfg.ways as usize,
+            tags: vec![INVALID_TAG; n],
+            meta: vec![0; n],
+            dirty: vec![false; n],
             clock: 0,
             psel: PSEL_MAX / 2,
             brrip_ctr: 0,
@@ -183,7 +197,7 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, addr: Addr) -> u64 {
-        (addr >> self.set_shift) & (self.sets - 1)
+        (addr >> self.set_shift) & self.set_mask
     }
 
     #[inline]
@@ -199,45 +213,48 @@ impl Cache {
         self.clock += 1;
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        let base = (set * self.cfg.ways as u64) as usize;
-        let ways = self.cfg.ways as usize;
+        debug_assert!(tag != INVALID_TAG, "tag collides with the invalid sentinel");
+        let base = set as usize * self.ways;
 
-        // Lookup.
-        for i in base..base + ways {
-            let line = &mut self.lines[i];
-            if line.valid && line.tag == tag {
-                line.dirty |= write;
-                match self.cfg.replacement {
-                    Replacement::Lru => line.meta = self.clock,
-                    Replacement::Drrip => line.meta = 0, // promote to near-immediate re-reference
-                }
-                self.hits += 1;
-                return Access::Hit;
-            }
+        // Lookup: one bounds check for the whole set, then a dense scan of
+        // the tag slice (empty ways hold INVALID_TAG and cannot match).
+        let set_tags = &self.tags[base..base + self.ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            let i = base + way;
+            self.dirty[i] |= write;
+            self.meta[i] = match self.cfg.replacement {
+                Replacement::Lru => self.clock,
+                Replacement::Drrip => 0, // promote to near-immediate re-reference
+            };
+            self.hits += 1;
+            return Access::Hit;
         }
 
         // Miss: choose a victim.
         self.misses += 1;
         let victim = match self.cfg.replacement {
             Replacement::Lru => {
-                let mut v = base;
-                for i in base..base + ways {
-                    if !self.lines[i].valid {
-                        v = i;
-                        break;
-                    }
-                    if self.lines[i].meta < self.lines[v].meta {
-                        v = i;
+                // First empty way if any, else the least-recent stamp
+                // (first minimum — matching the pre-flattening scan order).
+                match set_tags.iter().position(|&t| t == INVALID_TAG) {
+                    Some(way) => base + way,
+                    None => {
+                        let meta = &self.meta[base..base + self.ways];
+                        let mut v = 0;
+                        for (w, &m) in meta.iter().enumerate() {
+                            if m < meta[v] {
+                                v = w;
+                            }
+                        }
+                        base + v
                     }
                 }
-                v
             }
-            Replacement::Drrip => self.drrip_victim(base, ways),
+            Replacement::Drrip => self.drrip_victim(base),
         };
 
-        let v = &self.lines[victim];
-        let writeback_of = if v.valid && v.dirty {
-            Some(v.tag << self.set_shift)
+        let writeback_of = if self.tags[victim] != INVALID_TAG && self.dirty[victim] {
+            Some(self.tags[victim] << self.set_shift)
         } else {
             None
         };
@@ -245,29 +262,24 @@ impl Cache {
             Replacement::Lru => self.clock,
             Replacement::Drrip => self.drrip_insert_rrpv(set),
         };
-        self.lines[victim] = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            meta: insert_meta,
-        };
+        self.tags[victim] = tag;
+        self.dirty[victim] = write;
+        self.meta[victim] = insert_meta;
         Access::Miss { writeback_of }
     }
 
-    fn drrip_victim(&mut self, base: usize, ways: usize) -> usize {
+    fn drrip_victim(&mut self, base: usize) -> usize {
+        let tags = &self.tags[base..base + self.ways];
+        if let Some(way) = tags.iter().position(|&t| t == INVALID_TAG) {
+            return base + way;
+        }
+        let meta = &mut self.meta[base..base + self.ways];
         loop {
-            for i in base..base + ways {
-                if !self.lines[i].valid {
-                    return i;
-                }
+            if let Some(way) = meta.iter().position(|&m| m >= RRPV_MAX) {
+                return base + way;
             }
-            for i in base..base + ways {
-                if self.lines[i].meta >= RRPV_MAX {
-                    return i;
-                }
-            }
-            for i in base..base + ways {
-                self.lines[i].meta += 1;
+            for m in meta.iter_mut() {
+                *m += 1;
             }
         }
     }
@@ -310,28 +322,36 @@ impl Cache {
     /// implied by the set count (the set count never changes).
     pub fn set_ways(&mut self, new_ways: u32) {
         assert!(new_ways > 0, "invalid way allocation");
-        let old_ways = self.cfg.ways as usize;
+        let old_ways = self.ways;
         let new = new_ways as usize;
         if new == old_ways {
             return;
         }
-        let mut lines = vec![Line::default(); (self.sets as usize) * new];
+        let n = self.sets as usize * new;
+        let mut tags = vec![INVALID_TAG; n];
+        let mut meta = vec![0; n];
+        let mut dirty = vec![false; n];
         let keep = old_ways.min(new);
         for set in 0..self.sets as usize {
             for w in 0..keep {
-                lines[set * new + w] = self.lines[set * old_ways + w];
+                tags[set * new + w] = self.tags[set * old_ways + w];
+                meta[set * new + w] = self.meta[set * old_ways + w];
+                dirty[set * new + w] = self.dirty[set * old_ways + w];
             }
         }
-        self.lines = lines;
+        self.tags = tags;
+        self.meta = meta;
+        self.dirty = dirty;
+        self.ways = new;
         self.cfg.ways = new_ways;
         self.cfg.size_bytes = self.sets * new_ways as u64 * self.cfg.line_bytes;
     }
 
     /// Invalidates all lines and zeroes the hit/miss counters.
     pub fn reset(&mut self) {
-        for line in &mut self.lines {
-            *line = Line::default();
-        }
+        self.tags.fill(INVALID_TAG);
+        self.meta.fill(0);
+        self.dirty.fill(false);
         self.clock = 0;
         self.hits = 0;
         self.misses = 0;

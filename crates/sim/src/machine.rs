@@ -298,6 +298,28 @@ impl Machine {
     }
 
     fn data_access(&mut self, addr: Addr, size: u64, write: bool) {
+        // Same line arithmetic as `lines_of`, hoisted so the common case —
+        // an access contained in one cache line — skips the iterator and
+        // the per-line page-dedup bookkeeping entirely: one TLB translation
+        // and one L1D lookup, fused back to back.
+        let first = addr / LINE_BYTES;
+        let last = if size == 0 {
+            first
+        } else {
+            (addr + size - 1) / LINE_BYTES
+        };
+        if first == last {
+            let line = first * LINE_BYTES;
+            let mut penalty = 0.0;
+            if !self.dtlb.access(line) {
+                self.counters.dtlb_misses += 1;
+                let p = self.cfg.penalties;
+                penalty += p.tlb_walk / p.mlp;
+            }
+            penalty += self.data_line_access(line, write);
+            self.charge(penalty);
+            return;
+        }
         let p = self.cfg.penalties;
         let mut penalty = 0.0;
         let mut page = u64::MAX;
@@ -310,27 +332,37 @@ impl Machine {
                     penalty += p.tlb_walk / p.mlp;
                 }
             }
-            let covered = self.prefetcher_covers(line);
-            match self.l1d.access(line, write) {
-                Access::Hit => {}
-                Access::Miss { writeback_of } => {
-                    self.counters.l1d_misses += 1;
-                    if let Some(victim) = writeback_of {
-                        // L1 dirty victim is absorbed by the L2 (or below).
-                        let _ = self.below_l1_writeback(victim);
-                    }
-                    let fill = self.below_l1(line, false) / p.mlp;
-                    // A detected stream still counts misses and moves
-                    // traffic, but the prefetcher hides most of the latency.
-                    penalty += if covered {
-                        fill * p.prefetch_exposed
-                    } else {
-                        fill
-                    };
+            penalty += self.data_line_access(line, write);
+        }
+        self.charge(penalty);
+    }
+
+    /// One line's trip through the D-side hierarchy (prefetcher check, L1D,
+    /// and the unified levels on a miss), returning the cycle penalty.
+    /// Shared by the single-line fast path and the multi-line loop so both
+    /// charge bit-identical costs.
+    #[inline]
+    fn data_line_access(&mut self, line: Addr, write: bool) -> f64 {
+        let p = self.cfg.penalties;
+        let covered = self.prefetcher_covers(line);
+        match self.l1d.access(line, write) {
+            Access::Hit => 0.0,
+            Access::Miss { writeback_of } => {
+                self.counters.l1d_misses += 1;
+                if let Some(victim) = writeback_of {
+                    // L1 dirty victim is absorbed by the L2 (or below).
+                    let _ = self.below_l1_writeback(victim);
+                }
+                let fill = self.below_l1(line, false) / p.mlp;
+                // A detected stream still counts misses and moves
+                // traffic, but the prefetcher hides most of the latency.
+                if covered {
+                    fill * p.prefetch_exposed
+                } else {
+                    fill
                 }
             }
         }
-        self.charge(penalty);
     }
 
     /// Write-back path from L1 into L2 that does not perturb demand-miss

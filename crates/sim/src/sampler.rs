@@ -75,7 +75,10 @@ impl MetricSample {
 pub struct Sampler {
     interval: u64,
     last: Counters,
-    last_wall: u64,
+    /// Wall-cycle threshold for the next sample (`last_wall + interval`),
+    /// precomputed so the per-poll fast path is a single compare with no
+    /// subtraction that could roll over.
+    next_wall: u64,
     samples: Vec<MetricSample>,
 }
 
@@ -91,7 +94,7 @@ impl Sampler {
         Sampler {
             interval: interval_cycles,
             last: Counters::new(),
-            last_wall: 0,
+            next_wall: interval_cycles,
             samples: Vec::new(),
         }
     }
@@ -107,22 +110,32 @@ impl Sampler {
     /// Polling granularity is expected to be much finer than the interval
     /// (the harness polls after every request), so each elapsed interval
     /// yields exactly one sample with negligible boundary jitter.
+    #[inline]
     pub fn poll(&mut self, machine: &Machine) {
         let wall = machine.wall_cycles();
-        if wall - self.last_wall >= self.interval {
-            let delta = machine.counters().delta_since(&self.last);
-            self.samples
-                .push(MetricSample::from_delta(&delta, machine.config().freq_ghz));
-            self.last = *machine.counters();
-            self.last_wall = wall;
+        if wall < self.next_wall {
+            return;
         }
+        self.cut_sample(machine, wall);
+    }
+
+    /// Slow path of [`Sampler::poll`]: cuts a sample from the counter delta
+    /// and arms the next threshold. Kept out of line so the per-request
+    /// fast path stays a compare-and-return.
+    #[cold]
+    fn cut_sample(&mut self, machine: &Machine, wall: u64) {
+        let delta = machine.counters().delta_since(&self.last);
+        self.samples
+            .push(MetricSample::from_delta(&delta, machine.config().freq_ghz));
+        self.last = *machine.counters();
+        self.next_wall = wall.saturating_add(self.interval);
     }
 
     /// Discards accumulated state so the next sample starts fresh — used to
     /// skip warm-up.
     pub fn restart(&mut self, machine: &Machine) {
         self.last = *machine.counters();
-        self.last_wall = machine.wall_cycles();
+        self.next_wall = machine.wall_cycles().saturating_add(self.interval);
         self.samples.clear();
     }
 

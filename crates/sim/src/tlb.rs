@@ -18,6 +18,11 @@ impl TlbConfig {
     }
 }
 
+/// Sentinel tag marking an empty TLB entry. Real tags are page numbers
+/// (`addr / 4096`), which can never reach `u64::MAX`, so tag equality alone
+/// decides hits — no separate `valid` array to scan.
+const INVALID_TAG: u64 = u64::MAX;
+
 /// A set-associative TLB with LRU replacement over 4 KiB pages.
 ///
 /// # Examples
@@ -33,8 +38,8 @@ impl TlbConfig {
 pub struct Tlb {
     cfg: TlbConfig,
     sets: u64,
+    ways: usize,
     tags: Vec<u64>,
-    valid: Vec<bool>,
     stamp: Vec<u64>,
     clock: u64,
     hits: u64,
@@ -59,8 +64,8 @@ impl Tlb {
         Tlb {
             cfg,
             sets,
-            tags: vec![0; n],
-            valid: vec![false; n],
+            ways: cfg.ways as usize,
+            tags: vec![INVALID_TAG; n],
             stamp: vec![0; n],
             clock: 0,
             hits: 0,
@@ -70,33 +75,31 @@ impl Tlb {
 
     /// Translates the page containing `addr`, returning `true` on a hit.
     /// Misses install the translation (LRU victim).
+    #[inline]
     pub fn access(&mut self, addr: Addr) -> bool {
         self.clock += 1;
         let page = addr / PAGE_BYTES;
         let set = page & (self.sets - 1);
         let tag = page;
-        let base = (set * self.cfg.ways as u64) as usize;
-        let ways = self.cfg.ways as usize;
-        for i in base..base + ways {
-            if self.valid[i] && self.tags[i] == tag {
-                self.stamp[i] = self.clock;
-                self.hits += 1;
-                return true;
-            }
+        let base = (set as usize) * self.ways;
+        let set_tags = &self.tags[base..base + self.ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            self.stamp[base + way] = self.clock;
+            self.hits += 1;
+            return true;
         }
         self.misses += 1;
         let mut v = base;
-        for i in base..base + ways {
-            if !self.valid[i] {
-                v = i;
-                break;
-            }
-            if self.stamp[i] < self.stamp[v] {
-                v = i;
+        if let Some(way) = set_tags.iter().position(|&t| t == INVALID_TAG) {
+            v = base + way;
+        } else {
+            for i in base + 1..base + self.ways {
+                if self.stamp[i] < self.stamp[v] {
+                    v = i;
+                }
             }
         }
         self.tags[v] = tag;
-        self.valid[v] = true;
         self.stamp[v] = self.clock;
         false
     }

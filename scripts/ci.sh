@@ -32,6 +32,11 @@ fi
 # usually explain any downstream flakiness.
 run cargo run -q -p datamime-audit -- check
 
+# Public-API docs must build warning-free (broken intra-doc links,
+# missing docs on public items, invalid doc examples).
+echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --workspace --no-deps -q"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 # Tier-1 gate.
 if [ -z "${SKIP_TESTS:-}" ]; then
   run cargo build --release
@@ -39,6 +44,9 @@ if [ -z "${SKIP_TESTS:-}" ]; then
   # Fault-injection stress pass: the supervisor must keep runs
   # deterministic and crash-free under injected panics/stalls/NaNs.
   run cargo test -q -p datamime-runtime --features faultinject
+  # Benchmark-harness smoke: every sim kernel runs once and fingerprints
+  # deterministically, and the memo accounting harness completes.
+  run scripts/bench.sh --check
 fi
 
 echo "==> CI passed"
