@@ -14,8 +14,10 @@
 //! committed baseline, which is how the benchmark enforces that the
 //! fast-path rewrites stayed bit-identical.
 
+use datamime_dist::{read_frame, write_frame, Frame};
 use datamime_sim::{Cache, CacheConfig, Machine, MachineConfig, Replacement, Sampler, Tlb};
 use datamime_stats::Rng;
+use std::os::unix::net::UnixStream;
 
 /// Seed for every kernel's address-stream generator.
 pub const BENCH_SEED: u64 = 0xBE7C_517E;
@@ -209,7 +211,51 @@ pub fn sampler_poll() -> Kernel {
     }
 }
 
-/// Every simulator kernel, in report order.
+/// The distributed backend's wire path: one `Eval` frame encoded, pushed
+/// through a Unix socket pair, read back, CRC-checked, and decoded per
+/// op — the per-evaluation overhead `--backend proc` adds on top of the
+/// simulator work itself.
+pub fn ipc_roundtrip() -> Kernel {
+    const N: usize = 20_000;
+    let (mut tx, mut rx) = UnixStream::pair().expect("socketpair");
+    let mut rng = Rng::with_seed(BENCH_SEED ^ 0x1bc);
+    let frames: Vec<Frame> = (0..N)
+        .map(|i| Frame::Eval {
+            index: i as u64,
+            attempt: 0,
+            dispatch: 1,
+            unit_bits: (0..6).map(|_| rng.f64().to_bits()).collect(),
+        })
+        .collect();
+    Kernel {
+        name: "dist/ipc_roundtrip",
+        ops: N as u64,
+        run: Box::new(move || {
+            let mut h = 0;
+            for frame in &frames {
+                write_frame(&mut tx, frame).expect("socket write");
+                match read_frame(&mut rx).expect("socket read") {
+                    Frame::Eval {
+                        index,
+                        attempt,
+                        dispatch,
+                        unit_bits,
+                    } => {
+                        h = mix(h, index);
+                        h = mix(h, u64::from(attempt) ^ (u64::from(dispatch) << 32));
+                        for bits in unit_bits {
+                            h = mix(h, bits);
+                        }
+                    }
+                    other => panic!("decoded the wrong frame kind: {other:?}"),
+                }
+            }
+            h
+        }),
+    }
+}
+
+/// Every kernel, in report order.
 pub fn all_kernels() -> Vec<Kernel> {
     vec![
         l1l2llc_access(),
@@ -219,6 +265,7 @@ pub fn all_kernels() -> Vec<Kernel> {
         machine_load(),
         machine_exec(),
         sampler_poll(),
+        ipc_roundtrip(),
     ]
 }
 

@@ -12,7 +12,9 @@
 use datamime::generator::generator_for_program;
 use datamime::metrics::DistMetric;
 use datamime::profiler::{profile_workload, ProfilingConfig};
-use datamime::search::{search, search_with_runtime, RuntimeOptions, SearchConfig};
+use datamime::search::{
+    search, search_with_runtime, BackendChoice, ProcOptions, RuntimeOptions, SearchConfig,
+};
 use datamime::workload::Workload;
 use datamime_runtime::FailPolicy;
 use datamime_sim::MachineConfig;
@@ -37,6 +39,13 @@ OPTIONS:
     --machine <name>           broadwell (default) | zen2 | silvermont
     --iters <n>                search iterations (default 40)
     --parallel <k>             evaluate k candidates per batch in parallel
+    --backend <kind>           with `clone`: where evaluations run —
+                               thread (default, in-process pool) | proc
+                               (datamime-worker OS processes; deadlines
+                               are enforced by SIGKILL and a crashing
+                               evaluation cannot take the search down)
+    --workers <n>              with `--backend proc`: worker processes
+                               (default: the --parallel batch width)
     --journal <path>           with `clone`: log every evaluation to a
                                crash-safe JSONL run journal
     --resume <path>            with `clone`: resume an interrupted search
@@ -91,6 +100,8 @@ struct Options {
     eval_timeout: Option<Duration>,
     max_retries: Option<u32>,
     fail_policy: Option<FailPolicy>,
+    backend: Option<String>,
+    workers: Option<usize>,
     paper: bool,
     tsv: bool,
 }
@@ -162,6 +173,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         "abort" => FailPolicy::Abort,
                         _ => return Err("--fail-policy must be abort or penalize".to_string()),
                     },
+                );
+                i += 2;
+            }
+            "--backend" => {
+                let kind = args.get(i + 1).ok_or("--backend needs a value")?;
+                if kind != "thread" && kind != "proc" {
+                    return Err("--backend must be thread or proc".to_string());
+                }
+                o.backend = Some(kind.clone());
+                i += 2;
+            }
+            "--workers" => {
+                o.workers = Some(
+                    args.get(i + 1)
+                        .ok_or("--workers needs a value")?
+                        .parse()
+                        .map_err(|_| "--workers must be a number")?,
                 );
                 i += 2;
             }
@@ -326,9 +354,17 @@ fn cmd_clone(workload: &Workload, opts: &Options) -> Result<(), String> {
     );
     let target = profile_workload(workload, &cfg.machine, &cfg.profiling);
     let batch = opts.parallel.unwrap_or(1).max(1);
+    let backend = match opts.backend.as_deref() {
+        Some("proc") => BackendChoice::Process(ProcOptions {
+            workers: opts.workers.unwrap_or(batch).max(1),
+            worker_bin: None,
+        }),
+        _ => BackendChoice::Thread,
+    };
     let runtime = RuntimeOptions {
         batch_k: batch,
         workers: batch,
+        backend,
         // An interrupted run resumed in place keeps appending to its own
         // journal unless a different --journal is given.
         journal: opts.journal.clone().or_else(|| opts.resume.clone()),
@@ -429,6 +465,10 @@ mod tests {
             "4",
             "--fail-policy",
             "abort",
+            "--backend",
+            "proc",
+            "--workers",
+            "3",
             "--paper",
             "--tsv",
         ]))
@@ -444,7 +484,16 @@ mod tests {
         assert_eq!(o.eval_timeout, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(o.max_retries, Some(4));
         assert_eq!(o.fail_policy, Some(FailPolicy::Abort));
+        assert_eq!(o.backend.as_deref(), Some("proc"));
+        assert_eq!(o.workers, Some(3));
         assert!(o.paper && o.tsv);
+    }
+
+    #[test]
+    fn parses_thread_backend() {
+        let o = parse_options(&args(&["--backend", "thread"])).unwrap();
+        assert_eq!(o.backend.as_deref(), Some("thread"));
+        assert_eq!(o.workers, None);
     }
 
     #[test]
@@ -465,6 +514,9 @@ mod tests {
         assert!(parse_options(&args(&["--eval-timeout", "zero"])).is_err());
         assert!(parse_options(&args(&["--max-retries", "x"])).is_err());
         assert!(parse_options(&args(&["--fail-policy", "explode"])).is_err());
+        assert!(parse_options(&args(&["--backend"])).is_err());
+        assert!(parse_options(&args(&["--backend", "fiber"])).is_err());
+        assert!(parse_options(&args(&["--workers", "x"])).is_err());
     }
 
     #[test]

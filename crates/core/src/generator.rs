@@ -175,6 +175,23 @@ pub trait DatasetGenerator {
     }
 }
 
+/// Boxed generators are generators too, so trait objects returned by
+/// [`generator_for_program`] compose with wrappers like
+/// [`QuantizedGenerator`] without re-dispatching by hand.
+impl<G: DatasetGenerator + ?Sized> DatasetGenerator for Box<G> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn param_specs(&self) -> &[ParamSpec] {
+        (**self).param_specs()
+    }
+
+    fn instantiate(&self, unit: &[f64]) -> Workload {
+        (**self).instantiate(unit)
+    }
+}
+
 fn check_dims(specs: &[ParamSpec], unit: &[f64]) {
     assert_eq!(
         unit.len(),

@@ -46,6 +46,7 @@
 
 pub mod compress;
 pub mod constrained;
+pub mod distproc;
 pub mod error_model;
 pub mod generator;
 pub mod metrics;
@@ -68,8 +69,8 @@ pub use profile::{CurvePoint, EmptyProfileError, Profile};
 pub use profiler::{profile_app, profile_workload, ProfilingConfig};
 pub use scalar::{scalar_search, scalar_sweep, ScalarOutcome, ScalarSearchConfig};
 pub use search::{
-    search, search_parallel, search_with_runtime, IterationRecord, OptimizerKind, RuntimeOptions,
-    SearchConfig, SearchOutcome, SearchStats,
+    search, search_parallel, search_with_runtime, BackendChoice, IterationRecord, OptimizerKind,
+    ProcOptions, RuntimeOptions, SearchConfig, SearchOutcome, SearchStats,
 };
 pub use validate::{validate_clone, validate_paper_setup, ValidationReport, ValidationRow};
 pub use workload::{AppConfig, Workload};

@@ -114,8 +114,13 @@ impl SearchConfig {
 pub struct RuntimeOptions {
     /// Suggestions drawn per optimizer batch (0 or 1 = sequential).
     pub batch_k: usize,
-    /// Worker threads evaluating a batch (0 or 1 = no pool).
+    /// Worker threads evaluating a batch (0 or 1 = no pool). Ignored by
+    /// the process backend, which sizes its own worker pool.
     pub workers: usize,
+    /// Where evaluations run: in-process threads (the default) or a pool
+    /// of `datamime-worker` OS processes. Results are bit-identical
+    /// either way for the same `(seed, batch_k)`.
+    pub backend: BackendChoice,
     /// Journal every event to this file (crash-safe, resumable).
     pub journal: Option<PathBuf>,
     /// Resume from this journal, re-observing its points instead of
@@ -141,6 +146,29 @@ pub struct RuntimeOptions {
     /// observe the exact error the original evaluation produced), so this
     /// exists for A/B accounting and debugging, not correctness.
     pub no_memo: bool,
+}
+
+/// Where a search's evaluations execute.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The in-process worker-thread pool (the default).
+    #[default]
+    Thread,
+    /// A broker-managed pool of `datamime-worker` OS processes speaking
+    /// the [`datamime_dist`] wire protocol: deadlines are enforced by
+    /// SIGKILL and a crashing evaluation cannot take the search down.
+    Process(ProcOptions),
+}
+
+/// Options of the process backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcOptions {
+    /// Worker processes (0 = one).
+    pub workers: usize,
+    /// Worker binary; defaults to the `DATAMIME_WORKER` environment
+    /// variable, then a `datamime-worker` next to the current
+    /// executable.
+    pub worker_bin: Option<PathBuf>,
 }
 
 impl RuntimeOptions {
@@ -258,7 +286,7 @@ fn memo_key(generator: &dyn DatasetGenerator) -> MemoKeyFn {
 
 /// FNV-1a over a string, for folding `Debug` representations of
 /// configuration into the memo context fingerprint.
-fn hash_str(s: &str) -> u64 {
+pub(crate) fn hash_str(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         h ^= u64::from(b);
@@ -269,8 +297,9 @@ fn hash_str(s: &str) -> u64 {
 
 /// The memo context: everything beyond the parameter point that fixes an
 /// evaluation's outcome — machine configuration, profiling fidelity,
-/// error-model weights, and the seed.
-fn memo_context(cfg: &SearchConfig) -> u64 {
+/// error-model weights, and the seed. The process backend extends this
+/// with protocol/worker identity (see [`crate::distproc::dist_context`]).
+pub(crate) fn memo_context(cfg: &SearchConfig) -> u64 {
     fingerprint(&[
         cfg.seed,
         hash_str(&format!("{:?}", cfg.machine)),
@@ -424,13 +453,13 @@ fn finish(
 /// that round to an already-evaluated dataset are served from cache.
 fn build_executor(
     generator: &dyn DatasetGenerator,
-    cfg: &SearchConfig,
+    memo_ctx: u64,
     meta: RunMeta,
     opts: &RuntimeOptions,
 ) -> Result<Executor, ExecError> {
     let mut exec = Executor::new(meta).supervise(supervision(opts));
     if !opts.no_memo {
-        exec = exec.memoize_keyed(memo_context(cfg), memo_key(generator));
+        exec = exec.memoize_keyed(memo_ctx, memo_key(generator));
     }
     if opts.progress {
         exec = exec.sink(Box::new(StderrSink::default()));
@@ -476,8 +505,16 @@ pub fn search_with_runtime(
     cfg: &SearchConfig,
     opts: &RuntimeOptions,
 ) -> Result<SearchOutcome, ExecError> {
+    if let BackendChoice::Process(proc) = &opts.backend {
+        return search_with_process_backend(generator, target_profile, cfg, opts, proc);
+    }
     let mut optimizer = make_optimizer(cfg, generator.dims());
-    let exec = build_executor(generator, cfg, run_meta(generator, cfg, opts), opts)?;
+    let exec = build_executor(
+        generator,
+        memo_context(cfg),
+        run_meta(generator, cfg, opts),
+        opts,
+    )?;
     let tracker = BestTracker::default();
     let run = exec.run(optimizer.as_mut(), &|unit, stages, cancel| {
         evaluate(
@@ -491,6 +528,90 @@ pub fn search_with_runtime(
         )
     })?;
     Ok(finish(generator, cfg, run, tracker))
+}
+
+/// Locates the `datamime-worker` binary: explicit option, then the
+/// `DATAMIME_WORKER` environment variable, then a sibling of the current
+/// executable.
+fn resolve_worker_bin(proc: &ProcOptions) -> Result<PathBuf, String> {
+    if let Some(bin) = &proc.worker_bin {
+        return Ok(bin.clone());
+    }
+    if let Ok(bin) = std::env::var("DATAMIME_WORKER") {
+        return Ok(PathBuf::from(bin));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the current executable: {e}"))?;
+    let sibling = exe.with_file_name("datamime-worker");
+    if sibling.exists() {
+        return Ok(sibling);
+    }
+    Err(format!(
+        "no datamime-worker binary found (looked for {sibling:?}); build one with \
+         `cargo build -p datamime --bin datamime-worker`, set DATAMIME_WORKER, or pass \
+         ProcOptions::worker_bin"
+    ))
+}
+
+/// Monotonic suffix for the per-run staging directories holding the
+/// target-profile TSV handed to worker processes.
+static PROC_RUN_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The process-backend variant of [`search_with_runtime`]: stages the
+/// target profile on disk, starts a [`datamime_dist::Broker`] pool of
+/// `datamime-worker` processes, and drives it through the same executor
+/// engine — so journaling, resume, memoization, and observation order
+/// are shared with the thread backend and results stay bit-identical.
+fn search_with_process_backend(
+    generator: &(dyn DatasetGenerator + Sync),
+    target_profile: &Profile,
+    cfg: &SearchConfig,
+    opts: &RuntimeOptions,
+    proc: &ProcOptions,
+) -> Result<SearchOutcome, ExecError> {
+    use crate::distproc::{dist_context, EvalSpec};
+    use datamime_dist::{Broker, BrokerConfig};
+
+    let dir = std::env::temp_dir().join(format!(
+        "datamime-proc-{}-{}",
+        std::process::id(),
+        PROC_RUN_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ExecError::Backend(format!("cannot create {dir:?}: {e}")))?;
+    let result = (|| {
+        let target_path = dir.join("target.tsv");
+        std::fs::write(&target_path, target_profile.to_tsv())
+            .map_err(|e| ExecError::Backend(format!("cannot stage target profile: {e}")))?;
+        let spec =
+            EvalSpec::from_search(generator, cfg, target_path).map_err(ExecError::Backend)?;
+        let ctx = dist_context(generator, cfg, target_profile);
+        let mut bcfg = BrokerConfig::new(
+            resolve_worker_bin(proc).map_err(ExecError::Backend)?,
+            proc.workers.max(1),
+        );
+        bcfg.worker_args = spec.to_argv();
+        if let Some(plan) = &opts.fault_plan {
+            bcfg.worker_args.push("--fault".to_string());
+            bcfg.worker_args.push(plan.to_spec());
+        }
+        bcfg.ctx_fingerprint = ctx;
+        bcfg.seed = cfg.seed;
+        bcfg.deadline = opts.eval_timeout;
+        bcfg.max_retries = opts.max_retries;
+        bcfg.fail_policy = opts.fail_policy;
+        bcfg.penalty = datamime_bayesopt::PENALTY_OBJECTIVE;
+        let mut broker = Broker::start(bcfg).map_err(ExecError::Backend)?;
+        let mut optimizer = make_optimizer(cfg, generator.dims());
+        let exec = build_executor(generator, ctx, run_meta(generator, cfg, opts), opts)?;
+        let run = exec.run_backend(optimizer.as_mut(), &mut broker)?;
+        // No in-process evaluation ran, so there is no tracked winner to
+        // reuse; `finish` re-profiles the best point locally (one extra
+        // deterministic simulator run).
+        Ok(finish(generator, cfg, run, BestTracker::default()))
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }
 
 /// Runs a Datamime search for a dataset that makes `generator`'s program

@@ -1,0 +1,129 @@
+//! Multi-process smoke for the `datamime-dist` evaluation plane.
+//!
+//! Runs a short fig10-style convergence search twice — once on the
+//! in-process thread backend, once on `--backend proc --workers 2`
+//! (every evaluation in a separate `datamime-worker` OS process) — and
+//! fails unless the two runs are bit-identical: same suggestions, same
+//! error bits, same winner, same best profile. A splitmix64 checksum
+//! over the history is printed for both runs so CI logs show at a
+//! glance what was compared.
+//!
+//! The worker binary is located through `DATAMIME_WORKER` (scripts/ci.sh
+//! points it at `target/release/datamime-worker`) or, failing that, next
+//! to this executable. Usage: `dist_smoke [--check] [--workers N]`.
+
+#![forbid(unsafe_code)]
+use datamime::generator::{KvGenerator, QuantizedGenerator};
+use datamime::profiler::profile_workload;
+use datamime::search::{
+    search_with_runtime, BackendChoice, ProcOptions, RuntimeOptions, SearchConfig, SearchOutcome,
+};
+use datamime::workload::Workload;
+use std::process::ExitCode;
+
+/// Grid steps per parameter axis (7 values per axis).
+const STEPS: u32 = 6;
+/// Full-run iteration count; enough for several multi-point batches.
+const ITERATIONS: usize = 24;
+/// `--check` scale: still three batches of four across two workers.
+const CHECK_ITERATIONS: usize = 12;
+
+fn run(iterations: usize, backend: BackendChoice) -> SearchOutcome {
+    let mut cfg = SearchConfig::fast(iterations);
+    cfg.profiling = cfg.profiling.without_curves();
+    let generator = QuantizedGenerator::new(KvGenerator::new(), STEPS);
+    let target = profile_workload(&Workload::mem_fb(), &cfg.machine, &cfg.profiling);
+    let opts = RuntimeOptions {
+        batch_k: 4,
+        workers: 4,
+        backend,
+        ..RuntimeOptions::default()
+    };
+    match search_with_runtime(&generator, &target, &cfg, &opts) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("dist_smoke: search failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Order-sensitive splitmix64 fold over every suggestion and error bit
+/// in the history plus the winner — one number per run for the CI log.
+fn checksum(outcome: &SearchOutcome) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x.wrapping_mul(0x94D0_49BB_1331_11EB)
+    }
+    let mut h = 0;
+    for point in &outcome.history {
+        for &p in &point.unit_params {
+            h = mix(h, p.to_bits());
+        }
+        h = mix(h, point.error.to_bits());
+    }
+    for &p in &outcome.best_unit_params {
+        h = mix(h, p.to_bits());
+    }
+    mix(h, outcome.best_error.to_bits())
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut workers = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => {
+                    eprintln!("dist_smoke: --workers needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("dist_smoke: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let iterations = if check { CHECK_ITERATIONS } else { ITERATIONS };
+    eprintln!(
+        "dist_smoke: {iterations}-iteration search on threads, then on \
+         {workers} worker process(es)"
+    );
+    let thread = run(iterations, BackendChoice::Thread);
+    let proc = run(
+        iterations,
+        BackendChoice::Process(ProcOptions {
+            workers,
+            worker_bin: None, // DATAMIME_WORKER or a sibling of this binary
+        }),
+    );
+
+    let (ct, cp) = (checksum(&thread), checksum(&proc));
+    eprintln!("dist_smoke: thread checksum {ct:#018x}, proc checksum {cp:#018x}");
+
+    let mut identical = ct == cp
+        && thread.history.len() == proc.history.len()
+        && thread.best_unit_params == proc.best_unit_params
+        && thread.best_error.to_bits() == proc.best_error.to_bits()
+        && thread.best_profile.to_tsv() == proc.best_profile.to_tsv();
+    for (a, b) in thread.history.iter().zip(&proc.history) {
+        identical &= a.unit_params == b.unit_params && a.error.to_bits() == b.error.to_bits();
+    }
+    if !identical {
+        eprintln!("dist_smoke: FAIL — process backend diverged from the thread backend");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "dist_smoke: OK — {} evaluations bit-identical across backends",
+        thread.history.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -77,6 +77,33 @@ pub struct EvalRecord {
     /// When this observation was served from the evaluation memo cache,
     /// the index of the evaluation that originally produced the value.
     pub cached: Option<usize>,
+    /// Worker-process id that evaluated the point (out-of-process backend
+    /// only; for a cache hit, the worker that ran the *source*
+    /// evaluation). Diagnostic metadata: which worker serviced a point
+    /// depends on completion timing, so this field is deliberately
+    /// excluded from determinism comparisons (see
+    /// [`semantic_eq`](EvalRecord::semantic_eq)).
+    pub worker: Option<u64>,
+}
+
+impl EvalRecord {
+    /// Whether two records describe the same observation — every field
+    /// except the scheduling-dependent `worker` metadata. This is the
+    /// equality the determinism guarantees are stated in: a proc-backend
+    /// run is `semantic_eq` to a thread-backend run, bit for bit, even
+    /// though worker ids differ.
+    pub fn semantic_eq(&self, other: &EvalRecord) -> bool {
+        self.index == other.index
+            && self.unit.len() == other.unit.len()
+            && self
+                .unit
+                .iter()
+                .zip(&other.unit)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.error.to_bits() == other.error.to_bits()
+            && self.fault == other.fault
+            && self.cached == other.cached
+    }
 }
 
 /// The outcome of an executor run.
@@ -101,6 +128,10 @@ pub enum ExecError {
     Journal(JournalError),
     /// The journal being resumed does not match this run's configuration.
     ResumeMismatch(String),
+    /// The evaluation backend failed in a way that is not attributable to
+    /// any single point (broker setup, worker handshake rejection,
+    /// restart budget exhausted while respawning).
+    Backend(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -108,6 +139,7 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Journal(e) => write!(f, "{e}"),
             ExecError::ResumeMismatch(why) => write!(f, "cannot resume: {why}"),
+            ExecError::Backend(why) => write!(f, "evaluation backend failed: {why}"),
         }
     }
 }
@@ -123,9 +155,35 @@ impl From<JournalError> for ExecError {
 /// Evaluates the given `(global index, unit)` jobs, returning one
 /// [`Evaluated`] verdict per job in the same order and reporting failed
 /// attempts through the callback — the engine's pluggable evaluation
-/// backend.
-type Dispatch<'a> =
-    dyn FnMut(&[(usize, Vec<f64>)], &mut dyn FnMut(FailedAttempt)) -> Vec<Evaluated> + 'a;
+/// backend. An `Err` aborts the run (it means the backend itself broke,
+/// not that a point failed — point failures are penalty verdicts).
+type Dispatch<'a> = dyn FnMut(&[(usize, Vec<f64>)], &mut dyn FnMut(FailedAttempt)) -> Result<Vec<Evaluated>, ExecError>
+    + 'a;
+
+/// A batch evaluation backend the executor can drive through
+/// [`Executor::run_backend`] — the seam where out-of-process evaluation
+/// (the `datamime-dist` broker) plugs in beside the built-in thread pool.
+///
+/// Contract: `evaluate_batch` returns exactly one verdict per job, **in
+/// job order**, regardless of internal scheduling — the executor commits
+/// observations in that order, which is what keeps runs bit-identical
+/// across backends and worker counts. Failed attempts (retries included)
+/// are reported through `on_attempt` as they happen so the engine can
+/// journal them eagerly. Returning `Err` aborts the whole run.
+pub trait Backend {
+    /// Evaluates one batch of `(global index, unit)` jobs.
+    ///
+    /// # Errors
+    ///
+    /// An error means the backend itself failed (lost its workers, could
+    /// not respawn within budget) — per-point failures must be returned
+    /// as penalty verdicts instead.
+    fn evaluate_batch(
+        &mut self,
+        jobs: &[(usize, Vec<f64>)],
+        on_attempt: &mut dyn FnMut(FailedAttempt),
+    ) -> Result<Vec<Evaluated>, String>;
+}
 
 /// Pure projection from a unit point to the memo-cache key it is cached
 /// under (see [`Executor::memoize_keyed`]).
@@ -340,13 +398,15 @@ impl Executor {
             Some(cfg) => {
                 let sup = Supervisor::new(cfg, self.meta.seed);
                 self.engine(optimizer, &mut |jobs, on_attempt| {
-                    jobs.iter()
+                    Ok(jobs
+                        .iter()
                         .map(|(index, unit)| sup.evaluate(*index, unit, eval, on_attempt))
-                        .collect()
+                        .collect())
                 })
             }
             None => self.engine(optimizer, &mut |jobs, _on_attempt| {
-                jobs.iter()
+                Ok(jobs
+                    .iter()
                     .map(|(_, unit)| {
                         let mut stages = StageTimes::new();
                         let error = eval(unit, &mut stages, &CancelToken::new());
@@ -354,11 +414,35 @@ impl Executor {
                             error,
                             stages,
                             fault: None,
+                            worker: None,
                         }
                     })
-                    .collect()
+                    .collect())
             }),
         }
+    }
+
+    /// Runs on a pluggable [`Backend`] — the out-of-process broker, or
+    /// anything else that evaluates batches in job order. Supervision
+    /// config still shapes the engine-side fault machinery (quarantine,
+    /// degradation, penalties for journal-pending points); the backend
+    /// itself is responsible for per-point retries and deadlines and for
+    /// returning penalty verdicts that match the supervisor's.
+    ///
+    /// # Errors
+    ///
+    /// Fails on journal I/O, a resume/journal mismatch, or a backend
+    /// failure ([`ExecError::Backend`]).
+    pub fn run_backend(
+        mut self,
+        optimizer: &mut dyn BlackBoxOptimizer,
+        backend: &mut dyn Backend,
+    ) -> Result<RunOutcome, ExecError> {
+        self.engine(optimizer, &mut |jobs, on_attempt| {
+            backend
+                .evaluate_batch(jobs, on_attempt)
+                .map_err(ExecError::Backend)
+        })
     }
 
     /// Runs with `meta.workers` scoped worker threads draining a bounded
@@ -430,6 +514,7 @@ impl Executor {
                                         error,
                                         stages,
                                         fault: None,
+                                        worker: None,
                                     }
                                 }
                             },
@@ -446,7 +531,7 @@ impl Executor {
             // joins them.
             let mut dispatch = move |jobs: &[(usize, Vec<f64>)],
                                      on_attempt: &mut dyn FnMut(FailedAttempt)|
-                  -> Vec<Evaluated> {
+                  -> Result<Vec<Evaluated>, ExecError> {
                 for (slot, (index, unit)) in jobs.iter().enumerate() {
                     job_tx
                         .send((slot, *index, unit.clone()))
@@ -467,10 +552,10 @@ impl Executor {
                         WorkerMsg::Done(_, Err(panic)) => std::panic::resume_unwind(panic),
                     }
                 }
-                slots
+                Ok(slots
                     .into_iter()
                     .map(|s| s.expect("every slot was filled"))
-                    .collect()
+                    .collect())
             };
             let outcome = self.engine(optimizer, &mut dispatch);
             drop(dispatch);
@@ -613,7 +698,7 @@ impl Executor {
                 if let Some(e) = journal_err {
                     return Err(e.into());
                 }
-                results
+                results?
             };
 
             for (i, unit) in units.into_iter().enumerate() {
@@ -636,6 +721,7 @@ impl Executor {
                         stage_ms: Vec::new(),
                         fault: Some(fault.clone()),
                         cached: None,
+                        worker: None,
                     },
                     SlotPlan::Memo(entry) => {
                         telemetry.count_cache_hit();
@@ -646,6 +732,7 @@ impl Executor {
                             stage_ms: Vec::new(),
                             fault: None,
                             cached: Some(entry.source),
+                            worker: entry.worker,
                         }
                     }
                     SlotPlan::Fresh(j) => {
@@ -659,6 +746,7 @@ impl Executor {
                             stage_ms: verdict.stages.to_millis(),
                             fault: verdict.fault.clone(),
                             cached: None,
+                            worker: verdict.worker,
                         }
                     }
                 };
@@ -670,7 +758,7 @@ impl Executor {
                 if rec.fault.is_none() && rec.cached.is_none() && self.memo.is_some() {
                     let key = self.memo_key_of(&rec.unit);
                     if let Some(memo) = self.memo.as_mut() {
-                        memo.insert(&key, rec.error, rec.index);
+                        memo.insert(&key, rec.error, rec.index, rec.worker);
                     }
                 }
 

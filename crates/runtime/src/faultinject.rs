@@ -30,6 +30,15 @@ pub enum InjectedFault {
     Nan,
     /// Return `f64::INFINITY`.
     Inf,
+    /// Kill the worker *process* evaluating the point (the worker calls
+    /// `std::process::abort()`, so not even `catch_unwind` sees it).
+    /// Only the out-of-process backend can express this; the in-process
+    /// paths treat it as a no-op ([`FaultPlan::apply`] returns `None` and
+    /// the real evaluation runs), which is exactly what makes a
+    /// `KillWorker` run comparable bit-for-bit against a thread-backend
+    /// run: the broker re-dispatches the point transparently and the
+    /// observed value is the same either way.
+    KillWorker,
 }
 
 /// One planned fault: evaluation `index` misbehaves with `kind` on its
@@ -91,12 +100,104 @@ impl FaultPlan {
     }
 
     /// The fault scheduled for `(index, attempt)`, if any. First match
-    /// in insertion order wins.
+    /// in insertion order wins (an earlier fault on the same index can
+    /// therefore mask a later one, [`InjectedFault::KillWorker`]
+    /// included).
     pub fn lookup(&self, index: usize, attempt: u32) -> Option<InjectedFault> {
         self.faults
             .iter()
             .find(|f| f.index == index && f.attempts.is_none_or(|n| attempt < n))
             .map(|f| f.kind)
+    }
+
+    /// Whether a [`InjectedFault::KillWorker`] fault is scheduled for
+    /// dispatch number `dispatch` of evaluation `index`. The worker
+    /// binary consults this with the broker's *dispatch* counter (not the
+    /// supervision attempt), so `fail_first(i, KillWorker, 1)` kills only
+    /// the first process that picks the point up and the transparent
+    /// re-dispatch then succeeds.
+    pub fn kills(&self, index: usize, dispatch: u32) -> bool {
+        self.faults.iter().any(|f| {
+            f.index == index
+                && f.kind == InjectedFault::KillWorker
+                && f.attempts.is_none_or(|n| dispatch < n)
+        })
+    }
+
+    /// Serializes the plan to its compact spec form: faults joined by
+    /// `;`, each `index:kind[@attempts]` with kinds `panic`, `nan`,
+    /// `inf`, `stall<ms>`, `kill` — the format the worker binary accepts
+    /// via `--fault` so a plan survives the process boundary.
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(&f.index.to_string());
+            out.push(':');
+            match f.kind {
+                InjectedFault::Panic => out.push_str("panic"),
+                InjectedFault::Nan => out.push_str("nan"),
+                InjectedFault::Inf => out.push_str("inf"),
+                InjectedFault::KillWorker => out.push_str("kill"),
+                InjectedFault::StallMs(ms) => {
+                    out.push_str("stall");
+                    out.push_str(&ms.to_string());
+                }
+            }
+            if let Some(n) = f.attempts {
+                out.push('@');
+                out.push_str(&n.to_string());
+            }
+        }
+        out
+    }
+
+    /// Parses a spec produced by [`to_spec`](Self::to_spec) (an empty
+    /// string is the empty plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed fault entry.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(';').filter(|p| !p.is_empty()) {
+            let (index_s, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{part}`: expected index:kind"))?;
+            let index: usize = index_s
+                .parse()
+                .map_err(|e| format!("fault `{part}`: bad index: {e}"))?;
+            let (kind_s, attempts) = match rest.split_once('@') {
+                Some((k, n)) => (
+                    k,
+                    Some(
+                        n.parse::<u32>()
+                            .map_err(|e| format!("fault `{part}`: bad attempt count: {e}"))?,
+                    ),
+                ),
+                None => (rest, None),
+            };
+            let kind = match kind_s {
+                "panic" => InjectedFault::Panic,
+                "nan" => InjectedFault::Nan,
+                "inf" => InjectedFault::Inf,
+                "kill" => InjectedFault::KillWorker,
+                s if s.starts_with("stall") => InjectedFault::StallMs(
+                    s["stall".len()..]
+                        .parse()
+                        .map_err(|e| format!("fault `{part}`: bad stall duration: {e}"))?,
+                ),
+                other => return Err(format!("fault `{part}`: unknown kind `{other}`")),
+            };
+            plan.faults.push(PlannedFault {
+                index,
+                kind,
+                attempts,
+            });
+        }
+        Ok(plan)
     }
 
     /// Executes the fault scheduled for `(index, attempt)`, if any:
@@ -114,6 +215,9 @@ impl FaultPlan {
             InjectedFault::Panic => panic!("injected panic at evaluation {index}"),
             InjectedFault::Nan => Some(f64::NAN),
             InjectedFault::Inf => Some(f64::INFINITY),
+            // In-process there is no worker process to kill; the worker
+            // binary checks `kills()` before evaluating instead.
+            InjectedFault::KillWorker => None,
             InjectedFault::StallMs(ms) => {
                 let bound = Duration::from_millis(ms);
                 let start = Instant::now();
@@ -182,6 +286,40 @@ mod tests {
         let out = plan.apply(0, 0, &token);
         assert!(start.elapsed() < Duration::from_secs(5));
         assert!(out.unwrap().is_nan());
+    }
+
+    #[test]
+    fn kill_worker_is_a_noop_in_process_but_visible_via_kills() {
+        let plan = FaultPlan::new().fail_first(3, InjectedFault::KillWorker, 1);
+        assert!(plan.apply(3, 0, &CancelToken::new()).is_none());
+        assert!(plan.kills(3, 0));
+        assert!(!plan.kills(3, 1), "only the first dispatch dies");
+        assert!(!plan.kills(2, 0));
+        assert!(FaultPlan::new()
+            .fail(5, InjectedFault::KillWorker)
+            .kills(5, 17));
+    }
+
+    #[test]
+    fn spec_round_trips_every_fault_kind() {
+        let plan = FaultPlan::new()
+            .fail(0, InjectedFault::Panic)
+            .fail_first(1, InjectedFault::Nan, 2)
+            .fail(2, InjectedFault::Inf)
+            .fail_first(3, InjectedFault::StallMs(250), 1)
+            .fail_first(4, InjectedFault::KillWorker, 1);
+        let spec = plan.to_spec();
+        assert_eq!(spec, "0:panic;1:nan@2;2:inf;3:stall250@1;4:kill@1");
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
+        assert_eq!(FaultPlan::from_spec("").unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_context() {
+        for bad in ["7", "x:panic", "1:frob", "1:stallx", "1:panic@y"] {
+            let err = FaultPlan::from_spec(bad).unwrap_err();
+            assert!(err.contains("fault `"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -139,7 +139,9 @@ impl JournalWriter {
             line.push(':');
             push_f64(&mut line, *ms);
         }
-        line.push_str("}}");
+        line.push('}');
+        push_worker(&mut line, rec.worker);
+        line.push('}');
         self.write_line(&line)
     }
 
@@ -166,6 +168,7 @@ impl JournalWriter {
         push_str_escaped(&mut line, &info.detail);
         line.push_str(",\"retries\":");
         push_f64(&mut line, f64::from(info.retries));
+        push_worker(&mut line, rec.worker);
         line.push('}');
         self.write_line(&line)
     }
@@ -188,6 +191,7 @@ impl JournalWriter {
         push_f64(&mut line, rec.error);
         line.push_str(",\"source\":");
         push_f64(&mut line, source as f64);
+        push_worker(&mut line, rec.worker);
         line.push('}');
         self.write_line(&line)
     }
@@ -202,6 +206,7 @@ impl JournalWriter {
         push_str_escaped(&mut line, a.kind.tag());
         line.push_str(",\"detail\":");
         push_str_escaped(&mut line, &a.detail);
+        push_worker(&mut line, a.worker);
         line.push('}');
         self.write_line(&line)
     }
@@ -238,6 +243,16 @@ impl JournalWriter {
         push_f64_array(&mut line, best_unit);
         line.push('}');
         self.write_line(&line)
+    }
+}
+
+/// Appends the optional `worker` field (out-of-process runs only). The
+/// field is additive — version-2 readers that predate it ignore unknown
+/// fields, so JOURNAL_VERSION stays at 2.
+fn push_worker(line: &mut String, worker: Option<u64>) {
+    if let Some(w) = worker {
+        line.push_str(",\"worker\":");
+        push_f64(line, w as f64);
     }
 }
 
@@ -403,6 +418,7 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
             .collect::<Option<_>>()?;
         (unit.len() == dims).then_some(unit)
     };
+    let parse_worker = |v: &Json| v.get("worker").and_then(Json::as_usize).map(|w| w as u64);
     match v.get("event").and_then(Json::as_str)? {
         "eval" => {
             let index = v.get("index").and_then(Json::as_usize)?;
@@ -428,6 +444,7 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
                 stage_ms,
                 fault: None,
                 cached: None,
+                worker: parse_worker(&v),
             }))
         }
         "cache_hit" => {
@@ -450,6 +467,7 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
                 stage_ms: Vec::new(),
                 fault: None,
                 cached: Some(source),
+                worker: parse_worker(&v),
             }))
         }
         "fault" => {
@@ -478,6 +496,7 @@ fn parse_event(line: &str, expect_index: usize, dims: usize) -> Option<LineEvent
                     retries: retries as u32,
                 }),
                 cached: None,
+                worker: parse_worker(&v),
             }))
         }
         "attempt" => {

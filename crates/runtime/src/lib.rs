@@ -38,7 +38,7 @@ pub mod memo;
 pub mod supervisor;
 pub mod telemetry;
 
-pub use executor::{EvalRecord, ExecError, Executor, MemoKeyFn, RunMeta, RunOutcome};
+pub use executor::{Backend, EvalRecord, ExecError, Executor, MemoKeyFn, RunMeta, RunOutcome};
 pub use faultinject::{FaultPlan, InjectedFault, PlannedFault};
 pub use journal::{
     replay, JournalError, JournalWriter, PendingFault, Replay, JOURNAL_VERSION,
@@ -46,7 +46,7 @@ pub use journal::{
 };
 pub use memo::{canonical_bits, fingerprint, MemoCache, MemoEntry};
 pub use supervisor::{
-    CancelToken, Evaluated, FailPolicy, FailedAttempt, FailureKind, FaultInfo, Supervisor,
-    SupervisorConfig, Watchdog,
+    retry_backoff, CancelToken, Evaluated, FailPolicy, FailedAttempt, FailureKind, FaultInfo,
+    Supervisor, SupervisorConfig, Watchdog,
 };
 pub use telemetry::{NullSink, ProgressSink, StageTimes, StderrSink, Telemetry};

@@ -66,6 +66,10 @@ pub struct MemoEntry {
     /// Observation index of the evaluation that produced `error` — the
     /// provenance recorded in the journal's `cache_hit` event.
     pub source: usize,
+    /// Worker-process id that ran the source evaluation (out-of-process
+    /// backend only; `None` in-process). Diagnostic metadata carried into
+    /// the journal's `cache_hit` event, never part of the cache key.
+    pub worker: Option<u64>,
 }
 
 /// An exact-match memo of successful evaluations, keyed by
@@ -79,7 +83,7 @@ pub struct MemoEntry {
 /// let mut memo = MemoCache::new(fingerprint(&[0xbeef, 42]));
 /// let point = [0.25, 0.75];
 /// assert!(memo.lookup(&point).is_none());
-/// memo.insert(&point, 0.125, 7);
+/// memo.insert(&point, 0.125, 7, None);
 /// let hit = memo.lookup(&point).expect("exact re-suggestion hits");
 /// assert_eq!((hit.error, hit.source), (0.125, 7));
 /// ```
@@ -109,11 +113,14 @@ impl MemoCache {
     }
 
     /// Memoizes `error` for `unit`; the first insertion wins so `source`
-    /// always names the evaluation that actually ran.
-    pub fn insert(&mut self, unit: &[f64], error: f64, source: usize) {
-        self.map
-            .entry(canonical_bits(unit))
-            .or_insert(MemoEntry { error, source });
+    /// always names the evaluation that actually ran. `worker` records
+    /// which worker process ran it (`None` in-process).
+    pub fn insert(&mut self, unit: &[f64], error: f64, source: usize, worker: Option<u64>) {
+        self.map.entry(canonical_bits(unit)).or_insert(MemoEntry {
+            error,
+            source,
+            worker,
+        });
     }
 
     /// Number of memoized points.
@@ -134,7 +141,7 @@ mod tests {
     #[test]
     fn exact_bits_hit_and_nearby_points_miss() {
         let mut memo = MemoCache::new(1);
-        memo.insert(&[0.5, 0.5], 1.0, 0);
+        memo.insert(&[0.5, 0.5], 1.0, 0, None);
         assert!(memo.lookup(&[0.5, 0.5]).is_some());
         assert!(memo.lookup(&[0.5, 0.5 + 1e-17]).is_some()); // rounds to the same f64
         assert!(memo.lookup(&[0.5, 0.5000001]).is_none());
@@ -144,7 +151,7 @@ mod tests {
     #[test]
     fn negative_zero_matches_positive_zero() {
         let mut memo = MemoCache::new(1);
-        memo.insert(&[0.0], 2.0, 3);
+        memo.insert(&[0.0], 2.0, 3, None);
         let hit = memo.lookup(&[-0.0]).expect("-0.0 canonicalizes to +0.0");
         assert_eq!((hit.error, hit.source), (2.0, 3));
     }
@@ -152,8 +159,8 @@ mod tests {
     #[test]
     fn first_insertion_wins() {
         let mut memo = MemoCache::new(1);
-        memo.insert(&[0.25], 1.0, 2);
-        memo.insert(&[0.25], 9.0, 8);
+        memo.insert(&[0.25], 1.0, 2, None);
+        memo.insert(&[0.25], 9.0, 8, None);
         let e = memo.lookup(&[0.25]).unwrap();
         assert_eq!((e.error, e.source), (1.0, 2));
         assert_eq!(memo.len(), 1);

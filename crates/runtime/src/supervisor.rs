@@ -72,6 +72,10 @@ pub enum FailureKind {
     /// The point was not evaluated at all: it matched the quarantine set
     /// of repeatedly-failing points and was penalized directly.
     Quarantined,
+    /// The out-of-process backend lost the worker evaluating the point
+    /// (crash, SIGKILL, socket close) more times than its re-dispatch
+    /// budget allows. Never produced by the in-process supervisor.
+    WorkerLost,
 }
 
 impl FailureKind {
@@ -82,6 +86,7 @@ impl FailureKind {
             FailureKind::Timeout => "timeout",
             FailureKind::NonFinite => "nonfinite",
             FailureKind::Quarantined => "quarantined",
+            FailureKind::WorkerLost => "workerlost",
         }
     }
 
@@ -92,6 +97,7 @@ impl FailureKind {
             "timeout" => Some(FailureKind::Timeout),
             "nonfinite" => Some(FailureKind::NonFinite),
             "quarantined" => Some(FailureKind::Quarantined),
+            "workerlost" => Some(FailureKind::WorkerLost),
             _ => None,
         }
     }
@@ -127,6 +133,10 @@ pub struct FailedAttempt {
     pub kind: FailureKind,
     /// Human-readable detail.
     pub detail: String,
+    /// Worker-process id that ran the attempt (out-of-process backend
+    /// only; `None` on the in-process paths). Diagnostic metadata, never
+    /// compared when checking run determinism.
+    pub worker: Option<u64>,
 }
 
 /// What happens when an evaluation still fails after all retries.
@@ -194,6 +204,10 @@ pub struct Evaluated {
     pub stages: StageTimes,
     /// The failure, if the evaluation was penalized.
     pub fault: Option<FaultInfo>,
+    /// Worker-process id that produced the verdict (out-of-process
+    /// backend only; `None` on the in-process paths). Diagnostic
+    /// metadata, never compared when checking run determinism.
+    pub worker: Option<u64>,
 }
 
 impl Evaluated {
@@ -203,6 +217,7 @@ impl Evaluated {
             error: penalty,
             stages: StageTimes::new(),
             fault: Some(fault),
+            worker: None,
         }
     }
 }
@@ -375,17 +390,15 @@ impl Supervisor {
     }
 
     /// The deterministic backoff before retry attempt `attempt` (≥ 1) of
-    /// evaluation `index`: `base · 2^(attempt-1)`, jittered to
-    /// `[0.5×, 1.5×)` by a seeded hash, capped at `backoff_cap`.
+    /// evaluation `index`; see [`retry_backoff`].
     pub fn backoff(&self, index: usize, attempt: u32) -> Duration {
-        let exp = self.cfg.backoff_base.as_secs_f64() * 2f64.powi(attempt as i32 - 1);
-        let h = splitmix64(
-            self.seed
-                ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9),
-        );
-        let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
-        Duration::from_secs_f64((exp * jitter).min(self.cfg.backoff_cap.as_secs_f64()))
+        retry_backoff(
+            self.cfg.backoff_base,
+            self.cfg.backoff_cap,
+            self.seed,
+            index,
+            attempt,
+        )
     }
 
     /// Evaluates `unit` (global evaluation `index`) under full
@@ -450,6 +463,7 @@ impl Supervisor {
                         error: value,
                         stages,
                         fault: None,
+                        worker: None,
                     }
                 }
                 Err(payload) => {
@@ -462,6 +476,7 @@ impl Supervisor {
                 attempt,
                 kind,
                 detail: detail.clone(),
+                worker: None,
             });
             last = Some((kind, detail, payload));
         }
@@ -497,6 +512,27 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "panic with non-string payload".to_string()
     }
+}
+
+/// The deterministic retry backoff shared by the in-process supervisor
+/// and the out-of-process broker: `base · 2^(attempt-1)`, jittered to
+/// `[0.5×, 1.5×)` by a hash of `(seed, index, attempt)`, capped at
+/// `cap`. A pure function — both backends replay the exact same backoff
+/// schedule for the same run seed.
+pub fn retry_backoff(
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    index: usize,
+    attempt: u32,
+) -> Duration {
+    let exp = base.as_secs_f64() * 2f64.powi(attempt as i32 - 1);
+    let h = splitmix64(
+        seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+    );
+    let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64((exp * jitter).min(cap.as_secs_f64()))
 }
 
 /// SplitMix64: a tiny, high-quality mixing function — the deterministic

@@ -321,6 +321,7 @@ fn eval_record_is_plain_data() {
         stage_ms: vec![("profile".to_string(), 2.0)],
         fault: None,
         cached: None,
+        worker: None,
     };
     assert_eq!(rec.clone(), rec);
 }

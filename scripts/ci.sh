@@ -47,6 +47,13 @@ if [ -z "${SKIP_TESTS:-}" ]; then
   # Benchmark-harness smoke: every sim kernel runs once and fingerprints
   # deterministically, and the memo accounting harness completes.
   run scripts/bench.sh --check
+  # Multi-process smoke: a short fig10-style search on the process
+  # backend (--backend proc --workers 2, each evaluation in its own
+  # datamime-worker OS process) must be checksum-identical to the
+  # in-process thread backend.
+  run cargo build --release -q -p datamime-experiments --bin dist_smoke
+  echo "==> DATAMIME_WORKER=target/release/datamime-worker target/release/dist_smoke --check"
+  DATAMIME_WORKER=target/release/datamime-worker target/release/dist_smoke --check
 fi
 
 echo "==> CI passed"

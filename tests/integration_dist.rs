@@ -1,0 +1,226 @@
+//! Integration of the full Datamime search with the `datamime-dist`
+//! process backend: bit-identical results against the in-process thread
+//! backend across worker counts, under worker-kill fault plans, under
+//! backpressure, and across journal resume in both backend directions.
+//!
+//! The real `datamime-worker` binary is built by cargo alongside this
+//! test and located via `CARGO_BIN_EXE_datamime-worker`.
+
+use datamime::generator::{KvGenerator, QuantizedGenerator};
+use datamime::profiler::profile_workload;
+use datamime::search::{
+    search_with_runtime, BackendChoice, ProcOptions, RuntimeOptions, SearchConfig, SearchOutcome,
+};
+use datamime::workload::Workload;
+use datamime_runtime::{FaultPlan, InjectedFault};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("datamime-dist-it-{}-{name}", std::process::id()));
+    let _ = fs::remove_file(&path);
+    path
+}
+
+fn fast_config(iterations: usize) -> SearchConfig {
+    let mut cfg = SearchConfig::fast(iterations);
+    cfg.profiling = cfg.profiling.without_curves();
+    cfg
+}
+
+fn proc_backend(workers: usize) -> BackendChoice {
+    BackendChoice::Process(ProcOptions {
+        workers,
+        worker_bin: Some(PathBuf::from(env!("CARGO_BIN_EXE_datamime-worker"))),
+    })
+}
+
+fn generator() -> QuantizedGenerator<KvGenerator> {
+    QuantizedGenerator::new(KvGenerator::new(), 6)
+}
+
+/// Everything the journal/winner semantics promise: same points, same
+/// error bits, same winner, same accounting — regardless of backend.
+fn assert_identical(a: &SearchOutcome, b: &SearchOutcome, what: &str) {
+    assert_eq!(a.best_unit_params, b.best_unit_params, "{what}: winner");
+    assert_eq!(
+        a.best_error.to_bits(),
+        b.best_error.to_bits(),
+        "{what}: best error"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "{what}: history length");
+    for (i, (x, y)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(x.unit_params, y.unit_params, "{what}: point {i}");
+        assert_eq!(
+            x.error.to_bits(),
+            y.error.to_bits(),
+            "{what}: error bits at {i}"
+        );
+    }
+    assert_eq!(
+        a.best_profile.to_tsv(),
+        b.best_profile.to_tsv(),
+        "{what}: best profile"
+    );
+}
+
+#[test]
+fn process_backend_is_bit_identical_to_threads_for_any_worker_count() {
+    let cfg = fast_config(10);
+    let target = profile_workload(&Workload::mem_fb(), &cfg.machine, &cfg.profiling);
+    let base = RuntimeOptions {
+        batch_k: 4,
+        workers: 4,
+        ..RuntimeOptions::default()
+    };
+    let thread = search_with_runtime(&generator(), &target, &cfg, &base).unwrap();
+    for workers in [1usize, 2, 4] {
+        let opts = RuntimeOptions {
+            backend: proc_backend(workers),
+            ..base.clone()
+        };
+        let proc = search_with_runtime(&generator(), &target, &cfg, &opts).unwrap();
+        assert_identical(&thread, &proc, &format!("{workers} worker(s)"));
+        assert_eq!(thread.stats, proc.stats, "{workers} worker(s): stats");
+    }
+}
+
+#[test]
+fn killing_a_worker_mid_batch_changes_nothing() {
+    // Evaluation 2's first dispatch aborts its worker process; the broker
+    // respawns it and re-dispatches transparently. In-process the same
+    // plan is a no-op, so both runs must land on identical bits.
+    let cfg = fast_config(8);
+    let target = profile_workload(&Workload::mem_fb(), &cfg.machine, &cfg.profiling);
+    let plan = FaultPlan::new().fail_first(2, InjectedFault::KillWorker, 1);
+    let base = RuntimeOptions {
+        batch_k: 4,
+        workers: 2,
+        fault_plan: Some(plan),
+        ..RuntimeOptions::default()
+    };
+    let thread = search_with_runtime(&generator(), &target, &cfg, &base).unwrap();
+    let opts = RuntimeOptions {
+        backend: proc_backend(2),
+        ..base.clone()
+    };
+    let proc = search_with_runtime(&generator(), &target, &cfg, &opts).unwrap();
+    assert_identical(&thread, &proc, "worker killed mid-batch");
+    assert_eq!(thread.stats, proc.stats, "stats under a kill plan");
+}
+
+#[test]
+fn journal_resume_works_across_backend_kinds() {
+    let cfg = fast_config(8);
+    let target = profile_workload(&Workload::mem_fb(), &cfg.machine, &cfg.profiling);
+    let reference = search_with_runtime(
+        &generator(),
+        &target,
+        &cfg,
+        &RuntimeOptions {
+            batch_k: 2,
+            workers: 2,
+            ..RuntimeOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Truncates a finished journal to its first `keep` observations,
+    // simulating a mid-run crash.
+    let truncate = |path: &PathBuf, keep: usize| {
+        let text = fs::read_to_string(path).unwrap();
+        let kept: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"header\"") || l.contains("\"eval\""))
+            .take(1 + keep)
+            .collect();
+        fs::write(path, kept.join("\n") + "\n").unwrap();
+    };
+
+    // Thread-journaled prefix, resumed under the process backend.
+    let t2p = tmp("thread-to-proc.jsonl");
+    search_with_runtime(
+        &generator(),
+        &target,
+        &cfg,
+        &RuntimeOptions {
+            batch_k: 2,
+            workers: 2,
+            journal: Some(t2p.clone()),
+            ..RuntimeOptions::default()
+        },
+    )
+    .unwrap();
+    truncate(&t2p, 4);
+    let resumed = search_with_runtime(
+        &generator(),
+        &target,
+        &cfg,
+        &RuntimeOptions {
+            batch_k: 2,
+            journal: Some(t2p.clone()),
+            resume: Some(t2p.clone()),
+            backend: proc_backend(2),
+            ..RuntimeOptions::default()
+        },
+    )
+    .unwrap();
+    assert_identical(&reference, &resumed, "thread journal resumed on proc");
+    assert_eq!(resumed.stats.replayed, 4, "thread→proc replayed prefix");
+
+    // Process-journaled prefix, resumed under the thread backend.
+    let p2t = tmp("proc-to-thread.jsonl");
+    search_with_runtime(
+        &generator(),
+        &target,
+        &cfg,
+        &RuntimeOptions {
+            batch_k: 2,
+            journal: Some(p2t.clone()),
+            backend: proc_backend(2),
+            ..RuntimeOptions::default()
+        },
+    )
+    .unwrap();
+    truncate(&p2t, 4);
+    let resumed = search_with_runtime(
+        &generator(),
+        &target,
+        &cfg,
+        &RuntimeOptions {
+            batch_k: 2,
+            workers: 2,
+            journal: Some(p2t.clone()),
+            resume: Some(p2t.clone()),
+            ..RuntimeOptions::default()
+        },
+    )
+    .unwrap();
+    assert_identical(&reference, &resumed, "proc journal resumed on threads");
+    assert_eq!(resumed.stats.replayed, 4, "proc→thread replayed prefix");
+
+    let _ = fs::remove_file(&t2p);
+    let _ = fs::remove_file(&p2t);
+}
+
+#[test]
+fn more_outstanding_points_than_workers_queue_without_reordering() {
+    // batch_k 6 against 2 worker processes: the broker must queue the
+    // excess and commit observations in batch order, bit-identical to
+    // the thread backend at the same batch_k.
+    let cfg = fast_config(12);
+    let target = profile_workload(&Workload::mem_fb(), &cfg.machine, &cfg.profiling);
+    let base = RuntimeOptions {
+        batch_k: 6,
+        workers: 6,
+        ..RuntimeOptions::default()
+    };
+    let thread = search_with_runtime(&generator(), &target, &cfg, &base).unwrap();
+    let opts = RuntimeOptions {
+        batch_k: 6,
+        backend: proc_backend(2),
+        ..RuntimeOptions::default()
+    };
+    let proc = search_with_runtime(&generator(), &target, &cfg, &opts).unwrap();
+    assert_identical(&thread, &proc, "backpressure at batch 6 on 2 workers");
+}
