@@ -15,6 +15,7 @@ use datamime::profiler::{profile_workload, ProfilingConfig};
 use datamime::search::{
     search, search_with_runtime, BackendChoice, ProcOptions, RuntimeOptions, SearchConfig,
 };
+use datamime::servectl::ServeClient;
 use datamime::workload::Workload;
 use datamime_runtime::FailPolicy;
 use datamime_sim::MachineConfig;
@@ -34,6 +35,12 @@ COMMANDS:
     profile <workload>         profile a workload and print its metrics
     clone <workload>           search for a matching synthetic dataset
     validate <workload>        clone, then validate across all machines
+    ctl <action> [...]         talk to a running datamime-served daemon:
+                                 submit key=value...   (workload=<name> ...)
+                                 status|result|wait|cancel <job-id>
+                                 list | stats | version | shutdown
+                               the daemon root comes from --root or the
+                               DATAMIME_SERVE_ROOT environment variable
 
 OPTIONS:
     --machine <name>           broadwell (default) | zen2 | silvermont
@@ -60,26 +67,14 @@ OPTIONS:
     --fail-policy <policy>     with `clone`: what to do when an evaluation
                                still fails after retries —
                                penalize (default) | abort (fail fast)
+    --progress-every <n>       with `clone`: emit a stderr progress line
+                               every n evaluations (default 10)
+    --root <dir>               with `ctl`: the daemon state root
+    --timeout-secs <n>         with `ctl wait`: give up after n seconds
+                               (default 600)
     --paper                    paper-fidelity profiling (slower)
     --tsv                      with `profile`: dump raw samples as TSV
 ";
-
-fn workload_by_name(name: &str) -> Option<Workload> {
-    let all = [
-        Workload::mem_fb(),
-        Workload::mem_twtr(),
-        Workload::mem_public(),
-        Workload::silo_bidding(),
-        Workload::silo_public(),
-        Workload::xapian_wiki(),
-        Workload::xapian_public(),
-        Workload::dnn_resnet(),
-        Workload::dnn_public(),
-        Workload::masstree_ycsb(),
-        Workload::img_dnn_mnist(),
-    ];
-    all.into_iter().find(|w| w.name == name)
-}
 
 fn machine_by_name(name: &str) -> Option<MachineConfig> {
     match name {
@@ -102,6 +97,9 @@ struct Options {
     fail_policy: Option<FailPolicy>,
     backend: Option<String>,
     workers: Option<usize>,
+    progress_every: Option<usize>,
+    root: Option<PathBuf>,
+    timeout_secs: Option<u64>,
     paper: bool,
     tsv: bool,
 }
@@ -190,6 +188,31 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .ok_or("--workers needs a value")?
                         .parse()
                         .map_err(|_| "--workers must be a number")?,
+                );
+                i += 2;
+            }
+            "--progress-every" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .ok_or("--progress-every needs a value")?
+                    .parse()
+                    .map_err(|_| "--progress-every must be a number")?;
+                if n == 0 {
+                    return Err("--progress-every must be at least 1".to_string());
+                }
+                o.progress_every = Some(n);
+                i += 2;
+            }
+            "--root" => {
+                o.root = Some(args.get(i + 1).ok_or("--root needs a path")?.into());
+                i += 2;
+            }
+            "--timeout-secs" => {
+                o.timeout_secs = Some(
+                    args.get(i + 1)
+                        .ok_or("--timeout-secs needs a value")?
+                        .parse()
+                        .map_err(|_| "--timeout-secs must be a number")?,
                 );
                 i += 2;
             }
@@ -375,6 +398,7 @@ fn cmd_clone(workload: &Workload, opts: &Options) -> Result<(), String> {
         // transient failure without being asked.
         max_retries: opts.max_retries.unwrap_or(1),
         fail_policy: opts.fail_policy.unwrap_or_default(),
+        progress_every: opts.progress_every,
         ..RuntimeOptions::default()
     };
     let outcome = search_with_runtime(generator.as_ref(), &target, &cfg, &runtime)
@@ -396,6 +420,102 @@ fn cmd_clone(workload: &Workload, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits a `ctl` argument list into the `key=value`/id positionals and
+/// the `--flag`-style options (parsed with [`parse_options`]).
+fn split_ctl_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            flags.push(a.clone());
+            if let Some(v) = it.peek() {
+                if !v.starts_with("--") {
+                    flags.push(it.next().unwrap().clone());
+                }
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, parse_options(&flags)?))
+}
+
+fn cmd_ctl(args: &[String]) -> Result<(), String> {
+    let action = args
+        .first()
+        .ok_or("ctl needs an action: submit | status | result | wait | cancel | list | stats | version | shutdown")?
+        .clone();
+    let (positional, opts) = split_ctl_args(&args[1..])?;
+    let root = opts
+        .root
+        .or_else(|| std::env::var_os("DATAMIME_SERVE_ROOT").map(PathBuf::from))
+        .ok_or("ctl needs the daemon root: pass --root <dir> or set DATAMIME_SERVE_ROOT")?;
+    let client = ServeClient::new(root);
+    let job_arg = || {
+        positional
+            .first()
+            .cloned()
+            .ok_or(format!("ctl {action} needs a job id"))
+    };
+    match action.as_str() {
+        "submit" => {
+            let spec = datamime::jobspec::JobSpec::parse(&positional.join(" "))?;
+            let job = client.submit(&spec)?;
+            println!("{job}");
+        }
+        "status" => {
+            let s = client.status(&job_arg()?)?;
+            println!(
+                "state={} evals={} iterations={} best_error={}",
+                s.state.as_str(),
+                s.evals,
+                s.iterations,
+                s.best_error
+            );
+        }
+        "result" => {
+            let r = client.result(&job_arg()?)?;
+            println!("best_error={}", r.best_error);
+            println!(
+                "best_unit={}",
+                r.best_unit
+                    .iter()
+                    .map(f64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            println!("journal={}", r.journal);
+        }
+        "wait" => {
+            let timeout = Duration::from_secs(opts.timeout_secs.unwrap_or(600));
+            let s = client.wait(&job_arg()?, timeout)?;
+            println!("state={} best_error={}", s.state.as_str(), s.best_error);
+            if s.state != datamime::servectl::JobState::Done {
+                return Err(format!("job finished {}", s.state.as_str()));
+            }
+        }
+        "cancel" => {
+            client.cancel(&job_arg()?)?;
+            println!("cancelled");
+        }
+        "list" => {
+            for (job, state) in client.list()? {
+                println!("{job} {state}");
+            }
+        }
+        "stats" => {
+            for (name, value) in client.stats()? {
+                println!("STAT {name} {value}");
+            }
+        }
+        "version" => print!("{}", client.admin("version")?),
+        "shutdown" => print!("{}", client.admin("shutdown")?),
+        other => return Err(format!("unknown ctl action {other}")),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -407,11 +527,12 @@ fn run() -> Result<(), String> {
             cmd_machines();
             Ok(())
         }
+        Some("ctl") => cmd_ctl(&args[1..]),
         Some(cmd @ ("profile" | "clone" | "validate")) => {
             let name = args
                 .get(1)
                 .ok_or(format!("{cmd} needs a workload name; see `datamime list`"))?;
-            let workload = workload_by_name(name)
+            let workload = Workload::by_name(name)
                 .ok_or(format!("unknown workload {name}; see `datamime list`"))?;
             let opts = parse_options(&args[2..])?;
             match cmd {
@@ -469,6 +590,12 @@ mod tests {
             "proc",
             "--workers",
             "3",
+            "--progress-every",
+            "5",
+            "--root",
+            "/tmp/serve-root",
+            "--timeout-secs",
+            "30",
             "--paper",
             "--tsv",
         ]))
@@ -486,6 +613,12 @@ mod tests {
         assert_eq!(o.fail_policy, Some(FailPolicy::Abort));
         assert_eq!(o.backend.as_deref(), Some("proc"));
         assert_eq!(o.workers, Some(3));
+        assert_eq!(o.progress_every, Some(5));
+        assert_eq!(
+            o.root.as_deref(),
+            Some(std::path::Path::new("/tmp/serve-root"))
+        );
+        assert_eq!(o.timeout_secs, Some(30));
         assert!(o.paper && o.tsv);
     }
 
@@ -517,14 +650,35 @@ mod tests {
         assert!(parse_options(&args(&["--backend"])).is_err());
         assert!(parse_options(&args(&["--backend", "fiber"])).is_err());
         assert!(parse_options(&args(&["--workers", "x"])).is_err());
+        assert!(parse_options(&args(&["--progress-every", "0"])).is_err());
+        assert!(parse_options(&args(&["--progress-every", "x"])).is_err());
+        assert!(parse_options(&args(&["--root"])).is_err());
+        assert!(parse_options(&args(&["--timeout-secs", "x"])).is_err());
     }
 
     #[test]
     fn workload_and_machine_lookup() {
-        assert!(workload_by_name("mem-fb").is_some());
-        assert!(workload_by_name("img-dnn").is_some());
-        assert!(workload_by_name("nope").is_none());
+        assert!(Workload::by_name("mem-fb").is_some());
+        assert!(Workload::by_name("img-dnn").is_some());
+        assert!(Workload::by_name("nope").is_none());
         assert!(machine_by_name("silvermont").is_some());
         assert!(machine_by_name("alderlake").is_none());
+    }
+
+    #[test]
+    fn ctl_args_split_positionals_from_flags() {
+        let (pos, opts) = split_ctl_args(&args(&[
+            "workload=mem-fb",
+            "iters=8",
+            "--root",
+            "/tmp/r",
+            "--timeout-secs",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(pos, args(&["workload=mem-fb", "iters=8"]));
+        assert_eq!(opts.root.as_deref(), Some(std::path::Path::new("/tmp/r")));
+        assert_eq!(opts.timeout_secs, Some(9));
+        assert!(split_ctl_args(&args(&["--bogus"])).is_err());
     }
 }

@@ -13,8 +13,12 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Broker-spawned workers get their termination sentinel via the
+    // environment (no trampoline); SIGTERM/SIGINT then drain gracefully
+    // between evaluations. SIGKILL still kills instantly.
+    let term = datamime_runtime::termsig::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match datamime::distproc::run_worker(&args) {
+    match datamime::distproc::run_worker_with_signal(&args, Some(term)) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("datamime-worker: {e}");

@@ -410,13 +410,54 @@ pub fn parse_worker_argv(args: &[String]) -> Result<WorkerInvocation, String> {
 /// failures (including a broker reject for version/identity/context
 /// skew).
 pub fn run_worker(args: &[String]) -> Result<(), String> {
+    run_worker_with_signal(args, None)
+}
+
+/// [`run_worker`] with graceful-termination support: when `term` reports
+/// a request (SIGTERM/SIGINT observed via the
+/// [`datamime_runtime::termsig`] sentinel) the worker finishes the
+/// evaluation it is serving, then exits 0 instead of picking up another —
+/// the broker sees a clean connection close and re-dispatches
+/// transparently. A worker killed mid-evaluation (`SIGKILL`, the
+/// crash-resume test path) still dies instantly.
+///
+/// # Errors
+///
+/// As [`run_worker`].
+pub fn run_worker_with_signal(
+    args: &[String],
+    term: Option<datamime_runtime::TermSignal>,
+) -> Result<(), String> {
     let inv = parse_worker_argv(args)?;
     let (generator, cfg, target) = inv.spec.build()?;
     let ctx = dist_context(&generator, &cfg, &target);
     let token = CancelToken::new();
+    // Drain protocol: between evaluations the closure checks the signal
+    // directly; while the worker sits idle in `read_frame` a watcher
+    // thread polls it and exits for us. `busy` keeps the watcher from
+    // abandoning an answer the broker is already waiting for.
+    let busy = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let drained = {
+        let term = term.clone();
+        move || term.as_ref().is_some_and(|t| t.requested())
+    };
+    if let Some(t) = term {
+        let busy = std::sync::Arc::clone(&busy);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            if t.requested() && !busy.load(std::sync::atomic::Ordering::SeqCst) {
+                std::process::exit(0);
+            }
+        });
+    }
     serve(
         &WorkerConfig::new(inv.socket.clone(), inv.worker_id, ctx),
         |req, stages: &mut StageTimes| {
+            busy.store(true, std::sync::atomic::Ordering::SeqCst);
+            let _guard = BusyGuard(&busy);
+            if drained() {
+                std::process::exit(0);
+            }
             let index = req.index as usize;
             if inv.fault.kills(index, req.dispatch) {
                 // Simulates a worker crash: SIGABRT, no unwinding, no
@@ -435,6 +476,17 @@ pub fn run_worker(args: &[String]) -> Result<(), String> {
             })
         },
     )
+}
+
+/// Clears the worker's busy flag when an evaluation closure unwinds or
+/// returns, so the drain watcher never misreads a finished evaluation as
+/// in-flight.
+struct BusyGuard<'a>(&'a std::sync::atomic::AtomicBool);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]

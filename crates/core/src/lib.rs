@@ -49,11 +49,13 @@ pub mod constrained;
 pub mod distproc;
 pub mod error_model;
 pub mod generator;
+pub mod jobspec;
 pub mod metrics;
 pub mod profile;
 pub mod profiler;
 pub mod scalar;
 pub mod search;
+pub mod servectl;
 pub mod validate;
 pub mod workload;
 
@@ -64,6 +66,7 @@ pub use generator::{
     generator_for_program, DatasetGenerator, DnnGenerator, KvGenerator, ParamSpec,
     QuantizedGenerator, SiloGenerator, XapianGenerator,
 };
+pub use jobspec::{JobBackend, JobSpec};
 pub use metrics::{CurveMetric, DistMetric};
 pub use profile::{CurvePoint, EmptyProfileError, Profile};
 pub use profiler::{profile_app, profile_workload, ProfilingConfig};
@@ -72,5 +75,6 @@ pub use search::{
     search, search_parallel, search_with_runtime, BackendChoice, IterationRecord, OptimizerKind,
     ProcOptions, RuntimeOptions, SearchConfig, SearchOutcome, SearchStats,
 };
+pub use servectl::{JobResult, JobState, JobStatus, ServeClient, ADMIN_SOCKET, JOB_SOCKET};
 pub use validate::{validate_clone, validate_paper_setup, ValidationReport, ValidationRow};
 pub use workload::{AppConfig, Workload};

@@ -19,12 +19,13 @@ use crate::profiler::{profile_workload, profile_workload_cancellable, ProfilingC
 use crate::workload::Workload;
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
 use datamime_runtime::{
-    canonical_bits, fingerprint, replay, CancelToken, ExecError, Executor, FailPolicy, FaultPlan,
-    JournalWriter, MemoKeyFn, RunMeta, RunOutcome, StageTimes, StderrSink, SupervisorConfig,
+    canonical_bits, fingerprint, replay, CancelToken, ExecError, Executor, FailPolicy, FanoutSink,
+    FaultPlan, GateHandle, JournalWriter, MemoKeyFn, MetricsRegistry, MetricsSink, RunMeta,
+    RunOutcome, SharedSink, StageTimes, StderrSink, SupervisorConfig,
 };
 use datamime_sim::MachineConfig;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Which optimizer drives the search.
@@ -146,6 +147,23 @@ pub struct RuntimeOptions {
     /// observe the exact error the original evaluation produced), so this
     /// exists for A/B accounting and debugging, not correctness.
     pub no_memo: bool,
+    /// Emit a stderr progress line every N evaluations when `progress` is
+    /// set (`None` = the [`StderrSink`] default of 10).
+    pub progress_every: Option<usize>,
+    /// An additional progress sink attached alongside (or instead of) the
+    /// stderr sink — how the serve daemon taps per-job progress without
+    /// touching the evaluation path.
+    pub extra_sink: Option<SharedSink>,
+    /// A gate consulted at every batch boundary before fresh evaluations
+    /// are dispatched. Gates can only *delay* or *stop* a run (leaving a
+    /// resumable journal), never reorder it, so fixed-seed results are
+    /// unaffected — this is how the serve scheduler interleaves jobs and
+    /// how graceful shutdown drains in-flight work.
+    pub batch_gate: Option<GateHandle>,
+    /// A metrics registry fed by the run: evaluation/cache-hit/fault
+    /// counters and per-stage timings, plus `worker_restarts` from the
+    /// process backend's broker.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Where a search's evaluations execute.
@@ -461,8 +479,22 @@ fn build_executor(
     if !opts.no_memo {
         exec = exec.memoize_keyed(memo_ctx, memo_key(generator));
     }
+    let mut fanout = FanoutSink::new();
     if opts.progress {
-        exec = exec.sink(Box::new(StderrSink::default()));
+        let every = opts.progress_every.unwrap_or(10);
+        fanout.push(Box::new(StderrSink::new(every)));
+    }
+    if let Some(extra) = &opts.extra_sink {
+        fanout.push(Box::new(extra.clone()));
+    }
+    if let Some(metrics) = &opts.metrics {
+        fanout.push(Box::new(MetricsSink::new(Arc::clone(metrics))));
+    }
+    if !fanout.is_empty() {
+        exec = exec.sink(Box::new(fanout));
+    }
+    if let Some(gate) = &opts.batch_gate {
+        exec = exec.gate(gate.arc());
     }
     if let Some(resume_path) = &opts.resume {
         let replayed = replay(resume_path)?;
@@ -601,6 +633,7 @@ fn search_with_process_backend(
         bcfg.max_retries = opts.max_retries;
         bcfg.fail_policy = opts.fail_policy;
         bcfg.penalty = datamime_bayesopt::PENALTY_OBJECTIVE;
+        bcfg.metrics = opts.metrics.clone();
         let mut broker = Broker::start(bcfg).map_err(ExecError::Backend)?;
         let mut optimizer = make_optimizer(cfg, generator.dims());
         let exec = build_executor(generator, ctx, run_meta(generator, cfg, opts), opts)?;

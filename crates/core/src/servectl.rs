@@ -1,0 +1,334 @@
+//! Client side of the serve daemon: the job API and the admin plane.
+//!
+//! `datamime-served` listens on two Unix sockets under its state root:
+//!
+//! - `job.sock` speaks the [`datamime_dist`] frame protocol (versioned,
+//!   CRC-checked), one request/response per connection — submit, status,
+//!   result, cancel, list;
+//! - `admin.sock` speaks plain text, Pelikan-style — `stats`, `version`,
+//!   `shutdown` — so an operator can drive it with `nc` alone.
+//!
+//! [`ServeClient`] wraps both; the `datamime ctl` subcommand is a thin
+//! shell around it.
+
+use crate::jobspec::JobSpec;
+use datamime_dist::{read_frame, write_frame, Frame};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Name of the job-API socket under the daemon state root.
+pub const JOB_SOCKET: &str = "job.sock";
+/// Name of the plaintext admin socket under the daemon state root.
+pub const ADMIN_SOCKET: &str = "admin.sock";
+
+/// A job's externally visible lifecycle state, as reported by the
+/// daemon. The strings on the wire are the lowercase variant names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and journaled, not yet scheduled onto the backend.
+    Submitted,
+    /// Actively interleaved on the shared backend.
+    Running,
+    /// Completed; the result is available.
+    Done,
+    /// Cancelled by request; the journal survives.
+    Cancelled,
+    /// The search failed; see the manifest for the error.
+    Failed,
+}
+
+impl JobState {
+    /// Parses the wire string.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "submitted" => JobState::Submitted,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "cancelled" => JobState::Cancelled,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Submitted => "submitted",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the state is final (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// A `JobStatusResp`, decoded.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Evaluations observed so far.
+    pub evals: u64,
+    /// Total iterations the job was submitted with.
+    pub iterations: u64,
+    /// Best error so far (`f64::INFINITY` until the first observation).
+    pub best_error: f64,
+}
+
+/// A `JobResultResp`, decoded.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Best total weighted EMD error.
+    pub best_error: f64,
+    /// Best unit-hypercube point.
+    pub best_unit: Vec<f64>,
+    /// Path of the job's journal, relative to the daemon state root.
+    pub journal: String,
+}
+
+/// A client for one daemon state root. Cheap to construct; every call
+/// opens a fresh connection.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    root: PathBuf,
+}
+
+impl ServeClient {
+    /// A client for the daemon rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ServeClient { root: root.into() }
+    }
+
+    /// The daemon state root this client talks to.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// One framed request/response round trip on the job socket.
+    fn call(&self, req: &Frame) -> Result<Frame, String> {
+        let path = self.root.join(JOB_SOCKET);
+        let mut conn = UnixStream::connect(&path)
+            .map_err(|e| format!("cannot reach the daemon at {path:?}: {e}"))?;
+        write_frame(&mut conn, req).map_err(|e| format!("request failed: {e}"))?;
+        let resp = read_frame(&mut conn).map_err(|e| format!("response failed: {e}"))?;
+        if let Frame::ServeErr { detail } = resp {
+            return Err(detail);
+        }
+        Ok(resp)
+    }
+
+    /// Submits a job; returns the daemon-assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, an unserializable spec, or a daemon
+    /// rejection (unknown workload, bad machine, ...).
+    pub fn submit(&self, spec: &JobSpec) -> Result<String, String> {
+        self.submit_line(&spec.to_line()?)
+    }
+
+    /// Submits a raw `key=value` spec line (validated daemon-side).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::submit`].
+    pub fn submit_line(&self, line: &str) -> Result<String, String> {
+        match self.call(&Frame::SubmitJob {
+            spec: line.to_string(),
+        })? {
+            Frame::JobAck { job } => Ok(job),
+            other => Err(format!("unexpected reply to submit: {other:?}")),
+        }
+    }
+
+    /// Fetches a job's status.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or an unknown job id.
+    pub fn status(&self, job: &str) -> Result<JobStatus, String> {
+        match self.call(&Frame::JobStatusReq {
+            job: job.to_string(),
+        })? {
+            Frame::JobStatusResp {
+                state,
+                evals,
+                iterations,
+                best_error_bits,
+                ..
+            } => Ok(JobStatus {
+                state: JobState::parse(&state)
+                    .ok_or_else(|| format!("daemon sent unknown job state `{state}`"))?,
+                evals,
+                iterations,
+                best_error: f64::from_bits(best_error_bits),
+            }),
+            other => Err(format!("unexpected reply to status: {other:?}")),
+        }
+    }
+
+    /// Fetches a completed job's result.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors, an unknown job id, or a job that has
+    /// not finished.
+    pub fn result(&self, job: &str) -> Result<JobResult, String> {
+        match self.call(&Frame::JobResultReq {
+            job: job.to_string(),
+        })? {
+            Frame::JobResultResp {
+                best_error_bits,
+                best_unit_bits,
+                journal,
+                ..
+            } => Ok(JobResult {
+                best_error: f64::from_bits(best_error_bits),
+                best_unit: best_unit_bits.into_iter().map(f64::from_bits).collect(),
+                journal,
+            }),
+            other => Err(format!("unexpected reply to result: {other:?}")),
+        }
+    }
+
+    /// Requests cancellation of a job (takes effect at its next batch
+    /// boundary; the journal survives for a later resume).
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or an unknown job id.
+    pub fn cancel(&self, job: &str) -> Result<(), String> {
+        match self.call(&Frame::CancelJob {
+            job: job.to_string(),
+        })? {
+            Frame::JobAck { .. } => Ok(()),
+            other => Err(format!("unexpected reply to cancel: {other:?}")),
+        }
+    }
+
+    /// Lists all jobs the daemon knows, as `(id, state)` pairs in id
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors.
+    pub fn list(&self) -> Result<Vec<(String, String)>, String> {
+        match self.call(&Frame::ListJobsReq)? {
+            Frame::JobList { jobs } => Ok(jobs),
+            other => Err(format!("unexpected reply to list: {other:?}")),
+        }
+    }
+
+    /// Polls a job until it reaches a terminal state, then returns that
+    /// status.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or when `timeout` elapses first.
+    pub fn wait(&self, job: &str, timeout: Duration) -> Result<JobStatus, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(job)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "job {job} still {} after {timeout:?}",
+                    status.state.as_str()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Sends one plaintext command on the admin socket and returns the
+    /// full reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors.
+    pub fn admin(&self, command: &str) -> Result<String, String> {
+        let path = self.root.join(ADMIN_SOCKET);
+        let mut conn = UnixStream::connect(&path)
+            .map_err(|e| format!("cannot reach the admin plane at {path:?}: {e}"))?;
+        conn.write_all(command.as_bytes())
+            .and_then(|()| conn.write_all(b"\n"))
+            .map_err(|e| format!("admin request failed: {e}"))?;
+        conn.shutdown(std::net::Shutdown::Write)
+            .map_err(|e| format!("admin request failed: {e}"))?;
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply)
+            .map_err(|e| format!("admin reply failed: {e}"))?;
+        Ok(reply)
+    }
+
+    /// Fetches the admin `stats` snapshot as sorted `(name, value)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection errors or a malformed reply.
+    pub fn stats(&self) -> Result<Vec<(String, u64)>, String> {
+        let reply = self.admin("stats")?;
+        let mut out = Vec::new();
+        for line in reply.lines() {
+            if line == "END" {
+                return Ok(out);
+            }
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next(), it.next(), it.next()) {
+                (Some("STAT"), Some(name), Some(value), None) => {
+                    let value = value
+                        .parse()
+                        .map_err(|_| format!("bad stat value in `{line}`"))?;
+                    out.push((name.to_string(), value));
+                }
+                _ => return Err(format!("bad stats line `{line}`")),
+            }
+        }
+        Err("stats reply missing END".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_states_round_trip() {
+        for s in [
+            JobState::Submitted,
+            JobState::Running,
+            JobState::Done,
+            JobState::Cancelled,
+            JobState::Failed,
+        ] {
+            assert_eq!(JobState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(JobState::parse("zombie"), None);
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Submitted.is_terminal());
+    }
+
+    #[test]
+    fn calls_fail_cleanly_without_a_daemon() {
+        let client = ServeClient::new("/nonexistent/serve-root");
+        assert!(client.list().is_err());
+        assert!(client.admin("stats").is_err());
+        assert!(client.status("job-0001").is_err());
+    }
+}

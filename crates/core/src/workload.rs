@@ -179,6 +179,29 @@ impl Workload {
             Workload::dnn_resnet(),
         ]
     }
+
+    /// Every named workload — the targets plus the public-dataset
+    /// baselines — in the order the CLI lists them.
+    pub fn catalog() -> Vec<Workload> {
+        vec![
+            Workload::mem_fb(),
+            Workload::mem_twtr(),
+            Workload::mem_public(),
+            Workload::silo_bidding(),
+            Workload::silo_public(),
+            Workload::xapian_wiki(),
+            Workload::xapian_public(),
+            Workload::dnn_resnet(),
+            Workload::dnn_public(),
+            Workload::masstree_ycsb(),
+            Workload::img_dnn_mnist(),
+        ]
+    }
+
+    /// Looks a workload up by its short name (`"mem-fb"`, `"xapian"`, ...).
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Workload::catalog().into_iter().find(|w| w.name == name)
+    }
 }
 
 #[cfg(test)]

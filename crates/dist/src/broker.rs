@@ -82,6 +82,9 @@ pub struct BrokerConfig {
     /// worker deaths, before the point fails with
     /// [`FailureKind::WorkerLost`].
     pub redispatch_budget: u32,
+    /// Optional metrics registry; the broker bumps `worker_restarts`
+    /// there whenever a slot is respawned.
+    pub metrics: Option<Arc<datamime_runtime::MetricsRegistry>>,
 }
 
 impl BrokerConfig {
@@ -102,6 +105,7 @@ impl BrokerConfig {
             penalty: datamime_bayesopt_penalty(),
             restart_budget: 3,
             redispatch_budget: 3,
+            metrics: None,
         }
     }
 }
@@ -257,12 +261,20 @@ impl Broker {
     fn spawn_worker(&mut self, i: usize) -> Result<(), String> {
         let id = self.next_id;
         self.next_id += 1;
+        // Point the worker's termination sentinel into the broker's own
+        // socket dir. Besides giving broker-managed workers a drain path,
+        // this disables the worker's `/bin/sh` trampoline (see
+        // `datamime_runtime::termsig`): the PID the broker holds must be
+        // the real worker, or deadline SIGKILLs would hit the wrapper and
+        // orphan the evaluation process.
+        let sentinel = self.dir.join(format!("term-{id}.sentinel"));
         let child = Command::new(&self.cfg.worker_bin)
             .args(&self.cfg.worker_args)
             .arg("--socket")
             .arg(&self.socket_path)
             .arg("--worker-id")
             .arg(id.to_string())
+            .env(datamime_runtime::TERM_SENTINEL_ENV, &sentinel)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .spawn()
@@ -299,6 +311,9 @@ impl Broker {
             return Ok(());
         }
         self.slots[i].restarts += 1;
+        if let Some(m) = &self.cfg.metrics {
+            m.incr("worker_restarts");
+        }
         self.spawn_worker(i)
     }
 

@@ -132,6 +132,10 @@ pub enum ExecError {
     /// any single point (broker setup, worker handshake rejection,
     /// restart budget exhausted while respawning).
     Backend(String),
+    /// The run's [`BatchGate`] refused a new batch: the host is draining
+    /// for shutdown or the job was cancelled. Every observation made so
+    /// far is journaled, so a `Shutdown` stop is resumable in place.
+    Stopped(GateClosed),
 }
 
 impl std::fmt::Display for ExecError {
@@ -140,7 +144,74 @@ impl std::fmt::Display for ExecError {
             ExecError::Journal(e) => write!(f, "{e}"),
             ExecError::ResumeMismatch(why) => write!(f, "cannot resume: {why}"),
             ExecError::Backend(why) => write!(f, "evaluation backend failed: {why}"),
+            ExecError::Stopped(GateClosed::Shutdown) => {
+                write!(f, "run stopped at a batch boundary: host shutting down")
+            }
+            ExecError::Stopped(GateClosed::Cancelled) => {
+                write!(f, "run stopped at a batch boundary: cancelled")
+            }
         }
+    }
+}
+
+/// Why a [`BatchGate`] refused entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateClosed {
+    /// The host is draining: in-flight batches finish, no new batch
+    /// starts, and the run can be resumed from its journal later.
+    Shutdown,
+    /// This run specifically was cancelled; it will not be resumed.
+    Cancelled,
+}
+
+/// Admission control over batch dispatch — the seam a multi-tenant host
+/// (the `datamime-serve` scheduler) uses to interleave many runs over
+/// shared evaluation capacity and to stop a run at a safe point.
+///
+/// The executor calls [`enter`](BatchGate::enter) immediately before
+/// dispatching each batch of fresh evaluations and
+/// [`leave`](BatchGate::leave) when the batch's verdicts are back.
+/// Blocking in `enter` delays the batch (that is the fairness mechanism);
+/// returning `Err` stops the run with [`ExecError::Stopped`]. Because the
+/// gate only ever *delays or stops* dispatch — it cannot reorder
+/// observations or alter values — a gated run that completes is
+/// bit-identical to the same run ungated.
+///
+/// Batches served entirely from the replay prefix or the memo cache skip
+/// the gate: they consume no evaluation capacity.
+pub trait BatchGate: Send + Sync {
+    /// Requests permission to dispatch one batch; may block for fairness.
+    ///
+    /// # Errors
+    ///
+    /// [`GateClosed`] stops the run at this batch boundary.
+    fn enter(&self) -> Result<(), GateClosed>;
+
+    /// Releases the permission taken by the last successful
+    /// [`enter`](BatchGate::enter).
+    fn leave(&self) {}
+}
+
+/// A cloneable, `Debug`-printable handle around a [`BatchGate`], so gate
+/// installation can ride in plain-old-data options structs.
+#[derive(Clone)]
+pub struct GateHandle(std::sync::Arc<dyn BatchGate>);
+
+impl GateHandle {
+    /// Wraps `gate` for installation via [`Executor::gate`].
+    pub fn new(gate: std::sync::Arc<dyn BatchGate>) -> Self {
+        GateHandle(gate)
+    }
+
+    /// The underlying gate.
+    pub fn arc(&self) -> std::sync::Arc<dyn BatchGate> {
+        std::sync::Arc::clone(&self.0)
+    }
+}
+
+impl std::fmt::Debug for GateHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("GateHandle(..)")
     }
 }
 
@@ -220,6 +291,7 @@ pub struct Executor {
     /// instantiate identical datasets share one cache entry). Identity
     /// when absent. Only ever called on the engine thread.
     memo_key: Option<MemoKeyFn>,
+    gate: Option<std::sync::Arc<dyn BatchGate>>,
 }
 
 impl Executor {
@@ -244,6 +316,7 @@ impl Executor {
             supervision: None,
             memo: None,
             memo_key: None,
+            gate: None,
         }
     }
 
@@ -276,6 +349,14 @@ impl Executor {
     #[must_use]
     pub fn sink(mut self, sink: Box<dyn ProgressSink>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Gates every batch dispatch through `gate` (fair scheduling and
+    /// graceful stop; see [`BatchGate`]).
+    #[must_use]
+    pub fn gate(mut self, gate: std::sync::Arc<dyn BatchGate>) -> Self {
+        self.gate = Some(gate);
         self
     }
 
@@ -672,6 +753,13 @@ impl Executor {
             let results = if jobs.is_empty() {
                 Vec::new()
             } else {
+                // Admission control: a multi-tenant host can delay this
+                // batch (fairness) or refuse it (drain/cancel). Everything
+                // observed so far is already journaled, so a refusal here
+                // leaves a cleanly resumable run behind.
+                if let Some(gate) = &self.gate {
+                    gate.enter().map_err(ExecError::Stopped)?;
+                }
                 // Failed attempts are journaled eagerly (before their
                 // final verdict) so a kill mid-retry leaves evidence the
                 // resume path can penalize from. The callback cannot
@@ -695,6 +783,9 @@ impl Executor {
                     };
                     dispatch(&jobs, &mut on_attempt)
                 };
+                if let Some(gate) = &self.gate {
+                    gate.leave();
+                }
                 if let Some(e) = journal_err {
                     return Err(e.into());
                 }

@@ -21,7 +21,12 @@
 //!   canonical bit pattern of the parameter point under a machine-config
 //!   + seed fingerprint, so re-suggested points skip the simulator;
 //! - [`telemetry`] — per-stage wall-clock timers, eval/fault counters,
-//!   and a pluggable [`ProgressSink`].
+//!   and a pluggable [`ProgressSink`];
+//! - [`metrics`] — a registry of named monotonic counters/gauges with
+//!   deterministic snapshot ordering, backing both [`Telemetry`] and
+//!   long-lived stats surfaces (the serve daemon's admin plane);
+//! - [`termsig`] — cooperative SIGTERM/SIGINT observation without
+//!   `unsafe`, via a sentinel file and an optional `/bin/sh` trampoline.
 //!
 //! The crate is std-only by necessity (the build environment has no
 //! crates.io access), which is why [`json`] hand-rolls the small JSON
@@ -35,18 +40,27 @@ pub mod faultinject;
 pub mod journal;
 pub mod json;
 pub mod memo;
+pub mod metrics;
 pub mod supervisor;
 pub mod telemetry;
+pub mod termsig;
 
-pub use executor::{Backend, EvalRecord, ExecError, Executor, MemoKeyFn, RunMeta, RunOutcome};
+pub use executor::{
+    Backend, BatchGate, EvalRecord, ExecError, Executor, GateClosed, GateHandle, MemoKeyFn,
+    RunMeta, RunOutcome,
+};
 pub use faultinject::{FaultPlan, InjectedFault, PlannedFault};
 pub use journal::{
     replay, JournalError, JournalWriter, PendingFault, Replay, JOURNAL_VERSION,
     OLDEST_READABLE_VERSION,
 };
 pub use memo::{canonical_bits, fingerprint, MemoCache, MemoEntry};
+pub use metrics::{MetricsRegistry, MetricsSink};
 pub use supervisor::{
     retry_backoff, CancelToken, Evaluated, FailPolicy, FailedAttempt, FailureKind, FaultInfo,
     Supervisor, SupervisorConfig, Watchdog,
 };
-pub use telemetry::{NullSink, ProgressSink, StageTimes, StderrSink, Telemetry};
+pub use telemetry::{
+    FanoutSink, NullSink, ProgressSink, SharedSink, StageTimes, StderrSink, Telemetry,
+};
+pub use termsig::{TermSignal, NO_TRAP_ENV, TERM_SENTINEL_ENV};

@@ -8,7 +8,9 @@
 //! [`Telemetry`].
 
 use crate::executor::RunMeta;
+use crate::metrics::MetricsRegistry;
 use crate::supervisor::{FailedAttempt, FailureKind, FaultInfo};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Wall-clock time of each named stage of one evaluation, in the order
@@ -57,16 +59,17 @@ impl StageTimes {
 }
 
 /// Aggregated counters and timers for a whole run.
+///
+/// The counters are backed by a [`MetricsRegistry`], so every count has
+/// a stable string name (`evaluated`, `replayed`, `cache_hits`,
+/// `failed_attempts`, `quarantine_hits`, `degradations`, and one
+/// `fault_<tag>` per [`FailureKind`]) and the whole set can be folded
+/// into a long-lived stats registry via
+/// [`MetricsRegistry::absorb`]. The typed accessors below are unchanged.
 #[derive(Debug, Clone)]
 pub struct Telemetry {
     stages: Vec<(String, Duration, u64)>,
-    evaluated: usize,
-    replayed: usize,
-    cache_hits: usize,
-    faults: Vec<(FailureKind, usize)>,
-    failed_attempts: usize,
-    quarantine_hits: usize,
-    degradations: usize,
+    counters: MetricsRegistry,
     started: Instant,
 }
 
@@ -76,18 +79,15 @@ impl Default for Telemetry {
     }
 }
 
+/// Registry prefix for per-failure-kind counters.
+const FAULT_PREFIX: &str = "fault_";
+
 impl Telemetry {
     /// Starts the run-wide wall clock.
     pub fn new() -> Self {
         Telemetry {
             stages: Vec::new(),
-            evaluated: 0,
-            replayed: 0,
-            cache_hits: 0,
-            faults: Vec::new(),
-            failed_attempts: 0,
-            quarantine_hits: 0,
-            degradations: 0,
+            counters: MetricsRegistry::new(),
             started: Instant::now(),
         }
     }
@@ -111,88 +111,98 @@ impl Telemetry {
 
     /// Counts one freshly evaluated point.
     pub fn count_evaluated(&mut self) {
-        self.evaluated += 1;
+        self.counters.incr("evaluated");
     }
 
     /// Counts one point re-observed from a journal.
     pub fn count_replayed(&mut self) {
-        self.replayed += 1;
+        self.counters.incr("replayed");
     }
 
     /// Points actually evaluated (excluding journal replays).
     pub fn evaluated(&self) -> usize {
-        self.evaluated
+        self.counters.get("evaluated") as usize
     }
 
     /// Points re-observed from a journal without re-evaluation.
     pub fn replayed(&self) -> usize {
-        self.replayed
+        self.counters.get("replayed") as usize
     }
 
     /// Counts one point observed from the evaluation memo cache.
     pub fn count_cache_hit(&mut self) {
-        self.cache_hits += 1;
+        self.counters.incr("cache_hits");
     }
 
     /// Points served from the evaluation memo cache without dispatching
     /// an evaluation.
     pub fn cache_hits(&self) -> usize {
-        self.cache_hits
+        self.counters.get("cache_hits") as usize
     }
 
     /// Counts one penalized evaluation of failure kind `kind` (quarantine
     /// hits are counted separately via
     /// [`count_quarantine_hit`](Self::count_quarantine_hit)).
     pub fn count_fault(&mut self, kind: FailureKind) {
-        if let Some((_, n)) = self.faults.iter_mut().find(|(k, _)| *k == kind) {
-            *n += 1;
-        } else {
-            self.faults.push((kind, 1));
-        }
+        self.counters.incr(&format!("{FAULT_PREFIX}{}", kind.tag()));
     }
 
     /// Counts one failed evaluation attempt (retries included).
     pub fn count_failed_attempt(&mut self) {
-        self.failed_attempts += 1;
+        self.counters.incr("failed_attempts");
     }
 
     /// Counts one point penalized without evaluation because it matched
     /// the quarantine set.
     pub fn count_quarantine_hit(&mut self) {
-        self.quarantine_hits += 1;
+        self.counters.incr("quarantine_hits");
     }
 
     /// Counts one graceful batch degradation.
     pub fn count_degradation(&mut self) {
-        self.degradations += 1;
+        self.counters.incr("degradations");
     }
 
     /// Total penalized evaluations (excluding quarantine hits).
     pub fn faults_total(&self) -> usize {
-        self.faults.iter().map(|(_, n)| n).sum()
+        self.counters
+            .snapshot()
+            .iter()
+            .filter(|(name, _)| name.starts_with(FAULT_PREFIX))
+            .map(|(_, n)| *n as usize)
+            .sum()
     }
 
     /// Penalized evaluations of one failure kind.
     pub fn faults_of(&self, kind: FailureKind) -> usize {
-        self.faults
-            .iter()
-            .find(|(k, _)| *k == kind)
-            .map_or(0, |(_, n)| *n)
+        self.counters.get(&format!("{FAULT_PREFIX}{}", kind.tag())) as usize
     }
 
     /// Failed evaluation attempts, retries included.
     pub fn failed_attempts(&self) -> usize {
-        self.failed_attempts
+        self.counters.get("failed_attempts") as usize
     }
 
     /// Points penalized without evaluation by the quarantine set.
     pub fn quarantine_hits(&self) -> usize {
-        self.quarantine_hits
+        self.counters.get("quarantine_hits") as usize
     }
 
     /// Graceful batch degradations.
     pub fn degradations(&self) -> usize {
-        self.degradations
+        self.counters.get("degradations") as usize
+    }
+
+    /// The run's counters as a registry, for folding into a long-lived
+    /// stats surface (`registry.absorb(telemetry.counters())`).
+    pub fn counters(&self) -> &MetricsRegistry {
+        &self.counters
+    }
+
+    /// The per-stage `(name, total, count)` timer rows, in the order the
+    /// stages were first recorded.
+    pub fn stages(&self) -> &[(String, Duration, u64)] {
+        &self.stages
     }
 
     /// Total time recorded for `stage`, if any evaluation recorded it.
@@ -215,9 +225,9 @@ impl Telemetry {
         let _ = writeln!(
             out,
             "evaluated {} point(s) ({} replayed from journal, {} memo cache hit(s)) in {:.2?}",
-            self.evaluated,
-            self.replayed,
-            self.cache_hits,
+            self.evaluated(),
+            self.replayed(),
+            self.cache_hits(),
             self.wall()
         );
         for (name, total, count) in &self.stages {
@@ -227,12 +237,18 @@ impl Telemetry {
                 "  {name:<12} total {total:>10.2?}  mean {mean:>9.2?}  x{count}"
             );
         }
-        if self.faults_total() + self.failed_attempts + self.quarantine_hits + self.degradations > 0
+        if self.faults_total()
+            + self.failed_attempts()
+            + self.quarantine_hits()
+            + self.degradations()
+            > 0
         {
             let by_kind: Vec<String> = self
-                .faults
+                .counters
+                .snapshot()
                 .iter()
-                .map(|(k, n)| format!("{} x{n}", k.tag()))
+                .filter(|(name, _)| name.starts_with(FAULT_PREFIX))
+                .map(|(name, n)| format!("{} x{n}", &name[FAULT_PREFIX.len()..]))
                 .collect();
             let _ = writeln!(
                 out,
@@ -244,9 +260,9 @@ impl Telemetry {
                 } else {
                     by_kind.join(", ")
                 },
-                self.failed_attempts,
-                self.quarantine_hits,
-                self.degradations
+                self.failed_attempts(),
+                self.quarantine_hits(),
+                self.degradations()
             );
         }
         out
@@ -307,6 +323,147 @@ pub trait ProgressSink {
 pub struct NullSink;
 
 impl ProgressSink for NullSink {}
+
+/// A cloneable, thread-safe handle around any [`ProgressSink`], so one
+/// sink can be installed from outside an executor-owning API (the serve
+/// daemon hands one to each job's search) while the caller keeps a
+/// reference of its own.
+#[derive(Clone)]
+pub struct SharedSink(Arc<Mutex<Box<dyn ProgressSink + Send>>>);
+
+impl SharedSink {
+    /// Wraps `sink` for shared use.
+    pub fn new(sink: impl ProgressSink + Send + 'static) -> Self {
+        SharedSink(Arc::new(Mutex::new(Box::new(sink))))
+    }
+
+    /// Progress events never leave a sink half-updated in a way later
+    /// events cannot tolerate, so a poisoned lock (a panic inside some
+    /// other event) is recovered rather than propagated.
+    fn lock(&self) -> MutexGuard<'_, Box<dyn ProgressSink + Send>> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink(..)")
+    }
+}
+
+impl ProgressSink for SharedSink {
+    fn on_start(&mut self, meta: &RunMeta) {
+        self.lock().on_start(meta);
+    }
+
+    fn on_replay(&mut self, count: usize) {
+        self.lock().on_replay(count);
+    }
+
+    fn on_eval(&mut self, index: usize, error: f64, best_error: f64) {
+        self.lock().on_eval(index, error, best_error);
+    }
+
+    fn on_attempt(&mut self, attempt: &FailedAttempt) {
+        self.lock().on_attempt(attempt);
+    }
+
+    fn on_cache_hit(&mut self, index: usize, source: usize) {
+        self.lock().on_cache_hit(index, source);
+    }
+
+    fn on_fault(&mut self, index: usize, fault: &FaultInfo) {
+        self.lock().on_fault(index, fault);
+    }
+
+    fn on_degrade(&mut self, from_k: usize, to_k: usize) {
+        self.lock().on_degrade(from_k, to_k);
+    }
+
+    fn on_finish(&mut self, best_error: f64, telemetry: &Telemetry) {
+        self.lock().on_finish(best_error, telemetry);
+    }
+}
+
+/// Broadcasts every progress event to each attached sink, in attachment
+/// order — how the CLI's stderr reporting and a metrics feed coexist on
+/// one run.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn ProgressSink>>,
+}
+
+impl FanoutSink {
+    /// An empty fanout (equivalent to [`NullSink`] until sinks attach).
+    pub fn new() -> Self {
+        FanoutSink::default()
+    }
+
+    /// Attaches one more sink.
+    pub fn push(&mut self, sink: Box<dyn ProgressSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// How many sinks are attached.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl ProgressSink for FanoutSink {
+    fn on_start(&mut self, meta: &RunMeta) {
+        for s in &mut self.sinks {
+            s.on_start(meta);
+        }
+    }
+
+    fn on_replay(&mut self, count: usize) {
+        for s in &mut self.sinks {
+            s.on_replay(count);
+        }
+    }
+
+    fn on_eval(&mut self, index: usize, error: f64, best_error: f64) {
+        for s in &mut self.sinks {
+            s.on_eval(index, error, best_error);
+        }
+    }
+
+    fn on_attempt(&mut self, attempt: &FailedAttempt) {
+        for s in &mut self.sinks {
+            s.on_attempt(attempt);
+        }
+    }
+
+    fn on_cache_hit(&mut self, index: usize, source: usize) {
+        for s in &mut self.sinks {
+            s.on_cache_hit(index, source);
+        }
+    }
+
+    fn on_fault(&mut self, index: usize, fault: &FaultInfo) {
+        for s in &mut self.sinks {
+            s.on_fault(index, fault);
+        }
+    }
+
+    fn on_degrade(&mut self, from_k: usize, to_k: usize) {
+        for s in &mut self.sinks {
+            s.on_degrade(from_k, to_k);
+        }
+    }
+
+    fn on_finish(&mut self, best_error: f64, telemetry: &Telemetry) {
+        for s in &mut self.sinks {
+            s.on_finish(best_error, telemetry);
+        }
+    }
+}
 
 /// Reports progress on stderr, one line every `every` evaluations.
 #[derive(Debug, Clone)]

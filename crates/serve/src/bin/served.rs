@@ -1,0 +1,45 @@
+//! `datamime-served`: the long-running Datamime search daemon.
+//!
+//! ```text
+//! datamime-served --root /var/lib/datamime   # job.sock + admin.sock under the root
+//! datamime ctl submit workload=mem-fb iters=40 --root /var/lib/datamime
+//! echo stats | nc -U /var/lib/datamime/admin.sock
+//! ```
+//!
+//! SIGTERM/SIGINT drain gracefully: running jobs stop at their next
+//! batch boundary with journals flushed, and the manifest keeps them
+//! `running` so the next start resumes them. SIGKILL is also safe — that
+//! is the crash-resume path the integration tests exercise.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: datamime-served --root <state-dir>";
+
+fn main() -> ExitCode {
+    // Must run before anything else: on the first invocation this execs
+    // into the termination trampoline (same PID) so SIGTERM/SIGINT can
+    // be observed without unsafe signal handlers.
+    let term = datamime_runtime::termsig::install();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [flag, root] if flag == "--root" => PathBuf::from(root),
+        [h, ..] if h == "--help" || h == "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match datamime_serve::run(root, term) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("datamime-served: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

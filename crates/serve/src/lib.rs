@@ -1,0 +1,33 @@
+//! datamime-serve: the long-running multi-tenant search daemon.
+//!
+//! Turns the one-shot `datamime clone` search into a service
+//! (DESIGN.md §9):
+//!
+//! - [`server`] — `datamime-served`: a job API over a Unix socket
+//!   speaking the [`datamime_dist`] frame protocol, plus a
+//!   Pelikan-style plaintext admin plane (`stats` / `version` /
+//!   `shutdown`);
+//! - [`sched`] — a deterministic fair scheduler: jobs share the machine
+//!   through a strict round-robin [`BatchGate`] that interleaves their
+//!   evaluation batches without ever reordering one job's observations,
+//!   so a fixed-seed job run through the daemon is bit-identical to the
+//!   one-shot CLI;
+//! - [`manifest`] — a fsync-on-commit write-ahead log of job lifecycle
+//!   transitions; after a crash (or a graceful drain) the daemon replays
+//!   it and resumes every in-flight job from its evaluation journal.
+//!
+//! The client side — [`ServeClient`](datamime::servectl::ServeClient) and
+//! the `datamime ctl` subcommand — lives in the core crate.
+//!
+//! [`BatchGate`]: datamime_runtime::BatchGate
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod sched;
+pub mod server;
+
+pub use manifest::{JobEntry, Manifest, MANIFEST_FILE};
+pub use sched::{FairGate, Ticket};
+pub use server::run;

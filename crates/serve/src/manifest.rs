@@ -1,0 +1,300 @@
+//! The daemon's crash-safe job manifest.
+//!
+//! An append-only JSONL write-ahead log recording every job lifecycle
+//! transition — `submit` (with the full spec line), `start`, `done`,
+//! `cancel`, `fail` — fsynced after each append, so the set of jobs and
+//! their states survives `SIGKILL` at any instant. On startup the daemon
+//! [`replays`](Manifest::open) the log and resumes every job whose last
+//! event is non-terminal from its evaluation journal (the journal itself
+//! is the runtime's crash-safe `journal` module; the manifest only has to
+//! remember *which* jobs exist and what was asked of them).
+//!
+//! A torn final line (the crash window of an append) is tolerated and
+//! ignored, exactly like the journal's corrupt-tail policy.
+
+use datamime::servectl::JobState;
+use datamime_runtime::json::{push_f64, push_f64_array, push_str_escaped, Json};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// The manifest file name under the daemon state root.
+pub const MANIFEST_FILE: &str = "manifest.log";
+
+/// A job's folded state after replaying the manifest.
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// The submitted spec, verbatim `key=value` line.
+    pub spec: String,
+    /// Lifecycle state implied by the last event.
+    pub state: JobState,
+    /// Best error recorded by a `done` event.
+    pub best_error: Option<f64>,
+    /// Best unit point recorded by a `done` event.
+    pub best_unit: Vec<f64>,
+    /// Failure detail recorded by a `fail` event.
+    pub detail: Option<String>,
+}
+
+/// The append side of the manifest. Every mutator appends one line and
+/// fsyncs before returning — a transition the caller saw acknowledged is
+/// a transition a restarted daemon will replay.
+#[derive(Debug)]
+pub struct Manifest {
+    out: File,
+    path: PathBuf,
+}
+
+impl Manifest {
+    /// Opens (creating if absent) the manifest under `root`, replaying
+    /// any existing log. Returns the writer and the folded job table in
+    /// id order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; corrupt interior lines are skipped (a torn
+    /// tail is expected after a crash), unknown events are errors.
+    pub fn open(root: &Path) -> Result<(Manifest, BTreeMap<String, JobEntry>), String> {
+        let path = root.join(MANIFEST_FILE);
+        let mut jobs = BTreeMap::new();
+        if path.exists() {
+            let file =
+                File::open(&path).map_err(|e| format!("cannot read manifest {path:?}: {e}"))?;
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|e| format!("cannot read manifest {path:?}: {e}"))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let Ok(v) = Json::parse(&line) else {
+                    // Torn tail from a crash mid-append; everything the
+                    // daemon acknowledged before it is already folded.
+                    continue;
+                };
+                apply(&mut jobs, &v)?;
+            }
+        }
+        let out = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot append to manifest {path:?}: {e}"))?;
+        Ok((Manifest { out, path }, jobs))
+    }
+
+    fn append(&mut self, line: &str) -> Result<(), String> {
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+            .and_then(|()| self.out.sync_all())
+            .map_err(|e| format!("cannot append to manifest {:?}: {e}", self.path))
+    }
+
+    /// Records a job submission (the WAL point: once this returns, a
+    /// restart will know the job).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn submit(&mut self, job: &str, spec: &str) -> Result<(), String> {
+        let mut line = String::from(r#"{"event":"submit","job":"#);
+        push_str_escaped(&mut line, job);
+        line.push_str(",\"spec\":");
+        push_str_escaped(&mut line, spec);
+        line.push('}');
+        self.append(&line)
+    }
+
+    /// Records that a job started running.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn start(&mut self, job: &str) -> Result<(), String> {
+        self.event("start", job)
+    }
+
+    /// Records successful completion with the result.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn done(&mut self, job: &str, best_error: f64, best_unit: &[f64]) -> Result<(), String> {
+        let mut line = String::from(r#"{"event":"done","job":"#);
+        push_str_escaped(&mut line, job);
+        line.push_str(",\"best_error\":");
+        push_f64(&mut line, best_error);
+        line.push_str(",\"best_unit\":");
+        push_f64_array(&mut line, best_unit);
+        line.push('}');
+        self.append(&line)
+    }
+
+    /// Records cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn cancel(&mut self, job: &str) -> Result<(), String> {
+        self.event("cancel", job)
+    }
+
+    /// Records failure with a human-readable reason.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn fail(&mut self, job: &str, detail: &str) -> Result<(), String> {
+        let mut line = String::from(r#"{"event":"fail","job":"#);
+        push_str_escaped(&mut line, job);
+        line.push_str(",\"detail\":");
+        push_str_escaped(&mut line, detail);
+        line.push('}');
+        self.append(&line)
+    }
+
+    fn event(&mut self, event: &str, job: &str) -> Result<(), String> {
+        let mut line = format!(r#"{{"event":"{event}","job":"#);
+        push_str_escaped(&mut line, job);
+        line.push('}');
+        self.append(&line)
+    }
+}
+
+fn apply(jobs: &mut BTreeMap<String, JobEntry>, v: &Json) -> Result<(), String> {
+    let event = v
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or("manifest line without an event")?;
+    let job = v
+        .get("job")
+        .and_then(Json::as_str)
+        .ok_or("manifest line without a job id")?
+        .to_string();
+    match event {
+        "submit" => {
+            let spec = v
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or("manifest submit without a spec")?
+                .to_string();
+            jobs.insert(
+                job,
+                JobEntry {
+                    spec,
+                    state: JobState::Submitted,
+                    best_error: None,
+                    best_unit: Vec::new(),
+                    detail: None,
+                },
+            );
+        }
+        "start" | "done" | "cancel" | "fail" => {
+            let entry = jobs
+                .get_mut(&job)
+                .ok_or_else(|| format!("manifest {event} for unknown job {job}"))?;
+            match event {
+                "start" => entry.state = JobState::Running,
+                "cancel" => entry.state = JobState::Cancelled,
+                "fail" => {
+                    entry.state = JobState::Failed;
+                    entry.detail = v.get("detail").and_then(Json::as_str).map(str::to_string);
+                }
+                _ => {
+                    entry.state = JobState::Done;
+                    entry.best_error = v.get("best_error").and_then(Json::as_f64);
+                    entry.best_unit = v
+                        .get("best_unit")
+                        .and_then(Json::as_arr)
+                        .map(|xs| xs.iter().filter_map(Json::as_f64).collect())
+                        .unwrap_or_default();
+                }
+            }
+        }
+        other => return Err(format!("unknown manifest event `{other}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("datamime-manifest-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn transitions_fold_and_survive_reopen() {
+        let root = tmp("fold");
+        {
+            let (mut m, jobs) = Manifest::open(&root).unwrap();
+            assert!(jobs.is_empty());
+            m.submit("job-0001", "workload=mem-fb iters=4").unwrap();
+            m.submit("job-0002", "workload=xapian iters=4").unwrap();
+            m.start("job-0001").unwrap();
+            m.start("job-0002").unwrap();
+            m.done("job-0001", 0.25, &[0.5, 0.75]).unwrap();
+            m.cancel("job-0002").unwrap();
+        }
+        let (_m, jobs) = Manifest::open(&root).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs["job-0001"].state, JobState::Done);
+        assert_eq!(jobs["job-0001"].best_error, Some(0.25));
+        assert_eq!(jobs["job-0001"].best_unit, vec![0.5, 0.75]);
+        assert_eq!(jobs["job-0002"].state, JobState::Cancelled);
+        assert_eq!(jobs["job-0002"].spec, "workload=xapian iters=4");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn failure_detail_is_preserved() {
+        let root = tmp("fail");
+        {
+            let (mut m, _) = Manifest::open(&root).unwrap();
+            m.submit("job-0001", "workload=nope").unwrap();
+            m.fail("job-0001", "unknown workload \"nope\"").unwrap();
+        }
+        let (_m, jobs) = Manifest::open(&root).unwrap();
+        assert_eq!(jobs["job-0001"].state, JobState::Failed);
+        assert_eq!(
+            jobs["job-0001"].detail.as_deref(),
+            Some("unknown workload \"nope\"")
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_interior_events_fold() {
+        let root = tmp("torn");
+        {
+            let (mut m, _) = Manifest::open(&root).unwrap();
+            m.submit("job-0001", "workload=mem-fb").unwrap();
+            m.start("job-0001").unwrap();
+        }
+        // Simulate a crash mid-append: a torn, unparseable final line.
+        let path = root.join(MANIFEST_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"done\",\"jo").unwrap();
+        drop(f);
+        let (_m, jobs) = Manifest::open(&root).unwrap();
+        assert_eq!(jobs["job-0001"].state, JobState::Running);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_events_are_loud() {
+        let root = tmp("loud");
+        std::fs::write(
+            root.join(MANIFEST_FILE),
+            "{\"event\":\"explode\",\"job\":\"j\"}\n",
+        )
+        .unwrap();
+        assert!(Manifest::open(&root).is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

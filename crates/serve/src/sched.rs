@@ -1,0 +1,283 @@
+//! Deterministic fair scheduling of concurrent search jobs.
+//!
+//! Every job runs the *unmodified* `search_with_runtime` loop on its own
+//! thread, with its own optimizer, memo context, journal, and seeded RNG
+//! — which is what keeps a daemon-run job bit-identical to the one-shot
+//! CLI. Fairness is imposed from outside the loop via the executor's
+//! [`BatchGate`]: [`FairGate`] hands out [`Ticket`]s, and a job may only
+//! dispatch an evaluation batch while it holds its turn in a strict
+//! round-robin over registered tickets. A gate can *delay* a dispatch or
+//! *stop* a run at a batch boundary, but never reorder or alter
+//! observations, so fixed-seed results are unaffected by however many
+//! tenants share the daemon.
+//!
+//! Cancellation and shutdown ride the same mechanism: a cancelled
+//! ticket's next `enter` returns [`GateClosed::Cancelled`]; closing the
+//! gate fails every waiter with [`GateClosed::Shutdown`]. Either way the
+//! run stops cleanly between batches, leaving a resumable journal.
+
+use datamime_runtime::{BatchGate, GateClosed};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+#[derive(Debug, Default)]
+struct State {
+    /// Active ticket seqs, registration order. The round-robin cycles
+    /// over this queue.
+    queue: Vec<u64>,
+    /// Index into `queue` of the ticket whose turn it is.
+    turn: usize,
+    /// Whether the turn holder is currently inside a dispatch.
+    holding: bool,
+    /// Tickets whose next `enter` must fail with `Cancelled`.
+    cancelled: BTreeSet<u64>,
+    /// Whether the gate is closed (daemon shutting down).
+    closed: bool,
+    /// Next ticket seq.
+    next_seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A strict round-robin batch gate over any number of job tickets. See
+/// the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct FairGate {
+    inner: Arc<Inner>,
+}
+
+impl FairGate {
+    /// An open gate with no tickets.
+    pub fn new() -> Self {
+        FairGate::default()
+    }
+
+    /// Registers a new job at the back of the round-robin and returns its
+    /// ticket. Install the ticket as the job's `batch_gate`; dropping it
+    /// (or [`FairGate::finish`]) removes the job from the rotation.
+    pub fn register(&self) -> Ticket {
+        let mut s = self.inner.lock();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.queue.push(seq);
+        drop(s);
+        self.inner.cv.notify_all();
+        Ticket {
+            inner: Arc::clone(&self.inner),
+            seq,
+        }
+    }
+
+    /// Marks `seq` cancelled: its next `enter` fails with
+    /// [`GateClosed::Cancelled`] (a dispatch already in flight completes
+    /// first — cancellation is a batch-boundary event).
+    pub fn cancel(&self, seq: u64) {
+        let mut s = self.inner.lock();
+        s.cancelled.insert(seq);
+        drop(s);
+        self.inner.cv.notify_all();
+    }
+
+    /// Removes `seq` from the rotation (idempotent; also what
+    /// [`Ticket`]'s `Drop` does).
+    pub fn finish(&self, seq: u64) {
+        deregister(&self.inner, seq);
+    }
+
+    /// Closes the gate: every current and future `enter` fails with
+    /// [`GateClosed::Shutdown`]. In-flight dispatches drain first.
+    pub fn close(&self) {
+        let mut s = self.inner.lock();
+        s.closed = true;
+        drop(s);
+        self.inner.cv.notify_all();
+    }
+
+    /// How many tickets are registered (tests and stats).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether no tickets are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn deregister(inner: &Inner, seq: u64) {
+    let mut s = inner.lock();
+    if let Some(pos) = s.queue.iter().position(|&q| q == seq) {
+        s.queue.remove(pos);
+        // Keep `turn` pointing at the same ticket where possible; if the
+        // holder itself left, its successor (now at `pos`) is up next.
+        if pos < s.turn {
+            s.turn -= 1;
+        } else if pos == s.turn {
+            s.holding = false;
+        }
+        if !s.queue.is_empty() {
+            s.turn %= s.queue.len();
+        } else {
+            s.turn = 0;
+        }
+    }
+    s.cancelled.remove(&seq);
+    drop(s);
+    inner.cv.notify_all();
+}
+
+/// One job's membership in a [`FairGate`] rotation. Implements
+/// [`BatchGate`]; wrap it in a
+/// [`GateHandle`](datamime_runtime::GateHandle) and hand it to the job's
+/// `RuntimeOptions`.
+#[derive(Debug)]
+pub struct Ticket {
+    inner: Arc<Inner>,
+    seq: u64,
+}
+
+impl Ticket {
+    /// The ticket's seq — the handle [`FairGate::cancel`] /
+    /// [`FairGate::finish`] take.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl BatchGate for Ticket {
+    fn enter(&self) -> Result<(), GateClosed> {
+        let mut s = self.inner.lock();
+        loop {
+            if s.closed {
+                return Err(GateClosed::Shutdown);
+            }
+            if s.cancelled.contains(&self.seq) {
+                return Err(GateClosed::Cancelled);
+            }
+            let my_turn = s.queue.get(s.turn) == Some(&self.seq);
+            if my_turn && !s.holding {
+                s.holding = true;
+                return Ok(());
+            }
+            s = self
+                .inner
+                .cv
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn leave(&self) {
+        let mut s = self.inner.lock();
+        if s.holding && s.queue.get(s.turn) == Some(&self.seq) {
+            s.holding = false;
+            if !s.queue.is_empty() {
+                s.turn = (s.turn + 1) % s.queue.len();
+            }
+        }
+        drop(s);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        deregister(&self.inner, self.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn single_ticket_enters_immediately() {
+        let gate = FairGate::new();
+        let t = gate.register();
+        assert_eq!(gate.len(), 1);
+        t.enter().unwrap();
+        t.leave();
+        t.enter().unwrap();
+        t.leave();
+        drop(t);
+        assert!(gate.is_empty());
+    }
+
+    #[test]
+    fn two_tickets_alternate_in_lockstep() {
+        let gate = FairGate::new();
+        let a = Arc::new(gate.register());
+        let b = Arc::new(gate.register());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for (name, t) in [("a", Arc::clone(&a)), ("b", Arc::clone(&b))] {
+            let log = Arc::clone(&log);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..3 {
+                    t.enter().unwrap();
+                    log.lock().unwrap().push(name);
+                    t.leave();
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = log.lock().unwrap().clone();
+        assert_eq!(log, vec!["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn cancel_fails_the_next_enter_and_frees_the_rotation() {
+        let gate = FairGate::new();
+        let a = gate.register();
+        let b = gate.register();
+        a.enter().unwrap();
+        gate.cancel(b.seq());
+        assert_eq!(b.enter(), Err(GateClosed::Cancelled));
+        a.leave();
+        gate.finish(b.seq());
+        // With b out of the rotation, a keeps running alone.
+        a.enter().unwrap();
+        a.leave();
+    }
+
+    #[test]
+    fn close_fails_every_waiter_with_shutdown() {
+        let gate = FairGate::new();
+        let a = gate.register();
+        let b = gate.register();
+        a.enter().unwrap();
+        let waiter = std::thread::spawn(move || b.enter());
+        std::thread::sleep(Duration::from_millis(20));
+        gate.close();
+        assert_eq!(waiter.join().unwrap(), Err(GateClosed::Shutdown));
+        a.leave();
+        assert_eq!(a.enter(), Err(GateClosed::Shutdown));
+    }
+
+    #[test]
+    fn dropping_the_turn_holder_advances_the_turn() {
+        let gate = FairGate::new();
+        let a = gate.register();
+        let b = gate.register();
+        drop(a); // never entered; b must get the turn
+        b.enter().unwrap();
+        b.leave();
+    }
+}

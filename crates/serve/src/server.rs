@@ -1,0 +1,507 @@
+//! The daemon: sockets, job lifecycle, and the admin plane.
+//!
+//! One process, three concerns:
+//!
+//! - **job API** (`job.sock`): the [`datamime_dist`] frame protocol, one
+//!   request/response per connection — submit, status, result, cancel,
+//!   list. Specs are [`JobSpec`] `key=value` lines, validated at submit
+//!   time;
+//! - **scheduling**: every accepted job runs the unmodified
+//!   `search_with_runtime` loop on its own thread, interleaved with its
+//!   tenants through the [`FairGate`] round-robin (see [`crate::sched`]);
+//! - **durability**: the [`Manifest`] WAL records lifecycle transitions
+//!   with fsync-on-commit, and each job journals its evaluations under
+//!   `jobs/<id>/journal.jsonl`. On startup both are replayed: every job
+//!   whose manifest state is non-terminal is resumed from its journal
+//!   and runs to the same result it would have reached uninterrupted;
+//! - **admin plane** (`admin.sock`): plain text `stats` / `version` /
+//!   `shutdown`. Stats are the daemon's [`MetricsRegistry`] — monotonic
+//!   counters (jobs submitted/completed/failed, evaluations, cache hits,
+//!   worker restarts, per-stage milliseconds) plus gauges — in
+//!   deterministic sorted order. `shutdown` drains: gates close, jobs
+//!   stop at their next batch boundary leaving resumable journals, and
+//!   the process exits 0.
+
+use crate::manifest::{JobEntry, Manifest};
+use crate::sched::FairGate;
+use datamime::jobspec::JobSpec;
+use datamime::profiler::profile_workload;
+use datamime::search::search_with_runtime;
+use datamime::servectl::{JobState, ADMIN_SOCKET, JOB_SOCKET};
+use datamime_dist::{read_frame, write_frame, Frame};
+use datamime_runtime::{
+    ExecError, GateClosed, GateHandle, MetricsRegistry, ProgressSink, RunMeta, SharedSink,
+    TermSignal,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Live progress of one job, updated by its [`JobSink`] and read by the
+/// status endpoint.
+#[derive(Debug)]
+struct JobProgress {
+    /// Observations so far (fresh evaluations, cache hits, and replayed
+    /// journal points).
+    evals: AtomicU64,
+    /// IEEE-754 bits of the incumbent best error (`f64::INFINITY` until
+    /// the first fresh observation).
+    best_bits: AtomicU64,
+}
+
+impl JobProgress {
+    fn new() -> Self {
+        JobProgress {
+            evals: AtomicU64::new(0),
+            best_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+}
+
+/// The per-job progress sink installed as the run's `extra_sink`.
+#[derive(Debug)]
+struct JobSink {
+    progress: Arc<JobProgress>,
+}
+
+impl ProgressSink for JobSink {
+    fn on_start(&mut self, _meta: &RunMeta) {}
+
+    fn on_replay(&mut self, count: usize) {
+        self.progress
+            .evals
+            .fetch_add(count as u64, Ordering::SeqCst);
+    }
+
+    fn on_eval(&mut self, _index: usize, _error: f64, best_error: f64) {
+        self.progress.evals.fetch_add(1, Ordering::SeqCst);
+        self.progress
+            .best_bits
+            .store(best_error.to_bits(), Ordering::SeqCst);
+    }
+
+    fn on_cache_hit(&mut self, _index: usize, _source: usize) {
+        self.progress.evals.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Server-side record of one job.
+#[derive(Debug)]
+struct JobRecord {
+    state: JobState,
+    iterations: u64,
+    progress: Arc<JobProgress>,
+    gate_seq: Option<u64>,
+    cancel_requested: bool,
+    result: Option<(f64, Vec<f64>)>,
+    detail: Option<String>,
+}
+
+/// State shared between the accept loop, connection handlers, and job
+/// threads.
+struct Shared {
+    root: PathBuf,
+    jobs: Mutex<BTreeMap<String, JobRecord>>,
+    manifest: Mutex<Manifest>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    gate: FairGate,
+    metrics: Arc<MetricsRegistry>,
+    next_job: AtomicU64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn job_dir(&self, job: &str) -> PathBuf {
+        self.root.join("jobs").join(job)
+    }
+
+    fn journal_path(&self, job: &str) -> PathBuf {
+        self.job_dir(job).join("journal.jsonl")
+    }
+
+    fn journal_rel(job: &str) -> String {
+        format!("jobs/{job}/journal.jsonl")
+    }
+
+    fn set_state(&self, job: &str, state: JobState) {
+        let mut jobs = lock(&self.jobs);
+        if let Some(rec) = jobs.get_mut(job) {
+            rec.state = state;
+        }
+        let active = jobs
+            .values()
+            .filter(|r| r.state == JobState::Running)
+            .count();
+        self.metrics.set_gauge("jobs_active", active as u64);
+    }
+}
+
+/// Runs the daemon rooted at `root` until `term` requests termination
+/// (SIGTERM/SIGINT via the sentinel, or the admin `shutdown` command).
+/// Replays the manifest first, resuming every non-terminal job.
+///
+/// # Errors
+///
+/// Fails on state-root or socket I/O errors; job failures are recorded
+/// in the manifest, not returned.
+pub fn run(root: PathBuf, term: TermSignal) -> Result<(), String> {
+    std::fs::create_dir_all(root.join("jobs"))
+        .map_err(|e| format!("cannot create state root {root:?}: {e}"))?;
+    let (manifest, entries) = Manifest::open(&root)?;
+    let shared = Arc::new(Shared {
+        root: root.clone(),
+        jobs: Mutex::new(BTreeMap::new()),
+        manifest: Mutex::new(manifest),
+        threads: Mutex::new(Vec::new()),
+        gate: FairGate::new(),
+        metrics: Arc::new(MetricsRegistry::new()),
+        next_job: AtomicU64::new(next_job_number(&entries)),
+    });
+    resume_jobs(&shared, entries);
+
+    let job_listener = bind(&root.join(JOB_SOCKET))?;
+    let admin_listener = bind(&root.join(ADMIN_SOCKET))?;
+    eprintln!("datamime-served: listening under {}", root.display());
+
+    while !term.requested() {
+        let mut idle = true;
+        if let Ok((mut conn, _)) = job_listener.accept() {
+            idle = false;
+            handle_job_conn(&shared, &mut conn);
+        }
+        if let Ok((mut conn, _)) = admin_listener.accept() {
+            idle = false;
+            handle_admin_conn(&shared, &mut conn, &term);
+        }
+        if idle {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // Drain: stop admitting batches, let every job thread stop at its
+    // next batch boundary (journals and the manifest are already safe on
+    // disk — an interrupted job replays on the next start).
+    eprintln!("datamime-served: draining ...");
+    shared.gate.close();
+    let threads = std::mem::take(&mut *lock(&shared.threads));
+    for t in threads {
+        let _ = t.join();
+    }
+    let _ = std::fs::remove_file(root.join(JOB_SOCKET));
+    let _ = std::fs::remove_file(root.join(ADMIN_SOCKET));
+    Ok(())
+}
+
+fn bind(path: &PathBuf) -> Result<UnixListener, String> {
+    // A daemon killed with SIGKILL leaves its socket files behind; a
+    // fresh bind must replace them.
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("cannot listen on {path:?}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot poll {path:?}: {e}"))?;
+    Ok(listener)
+}
+
+/// The highest job number in `entries`, plus one.
+fn next_job_number(entries: &BTreeMap<String, JobEntry>) -> u64 {
+    entries
+        .keys()
+        .filter_map(|id| id.strip_prefix("job-"))
+        .filter_map(|n| n.parse::<u64>().ok())
+        .max()
+        .map_or(1, |n| n + 1)
+}
+
+/// Re-creates job records from replayed manifest entries and restarts
+/// every non-terminal job from its journal.
+fn resume_jobs(shared: &Arc<Shared>, entries: BTreeMap<String, JobEntry>) {
+    for (id, entry) in entries {
+        let iterations = JobSpec::parse(&entry.spec).map_or(0, |s| s.iters as u64);
+        let progress = Arc::new(JobProgress::new());
+        if let Some(err) = entry.best_error {
+            progress.best_bits.store(err.to_bits(), Ordering::SeqCst);
+        }
+        let record = JobRecord {
+            state: entry.state,
+            iterations,
+            progress,
+            gate_seq: None,
+            cancel_requested: false,
+            result: entry.best_error.map(|e| (e, entry.best_unit.clone())),
+            detail: entry.detail,
+        };
+        let resume = !record.state.is_terminal();
+        lock(&shared.jobs).insert(id.clone(), record);
+        if resume {
+            shared.metrics.incr("jobs_resumed");
+            spawn_job(shared, id, entry.spec, true);
+        }
+    }
+}
+
+fn spawn_job(shared: &Arc<Shared>, job: String, spec_line: String, resume: bool) {
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::spawn(move || run_job(&shared2, &job, &spec_line, resume));
+    lock(&shared.threads).push(handle);
+}
+
+/// The body of one job thread: build the search exactly as the one-shot
+/// CLI would, run it under the fair gate, and record the outcome.
+fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
+    let outcome = (|| -> Result<(), String> {
+        let spec = JobSpec::parse(spec_line)?;
+        let target = spec.target()?;
+        let cfg = spec.search_config()?;
+        let generator = spec.generator()?;
+        std::fs::create_dir_all(shared.job_dir(job))
+            .map_err(|e| format!("cannot create job dir: {e}"))?;
+
+        let ticket = shared.gate.register();
+        let seq = ticket.seq();
+        {
+            let mut jobs = lock(&shared.jobs);
+            if let Some(rec) = jobs.get_mut(job) {
+                rec.gate_seq = Some(seq);
+                if rec.cancel_requested {
+                    shared.gate.cancel(seq);
+                }
+            }
+        }
+        shared.set_state(job, JobState::Running);
+        let _ = lock(&shared.manifest).start(job);
+
+        let journal = shared.journal_path(job);
+        // Resume via a sidecar: the previous journal is renamed aside and
+        // the run rewrites a fresh, self-contained journal (the executor
+        // re-records the replayed prefix). Appending to the crashed file
+        // instead would glue new records onto a torn final line if the
+        // SIGKILL landed mid-write. A journal without a readable header
+        // (killed before the first append) is ignored and the job simply
+        // starts over.
+        let sidecar = shared.job_dir(job).join("journal.resume.jsonl");
+        let resume_from =
+            if resume && journal.exists() && datamime_runtime::replay(&journal).is_ok() {
+                std::fs::rename(&journal, &sidecar)
+                    .map_err(|e| format!("cannot stage the resume journal: {e}"))?;
+                Some(sidecar.clone())
+            } else {
+                None
+            };
+
+        let progress = lock(&shared.jobs)
+            .get(job)
+            .map(|r| Arc::clone(&r.progress))
+            .ok_or("job record vanished")?;
+        let mut opts = spec.runtime_options();
+        opts.journal = Some(journal);
+        opts.resume = resume_from.clone();
+        opts.extra_sink = Some(SharedSink::new(JobSink { progress }));
+        opts.batch_gate = Some(GateHandle::new(Arc::new(ticket)));
+        opts.metrics = Some(Arc::clone(&shared.metrics));
+
+        let target_profile = profile_workload(&target, &cfg.machine, &cfg.profiling);
+        let result = search_with_runtime(generator.as_ref(), &target_profile, &cfg, &opts);
+        shared.gate.finish(seq);
+        if resume_from.is_some() {
+            // The fresh journal now carries the whole observed prefix.
+            let _ = std::fs::remove_file(&sidecar);
+        }
+        match result {
+            Ok(outcome) => {
+                let _ =
+                    lock(&shared.manifest).done(job, outcome.best_error, &outcome.best_unit_params);
+                if let Some(rec) = lock(&shared.jobs).get_mut(job) {
+                    rec.result = Some((outcome.best_error, outcome.best_unit_params.clone()));
+                }
+                shared.set_state(job, JobState::Done);
+                shared.metrics.incr("jobs_completed");
+                Ok(())
+            }
+            Err(ExecError::Stopped(GateClosed::Shutdown)) => {
+                // Deliberately NOT a manifest transition: the job is
+                // still `running`, and the next daemon start resumes it
+                // from the journal it just flushed.
+                Ok(())
+            }
+            Err(ExecError::Stopped(GateClosed::Cancelled)) => {
+                let _ = lock(&shared.manifest).cancel(job);
+                shared.set_state(job, JobState::Cancelled);
+                shared.metrics.incr("jobs_cancelled");
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    })();
+    if let Err(detail) = outcome {
+        let _ = lock(&shared.manifest).fail(job, &detail);
+        if let Some(rec) = lock(&shared.jobs).get_mut(job) {
+            rec.detail = Some(detail);
+        }
+        shared.set_state(job, JobState::Failed);
+        shared.metrics.incr("jobs_failed");
+    }
+}
+
+fn handle_job_conn(shared: &Arc<Shared>, conn: &mut UnixStream) {
+    let _ = conn.set_nonblocking(false);
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let Ok(req) = read_frame(conn) else { return };
+    let resp = match req {
+        Frame::SubmitJob { spec } => submit(shared, &spec),
+        Frame::JobStatusReq { job } => status(shared, &job),
+        Frame::JobResultReq { job } => result(shared, &job),
+        Frame::CancelJob { job } => cancel(shared, &job),
+        Frame::ListJobsReq => Frame::JobList {
+            jobs: lock(&shared.jobs)
+                .iter()
+                .map(|(id, rec)| (id.clone(), rec.state.as_str().to_string()))
+                .collect(),
+        },
+        other => Frame::ServeErr {
+            detail: format!("unexpected frame on the job socket: {other:?}"),
+        },
+    };
+    let _ = write_frame(conn, &resp);
+}
+
+fn submit(shared: &Arc<Shared>, spec_line: &str) -> Frame {
+    // Validate the whole spec now so a bad submit fails the submitter,
+    // not a job thread minutes later.
+    let spec = match JobSpec::parse(spec_line)
+        .and_then(|s| s.target().map(|_| s))
+        .and_then(|s| s.search_config().map(|_| s))
+        .and_then(|s| s.generator().map(|_| s))
+    {
+        Ok(spec) => spec,
+        Err(detail) => return Frame::ServeErr { detail },
+    };
+    let canonical = match spec.to_line() {
+        Ok(line) => line,
+        Err(detail) => return Frame::ServeErr { detail },
+    };
+    let n = shared.next_job.fetch_add(1, Ordering::SeqCst);
+    let job = format!("job-{n:04}");
+    if let Err(e) = lock(&shared.manifest).submit(&job, &canonical) {
+        return Frame::ServeErr { detail: e };
+    }
+    lock(&shared.jobs).insert(
+        job.clone(),
+        JobRecord {
+            state: JobState::Submitted,
+            iterations: spec.iters as u64,
+            progress: Arc::new(JobProgress::new()),
+            gate_seq: None,
+            cancel_requested: false,
+            result: None,
+            detail: None,
+        },
+    );
+    shared.metrics.incr("jobs_submitted");
+    spawn_job(shared, job.clone(), canonical, false);
+    Frame::JobAck { job }
+}
+
+fn status(shared: &Arc<Shared>, job: &str) -> Frame {
+    let jobs = lock(&shared.jobs);
+    let Some(rec) = jobs.get(job) else {
+        return no_such_job(job);
+    };
+    let best_bits = match &rec.result {
+        Some((err, _)) => err.to_bits(),
+        None => rec.progress.best_bits.load(Ordering::SeqCst),
+    };
+    Frame::JobStatusResp {
+        job: job.to_string(),
+        state: rec.state.as_str().to_string(),
+        evals: rec.progress.evals.load(Ordering::SeqCst),
+        iterations: rec.iterations,
+        best_error_bits: best_bits,
+    }
+}
+
+fn result(shared: &Arc<Shared>, job: &str) -> Frame {
+    let jobs = lock(&shared.jobs);
+    let Some(rec) = jobs.get(job) else {
+        return no_such_job(job);
+    };
+    match (&rec.state, &rec.result) {
+        (JobState::Done, Some((err, unit))) => Frame::JobResultResp {
+            job: job.to_string(),
+            best_error_bits: err.to_bits(),
+            best_unit_bits: unit.iter().map(|u| u.to_bits()).collect(),
+            journal: Shared::journal_rel(job),
+        },
+        (JobState::Failed, _) => Frame::ServeErr {
+            detail: format!(
+                "job {job} failed: {}",
+                rec.detail.as_deref().unwrap_or("unknown error")
+            ),
+        },
+        _ => Frame::ServeErr {
+            detail: format!("job {job} is {}, not done", rec.state.as_str()),
+        },
+    }
+}
+
+fn cancel(shared: &Arc<Shared>, job: &str) -> Frame {
+    let mut jobs = lock(&shared.jobs);
+    let Some(rec) = jobs.get_mut(job) else {
+        return no_such_job(job);
+    };
+    if rec.state.is_terminal() {
+        return Frame::ServeErr {
+            detail: format!("job {job} is already {}", rec.state.as_str()),
+        };
+    }
+    rec.cancel_requested = true;
+    if let Some(seq) = rec.gate_seq {
+        shared.gate.cancel(seq);
+    }
+    Frame::JobAck {
+        job: job.to_string(),
+    }
+}
+
+fn no_such_job(job: &str) -> Frame {
+    Frame::ServeErr {
+        detail: format!("no such job: {job}"),
+    }
+}
+
+fn handle_admin_conn(shared: &Arc<Shared>, conn: &mut UnixStream, term: &TermSignal) {
+    let _ = conn.set_nonblocking(false);
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut line = String::new();
+    if BufReader::new(&mut *conn).read_line(&mut line).is_err() {
+        return;
+    }
+    let reply = match line.trim() {
+        "stats" => {
+            let mut out = String::new();
+            for (name, value) in shared.metrics.snapshot() {
+                out.push_str(&format!("STAT {name} {value}\n"));
+            }
+            for (name, value) in shared.metrics.gauge_snapshot() {
+                out.push_str(&format!("STAT {name} {value}\n"));
+            }
+            out.push_str("END\n");
+            out
+        }
+        "version" => format!("datamime-served {}\n", env!("CARGO_PKG_VERSION")),
+        "shutdown" => {
+            let _ = term.trigger();
+            "OK draining\n".to_string()
+        }
+        other => format!("ERROR unknown admin command `{other}`\n"),
+    };
+    let _ = conn.write_all(reply.as_bytes());
+}

@@ -54,6 +54,12 @@ if [ -z "${SKIP_TESTS:-}" ]; then
   run cargo build --release -q -p datamime-experiments --bin dist_smoke
   echo "==> DATAMIME_WORKER=target/release/datamime-worker target/release/dist_smoke --check"
   DATAMIME_WORKER=target/release/datamime-worker target/release/dist_smoke --check
+  # Service-plane smoke: a short fixed-seed job submitted to
+  # datamime-served through `datamime ctl` must complete, the admin
+  # plane must report live eval/cache-hit counters, and the daemon must
+  # drain cleanly on the admin shutdown command.
+  run cargo build --release -q -p datamime-serve
+  run scripts/serve_smoke.sh
 fi
 
 echo "==> CI passed"

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Service-plane smoke (wired into scripts/ci.sh): start datamime-served
+# on a throwaway state root, drive a short fixed-seed job through
+# `datamime ctl`, assert the admin plane reports live eval and cache-hit
+# counters, and drain the daemon via the admin shutdown command.
+#
+# Expects release binaries (scripts/ci.sh builds them first):
+#   target/release/datamime-served, target/release/datamime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVED=target/release/datamime-served
+CTL=target/release/datamime
+
+ROOT="$(mktemp -d "${TMPDIR:-/tmp}/datamime-serve-smoke.XXXXXX")"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$ROOT"
+}
+trap cleanup EXIT
+
+# Setting the sentinel env disables the /bin/sh termination trampoline,
+# so the PID we spawn is the daemon itself.
+export DATAMIME_TERM_SENTINEL="$ROOT/term.sentinel"
+"$SERVED" --root "$ROOT" &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  "$CTL" ctl list --root "$ROOT" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$CTL" ctl version --root "$ROOT" | grep -q '^datamime-served '
+
+# Grid-quantized so re-suggested points hit the evaluation memo cache;
+# enough iterations that hits actually occur.
+JOB=$("$CTL" ctl submit workload=mem-fb iters=48 seed=7 curves=false grid=4 --root "$ROOT")
+echo "submitted $JOB"
+
+# The stats endpoint must show a live (nonzero) eval counter while the
+# job runs, before completion.
+LIVE_EVALS=0
+for _ in $(seq 1 600); do
+  EVALS=$("$CTL" ctl stats --root "$ROOT" | awk '$2 == "evals" { print $3 }')
+  STATE=$("$CTL" ctl status "$JOB" --root "$ROOT" | sed 's/^state=\([a-z]*\).*/\1/')
+  if [ "${EVALS:-0}" -gt 0 ] && [ "$STATE" = "running" ]; then
+    LIVE_EVALS=$EVALS
+    break
+  fi
+  sleep 0.1
+done
+[ "$LIVE_EVALS" -gt 0 ] || { echo "no live eval counter appeared"; exit 1; }
+echo "live evals: $LIVE_EVALS"
+
+"$CTL" ctl wait "$JOB" --root "$ROOT" --timeout-secs 600
+"$CTL" ctl result "$JOB" --root "$ROOT"
+
+STATS=$("$CTL" ctl stats --root "$ROOT")
+echo "$STATS" | awk '$2 == "evals" && $3 > 0 { ok = 1 } END { exit !ok }' \
+  || { echo "final evals counter is zero"; echo "$STATS"; exit 1; }
+echo "$STATS" | awk '$2 == "cache_hits" && $3 > 0 { ok = 1 } END { exit !ok }' \
+  || { echo "cache_hits counter is zero"; echo "$STATS"; exit 1; }
+echo "$STATS" | awk '$2 == "jobs_completed" && $3 == 1 { ok = 1 } END { exit !ok }' \
+  || { echo "jobs_completed != 1"; echo "$STATS"; exit 1; }
+
+"$CTL" ctl shutdown --root "$ROOT"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "serve smoke passed"

@@ -1,0 +1,146 @@
+//! Integration of the serve daemon with the core search: a fixed-seed
+//! job submitted through `datamime-served` must be bit-identical to the
+//! same search run one-shot (modulo the informational `worker` field),
+//! for both the thread and the process backend, while the admin plane
+//! reports live evaluation and cache-hit counters.
+//!
+//! The daemon runs in-process on a background thread (core integration
+//! tests cannot see another crate's binaries); the process-backend job
+//! uses the real `datamime-worker` via `CARGO_BIN_EXE_datamime-worker`.
+
+use datamime::jobspec::JobSpec;
+use datamime::profiler::profile_workload;
+use datamime::search::{search_with_runtime, SearchOutcome};
+use datamime::servectl::{JobResult, JobState, ServeClient};
+use datamime_runtime::{replay, TermSignal};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn tmp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datamime-serve-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The exact search the one-shot CLI would run for this spec line.
+fn one_shot(spec_line: &str, journal: &Path) -> SearchOutcome {
+    let spec = JobSpec::parse(spec_line).unwrap();
+    let target = spec.target().unwrap();
+    let cfg = spec.search_config().unwrap();
+    let generator = spec.generator().unwrap();
+    let mut opts = spec.runtime_options();
+    opts.journal = Some(journal.to_path_buf());
+    let profile = profile_workload(&target, &cfg.machine, &cfg.profiling);
+    search_with_runtime(generator.as_ref(), &profile, &cfg, &opts).unwrap()
+}
+
+/// Daemon result and journal vs the uninterrupted one-shot run: same
+/// bits, same observations (`worker` ids excluded by `semantic_eq`).
+fn assert_matches_one_shot(root: &Path, result: &JobResult, reference: &SearchOutcome, what: &str) {
+    assert_eq!(
+        result.best_error.to_bits(),
+        reference.best_error.to_bits(),
+        "{what}: best error"
+    );
+    let got: Vec<u64> = result.best_unit.iter().map(|u| u.to_bits()).collect();
+    let want: Vec<u64> = reference
+        .best_unit_params
+        .iter()
+        .map(|u| u.to_bits())
+        .collect();
+    assert_eq!(got, want, "{what}: best unit point");
+    let daemon_journal = replay(&root.join(&result.journal)).unwrap();
+    assert!(daemon_journal.complete, "{what}: journal completion");
+    assert_eq!(
+        daemon_journal.evals.len(),
+        reference.history.len(),
+        "{what}: journal length"
+    );
+}
+
+fn stat(stats: &[(String, u64)], name: &str) -> u64 {
+    stats.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+}
+
+#[test]
+fn daemon_jobs_are_bit_identical_to_one_shot_runs_on_both_backends() {
+    let root = tmp_root();
+    let sentinel = root.join("term.sentinel");
+    let client = ServeClient::new(&root);
+
+    let daemon = {
+        let root = root.clone();
+        let term = TermSignal::at(sentinel.clone());
+        std::thread::spawn(move || datamime_serve::run(root, term))
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while client.list().is_err() {
+        assert!(Instant::now() < deadline, "daemon never became reachable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Thread-backend tenant: grid-quantized with enough iterations that
+    // the optimizer re-suggests points and the memo cache gets hits.
+    let thread_spec = "workload=mem-fb iters=48 seed=7 curves=false grid=4";
+    // Process-backend tenant: same fixed-seed contract through real
+    // datamime-worker processes.
+    let proc_spec = format!(
+        "workload=mem-fb iters=10 seed=9 curves=false grid=4 backend=proc worker_bin={}",
+        env!("CARGO_BIN_EXE_datamime-worker")
+    );
+    let thread_job = client.submit_line(thread_spec).unwrap();
+    let proc_job = client.submit_line(&proc_spec).unwrap();
+
+    // The admin plane must report live counters while jobs are running.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = client.stats().unwrap();
+        if stat(&stats, "evals") > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no live eval counter appeared: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    for job in [&thread_job, &proc_job] {
+        let status = client.wait(job, Duration::from_secs(600)).unwrap();
+        assert_eq!(status.state, JobState::Done, "{job}");
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(stat(&stats, "evals") > 0, "evals counter: {stats:?}");
+    assert!(
+        stat(&stats, "cache_hits") > 0,
+        "cache-hit counter: {stats:?}"
+    );
+    assert_eq!(stat(&stats, "jobs_submitted"), 2, "submissions: {stats:?}");
+    assert_eq!(stat(&stats, "jobs_completed"), 2, "completions: {stats:?}");
+
+    let thread_result = client.result(&thread_job).unwrap();
+    let thread_ref = one_shot(thread_spec, &root.join("thread.reference.jsonl"));
+    assert_matches_one_shot(&root, &thread_result, &thread_ref, "thread backend");
+    // The daemon's status view agrees with the result once done.
+    let status = client.status(&thread_job).unwrap();
+    assert_eq!(
+        status.best_error.to_bits(),
+        thread_ref.best_error.to_bits(),
+        "status best error"
+    );
+
+    let proc_result = client.result(&proc_job).unwrap();
+    let proc_ref = one_shot(&proc_spec, &root.join("proc.reference.jsonl"));
+    assert_matches_one_shot(&root, &proc_result, &proc_ref, "process backend");
+
+    assert!(client
+        .admin("version")
+        .unwrap()
+        .starts_with("datamime-served "));
+    assert_eq!(client.admin("shutdown").unwrap(), "OK draining\n");
+    daemon.join().unwrap().unwrap();
+
+    let _ = std::fs::remove_dir_all(&root);
+}
