@@ -9,14 +9,17 @@
 //! is the runtime's crash-safe `journal` module; the manifest only has to
 //! remember *which* jobs exist and what was asked of them).
 //!
-//! A torn final line (the crash window of an append) is tolerated and
-//! ignored, exactly like the journal's corrupt-tail policy.
+//! A torn final line (the crash window of an append) is *repaired* on
+//! open: the newline-less tail is truncated away before the append
+//! handle is handed out, so the first post-restart append starts on a
+//! fresh line instead of gluing onto the fragment and corrupting an
+//! acknowledged event.
 
 use datamime::servectl::JobState;
 use datamime_runtime::json::{push_f64, push_f64_array, push_str_escaped, Json};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// The manifest file name under the daemon state root.
@@ -48,27 +51,47 @@ pub struct Manifest {
 
 impl Manifest {
     /// Opens (creating if absent) the manifest under `root`, replaying
-    /// any existing log. Returns the writer and the folded job table in
-    /// id order.
+    /// any existing log. A torn final line (a crash mid-append) is
+    /// truncated away before the append handle is created. Returns the
+    /// writer and the folded job table in id order.
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors; corrupt interior lines are skipped (a torn
-    /// tail is expected after a crash), unknown events are errors.
+    /// Fails on I/O errors; corrupt interior lines and events for
+    /// unknown jobs are skipped with a warning, unknown event *kinds*
+    /// are errors.
     pub fn open(root: &Path) -> Result<(Manifest, BTreeMap<String, JobEntry>), String> {
         let path = root.join(MANIFEST_FILE);
         let mut jobs = BTreeMap::new();
         if path.exists() {
-            let file =
-                File::open(&path).map_err(|e| format!("cannot read manifest {path:?}: {e}"))?;
-            for line in BufReader::new(file).lines() {
-                let line = line.map_err(|e| format!("cannot read manifest {path:?}: {e}"))?;
+            let data =
+                std::fs::read(&path).map_err(|e| format!("cannot read manifest {path:?}: {e}"))?;
+            // Every append is `<line>\n`; a file that does not end in a
+            // newline was torn mid-append. Truncate the fragment now —
+            // appending after it would glue the next (acknowledged!)
+            // event onto the tear, producing one unparseable line and
+            // losing that event on the following restart.
+            let keep = if data.last().is_some_and(|&b| b != b'\n') {
+                data.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1)
+            } else {
+                data.len()
+            };
+            if keep < data.len() {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| format!("cannot repair manifest {path:?}: {e}"))?;
+                f.set_len(keep as u64)
+                    .and_then(|()| f.sync_all())
+                    .map_err(|e| format!("cannot repair manifest {path:?}: {e}"))?;
+            }
+            for raw in data[..keep].split(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(raw);
                 if line.trim().is_empty() {
                     continue;
                 }
                 let Ok(v) = Json::parse(&line) else {
-                    // Torn tail from a crash mid-append; everything the
-                    // daemon acknowledged before it is already folded.
+                    eprintln!("datamime-served: skipping corrupt manifest line: {line}");
                     continue;
                 };
                 apply(&mut jobs, &v)?;
@@ -190,9 +213,13 @@ fn apply(jobs: &mut BTreeMap<String, JobEntry>, v: &Json) -> Result<(), String> 
             );
         }
         "start" | "done" | "cancel" | "fail" => {
-            let entry = jobs
-                .get_mut(&job)
-                .ok_or_else(|| format!("manifest {event} for unknown job {job}"))?;
+            // An unknown job here means its submit line was lost to
+            // corruption. That job is gone either way; skipping keeps
+            // the daemon startable, which beats refusing to open.
+            let Some(entry) = jobs.get_mut(&job) else {
+                eprintln!("datamime-served: skipping manifest {event} for unknown job {job}");
+                return Ok(());
+            };
             match event {
                 "start" => entry.state = JobState::Running,
                 "cancel" => entry.state = JobState::Cancelled,
@@ -283,6 +310,48 @@ mod tests {
         drop(f);
         let (_m, jobs) = Manifest::open(&root).unwrap();
         assert_eq!(jobs["job-0001"].state, JobState::Running);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_post_restart_appends_survive() {
+        let root = tmp("repair");
+        {
+            let (mut m, _) = Manifest::open(&root).unwrap();
+            m.submit("job-0001", "workload=mem-fb").unwrap();
+        }
+        let path = root.join(MANIFEST_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"submit\",\"job\":\"job-00")
+            .unwrap();
+        drop(f);
+        // Restart: the tear is repaired, and a fresh acknowledged event
+        // appended afterwards must fold on the *next* restart too (the
+        // original bug glued it onto the fragment and lost it).
+        {
+            let (mut m, jobs) = Manifest::open(&root).unwrap();
+            assert_eq!(jobs.len(), 1);
+            m.submit("job-0002", "workload=xapian").unwrap();
+            m.start("job-0002").unwrap();
+        }
+        let (_m, jobs) = Manifest::open(&root).unwrap();
+        assert_eq!(jobs["job-0002"].state, JobState::Running);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn events_for_unknown_jobs_are_skipped_not_fatal() {
+        let root = tmp("orphan");
+        std::fs::write(
+            root.join(MANIFEST_FILE),
+            "{\"event\":\"start\",\"job\":\"job-0009\"}\n\
+             {\"event\":\"submit\",\"job\":\"job-0001\",\"spec\":\"workload=mem-fb\"}\n\
+             {\"event\":\"done\",\"job\":\"job-0009\",\"best_error\":0.5,\"best_unit\":[]}\n",
+        )
+        .unwrap();
+        let (_m, jobs) = Manifest::open(&root).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs["job-0001"].state, JobState::Submitted);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -170,15 +170,27 @@ pub fn run(root: PathBuf, term: TermSignal) -> Result<(), String> {
     let admin_listener = bind(&root.join(ADMIN_SOCKET))?;
     eprintln!("datamime-served: listening under {}", root.display());
 
+    // Each connection is handled on its own short-lived thread: a client
+    // that connects and then stalls (up to the 5s read timeout) must not
+    // freeze the job API, the admin plane, or shutdown observation.
     while !term.requested() {
         let mut idle = true;
-        if let Ok((mut conn, _)) = job_listener.accept() {
+        if let Ok((conn, _)) = job_listener.accept() {
             idle = false;
-            handle_job_conn(&shared, &mut conn);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let mut conn = conn;
+                handle_job_conn(&shared, &mut conn);
+            });
         }
-        if let Ok((mut conn, _)) = admin_listener.accept() {
+        if let Ok((conn, _)) = admin_listener.accept() {
             idle = false;
-            handle_admin_conn(&shared, &mut conn, &term);
+            let shared = Arc::clone(&shared);
+            let term = term.clone();
+            std::thread::spawn(move || {
+                let mut conn = conn;
+                handle_admin_conn(&shared, &mut conn, &term);
+            });
         }
         if idle {
             std::thread::sleep(Duration::from_millis(10));
@@ -265,19 +277,42 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         std::fs::create_dir_all(shared.job_dir(job))
             .map_err(|e| format!("cannot create job dir: {e}"))?;
 
+        shared.set_state(job, JobState::Running);
+        if let Err(e) = lock(&shared.manifest).start(job) {
+            eprintln!("datamime-served: cannot record start of {job}: {e}");
+        }
+
+        let progress = lock(&shared.jobs)
+            .get(job)
+            .map(|r| Arc::clone(&r.progress))
+            .ok_or("job record vanished")?;
+
+        // Profiling runs *outside* the fair rotation: it only touches
+        // this job's own target workload, and joining the round-robin
+        // before this potentially minutes-long phase would make every
+        // other tenant block on its turn until profiling finished.
+        let target_profile = profile_workload(&target, &cfg.machine, &cfg.profiling);
+
+        // Join the rotation only now, at the edge of the search. A
+        // cancel that arrived while profiling (gate_seq was still None)
+        // is honoured here; one that lands after this check is caught by
+        // the gate at the first batch boundary.
         let ticket = shared.gate.register();
         let seq = ticket.seq();
-        {
+        let cancelled = {
             let mut jobs = lock(&shared.jobs);
-            if let Some(rec) = jobs.get_mut(job) {
-                rec.gate_seq = Some(seq);
-                if rec.cancel_requested {
-                    shared.gate.cancel(seq);
-                }
+            let rec = jobs.get_mut(job).ok_or("job record vanished")?;
+            rec.gate_seq = Some(seq);
+            if rec.cancel_requested {
+                shared.gate.cancel(seq);
             }
+            rec.cancel_requested
+        };
+        if cancelled {
+            drop(ticket); // deregisters from the rotation
+            record_cancelled(shared, job);
+            return Ok(());
         }
-        shared.set_state(job, JobState::Running);
-        let _ = lock(&shared.manifest).start(job);
 
         let journal = shared.journal_path(job);
         // Resume via a sidecar: the previous journal is renamed aside and
@@ -297,10 +332,6 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
                 None
             };
 
-        let progress = lock(&shared.jobs)
-            .get(job)
-            .map(|r| Arc::clone(&r.progress))
-            .ok_or("job record vanished")?;
         let mut opts = spec.runtime_options();
         opts.journal = Some(journal);
         opts.resume = resume_from.clone();
@@ -308,7 +339,6 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         opts.batch_gate = Some(GateHandle::new(Arc::new(ticket)));
         opts.metrics = Some(Arc::clone(&shared.metrics));
 
-        let target_profile = profile_workload(&target, &cfg.machine, &cfg.profiling);
         let result = search_with_runtime(generator.as_ref(), &target_profile, &cfg, &opts);
         shared.gate.finish(seq);
         if resume_from.is_some() {
@@ -317,8 +347,13 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         }
         match result {
             Ok(outcome) => {
-                let _ =
-                    lock(&shared.manifest).done(job, outcome.best_error, &outcome.best_unit_params);
+                // The terminal transition must be durable *before* the
+                // result is served: a Done record without a fsynced
+                // `done` event would be re-run (and re-acknowledged with
+                // a possibly different journal) by a restarted daemon.
+                lock(&shared.manifest)
+                    .done(job, outcome.best_error, &outcome.best_unit_params)
+                    .map_err(|e| format!("search finished but its result could not be committed to the manifest: {e}"))?;
                 if let Some(rec) = lock(&shared.jobs).get_mut(job) {
                     rec.result = Some((outcome.best_error, outcome.best_unit_params.clone()));
                 }
@@ -333,22 +368,30 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
                 Ok(())
             }
             Err(ExecError::Stopped(GateClosed::Cancelled)) => {
-                let _ = lock(&shared.manifest).cancel(job);
-                shared.set_state(job, JobState::Cancelled);
-                shared.metrics.incr("jobs_cancelled");
+                record_cancelled(shared, job);
                 Ok(())
             }
             Err(e) => Err(e.to_string()),
         }
     })();
     if let Err(detail) = outcome {
-        let _ = lock(&shared.manifest).fail(job, &detail);
+        if let Err(e) = lock(&shared.manifest).fail(job, &detail) {
+            eprintln!("datamime-served: cannot record failure of {job}: {e}");
+        }
         if let Some(rec) = lock(&shared.jobs).get_mut(job) {
             rec.detail = Some(detail);
         }
         shared.set_state(job, JobState::Failed);
         shared.metrics.incr("jobs_failed");
     }
+}
+
+fn record_cancelled(shared: &Shared, job: &str) {
+    if let Err(e) = lock(&shared.manifest).cancel(job) {
+        eprintln!("datamime-served: cannot record cancellation of {job}: {e}");
+    }
+    shared.set_state(job, JobState::Cancelled);
+    shared.metrics.incr("jobs_cancelled");
 }
 
 fn handle_job_conn(shared: &Arc<Shared>, conn: &mut UnixStream) {
