@@ -36,9 +36,10 @@ COMMANDS:
     clone <workload>           search for a matching synthetic dataset
     validate <workload>        clone, then validate across all machines
     ctl <action> [...]         talk to a running datamime-served daemon:
-                                 submit key=value...   (workload=<name> ...)
+                                 submit key=value...   (workload=<name> ...,
+                                 optional quotas max_evals=<n> wall_clock_s=<s>)
                                  status|result|wait|cancel <job-id>
-                                 list | stats | version | shutdown
+                                 list | stats | health | version | shutdown
                                the daemon root comes from --root or the
                                DATAMIME_SERVE_ROOT environment variable
 
@@ -70,8 +71,9 @@ OPTIONS:
     --progress-every <n>       with `clone`: emit a stderr progress line
                                every n evaluations (default 10)
     --root <dir>               with `ctl`: the daemon state root
-    --timeout-secs <n>         with `ctl wait`: give up after n seconds
-                               (default 600)
+    --timeout <n>              with `ctl wait`: give up (and exit nonzero)
+                               after n seconds (default 600); --timeout-secs
+                               is accepted as an alias
     --paper                    paper-fidelity profiling (slower)
     --tsv                      with `profile`: dump raw samples as TSV
 ";
@@ -207,12 +209,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.root = Some(args.get(i + 1).ok_or("--root needs a path")?.into());
                 i += 2;
             }
-            "--timeout-secs" => {
+            "--timeout-secs" | "--timeout" => {
                 o.timeout_secs = Some(
                     args.get(i + 1)
-                        .ok_or("--timeout-secs needs a value")?
+                        .ok_or("--timeout needs a value")?
                         .parse()
-                        .map_err(|_| "--timeout-secs must be a number")?,
+                        .map_err(|_| "--timeout must be a number of seconds")?,
                 );
                 i += 2;
             }
@@ -444,7 +446,7 @@ fn split_ctl_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
 fn cmd_ctl(args: &[String]) -> Result<(), String> {
     let action = args
         .first()
-        .ok_or("ctl needs an action: submit | status | result | wait | cancel | list | stats | version | shutdown")?
+        .ok_or("ctl needs an action: submit | status | result | wait | cancel | list | stats | health | version | shutdown")?
         .clone();
     let (positional, opts) = split_ctl_args(&args[1..])?;
     let root = opts
@@ -491,7 +493,9 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
             let timeout = Duration::from_secs(opts.timeout_secs.unwrap_or(600));
             let s = client.wait(&job_arg()?, timeout)?;
             println!("state={} best_error={}", s.state.as_str(), s.best_error);
-            if s.state != datamime::servectl::JobState::Done {
+            // Quota-exhausted jobs still carry a best-so-far result, so
+            // they count as success; cancelled/failed jobs do not.
+            if !s.state.has_result() {
                 return Err(format!("job finished {}", s.state.as_str()));
             }
         }
@@ -510,6 +514,7 @@ fn cmd_ctl(args: &[String]) -> Result<(), String> {
             }
         }
         "version" => print!("{}", client.admin("version")?),
+        "health" => print!("{}", client.admin("health")?),
         "shutdown" => print!("{}", client.admin("shutdown")?),
         other => return Err(format!("unknown ctl action {other}")),
     }
@@ -654,6 +659,13 @@ mod tests {
         assert!(parse_options(&args(&["--progress-every", "x"])).is_err());
         assert!(parse_options(&args(&["--root"])).is_err());
         assert!(parse_options(&args(&["--timeout-secs", "x"])).is_err());
+        assert!(parse_options(&args(&["--timeout", "x"])).is_err());
+    }
+
+    #[test]
+    fn timeout_is_an_alias_for_timeout_secs() {
+        let o = parse_options(&args(&["--timeout", "42"])).unwrap();
+        assert_eq!(o.timeout_secs, Some(42));
     }
 
     #[test]

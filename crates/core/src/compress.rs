@@ -147,6 +147,7 @@ pub fn search_compress_aware(
             evaluated: cfg.iterations + 1, // every iteration plus the final re-profile
             ..SearchStats::default()
         },
+        quota: None,
     }
 }
 

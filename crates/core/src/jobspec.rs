@@ -52,6 +52,15 @@ pub struct JobSpec {
     /// the default resolution is the `DATAMIME_WORKER` environment
     /// variable, then a sibling of the current executable).
     pub worker_bin: Option<PathBuf>,
+    /// Evaluation quota: stop (with the best-so-far result) once this
+    /// many observations exist. Checked at batch boundaries, counted
+    /// over the deterministic observation order, so a resumed job stops
+    /// at the identical point.
+    pub max_evals: Option<usize>,
+    /// Wall-clock quota in seconds. Checked at batch boundaries; the
+    /// clock restarts on resume (it bounds one process's effort and is
+    /// deliberately not part of the deterministic state).
+    pub wall_clock_s: Option<u64>,
 }
 
 /// Where a job's evaluations execute (the spec-level mirror of
@@ -82,6 +91,8 @@ impl JobSpec {
             curves: true,
             grid: None,
             worker_bin: None,
+            max_evals: None,
+            wall_clock_s: None,
         }
     }
 
@@ -116,6 +127,12 @@ impl JobSpec {
         }
         if let Some(bin) = &self.worker_bin {
             parts.push(format!("worker_bin={}", bin.display()));
+        }
+        if let Some(n) = self.max_evals {
+            parts.push(format!("max_evals={n}"));
+        }
+        if let Some(s) = self.wall_clock_s {
+            parts.push(format!("wall_clock_s={s}"));
         }
         for p in &parts {
             if p.chars().any(char::is_whitespace) {
@@ -164,6 +181,20 @@ impl JobSpec {
                 "curves" => spec.curves = value.parse().map_err(|_| bad("not a bool"))?,
                 "grid" => spec.grid = Some(value.parse().map_err(|_| bad("not a step count"))?),
                 "worker_bin" => spec.worker_bin = Some(PathBuf::from(value)),
+                "max_evals" => {
+                    let n: usize = value.parse().map_err(|_| bad("not a count"))?;
+                    if n == 0 {
+                        return Err(bad("must be at least 1"));
+                    }
+                    spec.max_evals = Some(n);
+                }
+                "wall_clock_s" => {
+                    let s: u64 = value.parse().map_err(|_| bad("not a second count"))?;
+                    if s == 0 {
+                        return Err(bad("must be at least 1"));
+                    }
+                    spec.wall_clock_s = Some(s);
+                }
                 _ => return Err(format!("unknown job-spec key `{key}`")),
             }
         }
@@ -245,6 +276,8 @@ impl JobSpec {
                     worker_bin: self.worker_bin.clone(),
                 }),
             },
+            max_evals: self.max_evals,
+            wall_clock: self.wall_clock_s.map(std::time::Duration::from_secs),
             ..RuntimeOptions::default()
         }
     }
@@ -263,6 +296,8 @@ mod tests {
         spec.backend = JobBackend::Proc;
         spec.grid = Some(4);
         spec.worker_bin = Some(PathBuf::from("/tmp/datamime-worker"));
+        spec.max_evals = Some(8);
+        spec.wall_clock_s = Some(120);
         let line = spec.to_line().unwrap();
         assert_eq!(JobSpec::parse(&line).unwrap(), spec);
     }
@@ -282,6 +317,20 @@ mod tests {
         assert!(JobSpec::parse("workload=mem-fb backend=fiber").is_err());
         assert!(JobSpec::parse("workload=mem-fb iters=1 iters=2").is_err());
         assert!(JobSpec::parse("workload").is_err());
+        // Zero quotas would strand the run before its first observation.
+        assert!(JobSpec::parse("workload=mem-fb max_evals=0").is_err());
+        assert!(JobSpec::parse("workload=mem-fb wall_clock_s=0").is_err());
+    }
+
+    #[test]
+    fn quotas_reach_the_runtime_options() {
+        let spec = JobSpec::parse("workload=mem-fb max_evals=6 wall_clock_s=30").unwrap();
+        let opts = spec.runtime_options();
+        assert_eq!(opts.max_evals, Some(6));
+        assert_eq!(opts.wall_clock, Some(std::time::Duration::from_secs(30)));
+        let plain = JobSpec::parse("workload=mem-fb").unwrap().runtime_options();
+        assert_eq!(plain.max_evals, None);
+        assert_eq!(plain.wall_clock, None);
     }
 
     #[test]

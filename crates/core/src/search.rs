@@ -19,9 +19,10 @@ use crate::profiler::{profile_workload, profile_workload_cancellable, ProfilingC
 use crate::workload::Workload;
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
 use datamime_runtime::{
-    canonical_bits, fingerprint, replay, CancelToken, ExecError, Executor, FailPolicy, FanoutSink,
-    FaultPlan, GateHandle, JournalWriter, MemoKeyFn, MetricsRegistry, MetricsSink, RunMeta,
-    RunOutcome, SharedSink, StageTimes, StderrSink, SupervisorConfig,
+    canonical_bits, fingerprint, replay, CancelToken, DiskFaultInjector, ExecError, Executor,
+    FailPolicy, FanoutSink, FaultPlan, GateHandle, JournalWriter, MemoKeyFn, MetricsRegistry,
+    MetricsSink, QuotaCause, RunMeta, RunOutcome, SharedSink, StageTimes, StderrSink,
+    SupervisorConfig,
 };
 use datamime_sim::MachineConfig;
 use std::path::PathBuf;
@@ -164,6 +165,18 @@ pub struct RuntimeOptions {
     /// counters and per-stage timings, plus `worker_restarts` from the
     /// process backend's broker.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Evaluation quota: stop with the best-so-far once this many
+    /// observations exist. Checked at batch boundaries over the
+    /// deterministic observation order, so a resumed run stops at the
+    /// identical point with the identical result.
+    pub max_evals: Option<usize>,
+    /// Wall-clock quota for the whole run, checked at batch boundaries.
+    /// The clock restarts on resume: it bounds one process's effort and
+    /// is deliberately not part of the deterministic state.
+    pub wall_clock: Option<Duration>,
+    /// Deterministic disk-fault injection threaded into the journal
+    /// writer (crash-matrix tests only).
+    pub disk_faults: Option<DiskFaultInjector>,
 }
 
 /// Where a search's evaluations execute.
@@ -243,6 +256,10 @@ pub struct SearchOutcome {
     pub history: Vec<IterationRecord>,
     /// Evaluation accounting (memo-cache savings included).
     pub stats: SearchStats,
+    /// Set when a per-run quota (`max_evals` / `wall_clock`) stopped the
+    /// search before `iterations` observations; the result above is the
+    /// best-so-far at that boundary.
+    pub quota: Option<QuotaCause>,
 }
 
 impl SearchOutcome {
@@ -433,6 +450,7 @@ fn finish(
         cache_hits: run.telemetry.cache_hits(),
         replayed: run.replayed,
     };
+    let quota = run.quota;
     let best_key = canonical_bits(&denormalized_params(
         generator.param_specs(),
         &run.best_unit,
@@ -462,6 +480,7 @@ fn finish(
             })
             .collect(),
         stats,
+        quota,
     }
 }
 
@@ -475,7 +494,9 @@ fn build_executor(
     meta: RunMeta,
     opts: &RuntimeOptions,
 ) -> Result<Executor, ExecError> {
-    let mut exec = Executor::new(meta).supervise(supervision(opts));
+    let mut exec = Executor::new(meta)
+        .supervise(supervision(opts))
+        .quota(opts.max_evals, opts.wall_clock);
     if !opts.no_memo {
         exec = exec.memoize_keyed(memo_ctx, memo_key(generator));
     }
@@ -496,6 +517,10 @@ fn build_executor(
     if let Some(gate) = &opts.batch_gate {
         exec = exec.gate(gate.arc());
     }
+    let arm = |w: JournalWriter| match &opts.disk_faults {
+        Some(inj) => w.with_faults(inj.clone()),
+        None => w,
+    };
     if let Some(resume_path) = &opts.resume {
         let replayed = replay(resume_path)?;
         exec = exec.resume(replayed)?;
@@ -503,14 +528,14 @@ fn build_executor(
         // prefix; any other journal path gets a fresh self-contained file.
         if let Some(journal_path) = &opts.journal {
             exec = if journal_path == resume_path {
-                exec.journal(JournalWriter::append(journal_path)?, true)
+                exec.journal(arm(JournalWriter::append(journal_path)?), true)
             } else {
-                let writer = JournalWriter::create(journal_path, exec.meta())?;
+                let writer = arm(JournalWriter::create(journal_path, exec.meta())?);
                 exec.journal(writer, false)
             };
         }
     } else if let Some(journal_path) = &opts.journal {
-        let writer = JournalWriter::create(journal_path, exec.meta())?;
+        let writer = arm(JournalWriter::create(journal_path, exec.meta())?);
         exec = exec.journal(writer, false);
     }
     Ok(exec)

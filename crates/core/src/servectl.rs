@@ -37,6 +37,9 @@ pub enum JobState {
     Cancelled,
     /// The search failed; see the manifest for the error.
     Failed,
+    /// A per-job quota (`max_evals=` / `wall_clock_s=`) stopped the
+    /// search early; the best-so-far result is available.
+    QuotaExceeded,
 }
 
 impl JobState {
@@ -48,6 +51,7 @@ impl JobState {
             "done" => JobState::Done,
             "cancelled" => JobState::Cancelled,
             "failed" => JobState::Failed,
+            "quota_exceeded" => JobState::QuotaExceeded,
             _ => return None,
         })
     }
@@ -60,6 +64,7 @@ impl JobState {
             JobState::Done => "done",
             JobState::Cancelled => "cancelled",
             JobState::Failed => "failed",
+            JobState::QuotaExceeded => "quota_exceeded",
         }
     }
 
@@ -67,8 +72,14 @@ impl JobState {
     pub fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Cancelled | JobState::Failed
+            JobState::Done | JobState::Cancelled | JobState::Failed | JobState::QuotaExceeded
         )
+    }
+
+    /// Whether a result is served in this state (`done`, or stopped by
+    /// quota with a best-so-far).
+    pub fn has_result(self) -> bool {
+        matches!(self, JobState::Done | JobState::QuotaExceeded)
     }
 }
 
@@ -230,25 +241,30 @@ impl ServeClient {
     }
 
     /// Polls a job until it reaches a terminal state, then returns that
-    /// status.
+    /// status. Polling backs off exponentially from 25ms to a 1s cap, so
+    /// a long-running job costs a connection per second instead of
+    /// twenty.
     ///
     /// # Errors
     ///
     /// Fails on connection errors or when `timeout` elapses first.
     pub fn wait(&self, job: &str, timeout: Duration) -> Result<JobStatus, String> {
         let deadline = Instant::now() + timeout;
+        let mut pause = Duration::from_millis(25);
         loop {
             let status = self.status(job)?;
             if status.state.is_terminal() {
                 return Ok(status);
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(format!(
                     "job {job} still {} after {timeout:?}",
                     status.state.as_str()
                 ));
             }
-            std::thread::sleep(Duration::from_millis(50));
+            std::thread::sleep(pause.min(deadline - now));
+            pause = (pause * 2).min(Duration::from_secs(1));
         }
     }
 
@@ -313,6 +329,7 @@ mod tests {
             JobState::Done,
             JobState::Cancelled,
             JobState::Failed,
+            JobState::QuotaExceeded,
         ] {
             assert_eq!(JobState::parse(s.as_str()), Some(s));
         }
@@ -320,8 +337,12 @@ mod tests {
         assert!(JobState::Done.is_terminal());
         assert!(JobState::Cancelled.is_terminal());
         assert!(JobState::Failed.is_terminal());
+        assert!(JobState::QuotaExceeded.is_terminal());
         assert!(!JobState::Running.is_terminal());
         assert!(!JobState::Submitted.is_terminal());
+        assert!(JobState::Done.has_result());
+        assert!(JobState::QuotaExceeded.has_result());
+        assert!(!JobState::Failed.has_result());
     }
 
     #[test]

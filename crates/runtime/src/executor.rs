@@ -119,6 +119,29 @@ pub struct RunOutcome {
     pub telemetry: Telemetry,
     /// How many leading points came from a journal instead of evaluation.
     pub replayed: usize,
+    /// Set when a per-run quota stopped the run before `iterations`
+    /// observations: the outcome is the best-so-far, not the full search.
+    pub quota: Option<QuotaCause>,
+}
+
+/// Which quota ended a run early (see [`Executor::quota`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaCause {
+    /// The observation-count budget was reached.
+    MaxEvals,
+    /// The wall-clock budget elapsed.
+    WallClock,
+}
+
+impl QuotaCause {
+    /// A short stable tag (`max_evals` / `wall_clock_s`), matching the
+    /// job-spec keys the serve daemon accepts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuotaCause::MaxEvals => "max_evals",
+            QuotaCause::WallClock => "wall_clock_s",
+        }
+    }
 }
 
 /// An executor failure.
@@ -292,6 +315,8 @@ pub struct Executor {
     /// when absent. Only ever called on the engine thread.
     memo_key: Option<MemoKeyFn>,
     gate: Option<std::sync::Arc<dyn BatchGate>>,
+    quota_evals: Option<usize>,
+    quota_wall: Option<std::time::Duration>,
 }
 
 impl Executor {
@@ -317,6 +342,8 @@ impl Executor {
             memo: None,
             memo_key: None,
             gate: None,
+            quota_evals: None,
+            quota_wall: None,
         }
     }
 
@@ -357,6 +384,30 @@ impl Executor {
     #[must_use]
     pub fn gate(mut self, gate: std::sync::Arc<dyn BatchGate>) -> Self {
         self.gate = Some(gate);
+        self
+    }
+
+    /// Caps the run: stop gracefully — best-so-far outcome, clean
+    /// journal, [`RunOutcome::quota`] set — once `max_evals` observations
+    /// exist or `wall_clock` has elapsed. Both are checked only at batch
+    /// boundaries, so a capped run never tears a batch.
+    ///
+    /// `max_evals` counts *observations* (fresh evaluations, memo-cache
+    /// hits, and journal-replayed points alike), which is what makes a
+    /// capped run deterministic across crash-resume: the replayed prefix
+    /// re-counts exactly as the live run counted it, and the quota fires
+    /// at the identical boundary with the identical best-so-far. The
+    /// wall clock, by contrast, restarts on resume — it bounds *this
+    /// process's* effort and is deliberately not part of any determinism
+    /// contract.
+    #[must_use]
+    pub fn quota(
+        mut self,
+        max_evals: Option<usize>,
+        wall_clock: Option<std::time::Duration>,
+    ) -> Self {
+        self.quota_evals = max_evals;
+        self.quota_wall = wall_clock;
         self
     }
 
@@ -680,8 +731,28 @@ impl Executor {
         let mut effective_k = self.meta.batch_k;
         let mut consecutive_failures = 0u32;
         let mut quarantine: Vec<Vec<f64>> = Vec::new();
+        // audit:allow(determinism): the wall-clock quota only decides *when to stop*, at a batch boundary — it never feeds the optimizer or the journal
+        let quota_started = Instant::now();
+        let mut quota: Option<QuotaCause> = None;
 
         while history.len() < iterations {
+            // Quota checks sit at the batch boundary, after at least one
+            // observation (so a capped run always has a best-so-far).
+            // The eval-count check is deterministic across crash-resume;
+            // the wall clock intentionally is not (see `Executor::quota`).
+            if !history.is_empty() {
+                if self.quota_evals.is_some_and(|q| history.len() >= q) {
+                    quota = Some(QuotaCause::MaxEvals);
+                    break;
+                }
+                if self
+                    .quota_wall
+                    .is_some_and(|d| quota_started.elapsed() >= d)
+                {
+                    quota = Some(QuotaCause::WallClock);
+                    break;
+                }
+            }
             let done = history.len();
             let k = effective_k.min(iterations - done);
             // audit:allow(determinism): stage timing feeds telemetry only, never the optimizer or journal
@@ -922,6 +993,9 @@ impl Executor {
 
         let (best_unit, best_error) = best.expect("at least one iteration ran");
         if let Some(journal) = &mut self.journal {
+            // A quota stop still writes `done`: the journal records the
+            // observations that exist plus the best over them, which is
+            // exactly what a re-run under the same quota reproduces.
             journal.done(history.len(), best_error, &best_unit)?;
         }
         self.sink.on_finish(best_error, &telemetry);
@@ -932,6 +1006,7 @@ impl Executor {
             history,
             telemetry,
             replayed,
+            quota,
         })
     }
 }

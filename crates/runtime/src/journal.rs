@@ -29,6 +29,7 @@
 //! faithfully — reconstructing the optimizer state bit-for-bit before
 //! continuing with fresh evaluations.
 
+use crate::diskfault::{DiskFaultInjector, DiskTarget};
 use crate::executor::{EvalRecord, RunMeta};
 use crate::json::{push_f64, push_f64_array, push_str_escaped, Json};
 use crate::supervisor::{FailedAttempt, FailureKind};
@@ -77,6 +78,9 @@ impl From<std::io::Error> for JournalError {
 #[derive(Debug)]
 pub struct JournalWriter {
     out: BufWriter<File>,
+    /// Deterministic disk-fault injection on the append path (tests and
+    /// torture harnesses only; `None` in production).
+    faults: Option<DiskFaultInjector>,
 }
 
 impl JournalWriter {
@@ -84,6 +88,7 @@ impl JournalWriter {
     pub fn create(path: &Path, meta: &RunMeta) -> Result<Self, JournalError> {
         let mut w = JournalWriter {
             out: BufWriter::new(File::create(path)?),
+            faults: None,
         };
         let mut line = String::from("{\"event\":\"header\",\"version\":");
         push_f64(&mut line, JOURNAL_VERSION as f64);
@@ -112,10 +117,29 @@ impl JournalWriter {
     pub fn append(path: &Path) -> Result<Self, JournalError> {
         Ok(JournalWriter {
             out: BufWriter::new(OpenOptions::new().append(true).open(path)?),
+            faults: None,
         })
     }
 
+    /// Routes every subsequent append through `injector`
+    /// ([`DiskTarget::Journal`] operations), so seeded ENOSPC / short
+    /// write / fsync-failure / crash plans exercise the journal's failure
+    /// handling deterministically.
+    #[must_use]
+    pub fn with_faults(mut self, injector: DiskFaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
     fn write_line(&mut self, line: &str) -> Result<(), JournalError> {
+        if let Some(inj) = &self.faults {
+            if let Some(kind) = inj.next(DiskTarget::Journal) {
+                let mut bytes = Vec::with_capacity(line.len() + 1);
+                bytes.extend_from_slice(line.as_bytes());
+                bytes.push(b'\n');
+                return Err(JournalError::Io(kind.corrupt_append(&mut self.out, &bytes)));
+            }
+        }
         self.out.write_all(line.as_bytes())?;
         self.out.write_all(b"\n")?;
         self.out.flush()?;

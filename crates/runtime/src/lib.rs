@@ -13,6 +13,11 @@
 //!   evaluations panic, stall, or return NaN/Inf so every failure path is
 //!   testable in CI (the `faultinject` cargo feature only gates extra
 //!   stress tests — the module is always available);
+//! - [`diskfault`] — the durability-plane counterpart: a deterministic
+//!   [`DiskFaultPlan`] that makes the Nth append on a chosen write
+//!   surface (manifest WAL, checkpoint, run journal, GC sweep) hit
+//!   ENOSPC, tear short, fail its fsync, or abort the process at the
+//!   boundary;
 //! - [`journal`] — an append-only JSONL run journal plus [`replay`] for
 //!   crash-safe resume, with `fault`/`attempt` events that replay
 //!   failures faithfully and `cache_hit` events that replay memoized
@@ -35,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diskfault;
 pub mod executor;
 pub mod faultinject;
 pub mod journal;
@@ -45,9 +51,12 @@ pub mod supervisor;
 pub mod telemetry;
 pub mod termsig;
 
+pub use diskfault::{
+    DiskFaultInjector, DiskFaultKind, DiskFaultPlan, DiskTarget, PlannedDiskFault, DISK_FAULT_ENV,
+};
 pub use executor::{
     Backend, BatchGate, EvalRecord, ExecError, Executor, GateClosed, GateHandle, MemoKeyFn,
-    RunMeta, RunOutcome,
+    QuotaCause, RunMeta, RunOutcome,
 };
 pub use faultinject::{FaultPlan, InjectedFault, PlannedFault};
 pub use journal::{

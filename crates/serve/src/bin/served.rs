@@ -2,21 +2,79 @@
 //!
 //! ```text
 //! datamime-served --root /var/lib/datamime   # job.sock + admin.sock under the root
-//! datamime ctl submit workload=mem-fb iters=40 --root /var/lib/datamime
-//! echo stats | nc -U /var/lib/datamime/admin.sock
+//! datamime-served --root /var/lib/datamime --keep-terminal 8 --segment-bytes 65536
+//! datamime ctl submit workload=mem-fb iters=40 max_evals=32 --root /var/lib/datamime
+//! echo health | nc -U /var/lib/datamime/admin.sock
 //! ```
 //!
 //! SIGTERM/SIGINT drain gracefully: running jobs stop at their next
 //! batch boundary with journals flushed, and the manifest keeps them
 //! `running` so the next start resumes them. SIGKILL is also safe — that
 //! is the crash-resume path the integration tests exercise.
+//!
+//! `--disk-fault <spec>` (or the `DATAMIME_DISK_FAULT` environment
+//! variable) arms the deterministic disk-fault injector; see
+//! [`datamime_runtime::diskfault`] for the `target:nth:kind;...` spec
+//! grammar. Intended for the crash-matrix tests, not production.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: datamime-served --root <state-dir>";
+use datamime_runtime::{DiskFaultPlan, DISK_FAULT_ENV};
+use datamime_serve::ServeOptions;
+
+const USAGE: &str = "usage: datamime-served --root <state-dir> \
+[--keep-terminal <n>] [--segment-bytes <n>] [--disk-fault <spec>]";
+
+fn parse_args(args: &[String]) -> Result<Option<(PathBuf, ServeOptions)>, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut options = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--root" => root = Some(PathBuf::from(value("--root")?)),
+            "--keep-terminal" => {
+                let raw = value("--keep-terminal")?;
+                let n: usize = raw
+                    .parse()
+                    .map_err(|_| format!("invalid --keep-terminal value: {raw}"))?;
+                options.keep_terminal = Some(n);
+            }
+            "--segment-bytes" => {
+                let raw = value("--segment-bytes")?;
+                let n: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("invalid --segment-bytes value: {raw}"))?;
+                if n == 0 {
+                    return Err("--segment-bytes must be at least 1".to_string());
+                }
+                options.segment_bytes = Some(n);
+            }
+            "--disk-fault" => {
+                let raw = value("--disk-fault")?;
+                options.disk_faults = Some(DiskFaultPlan::from_spec(raw)?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let root = root.ok_or_else(|| "--root is required".to_string())?;
+    if options.disk_faults.is_none() {
+        if let Ok(spec) = std::env::var(DISK_FAULT_ENV) {
+            if !spec.is_empty() {
+                options.disk_faults = Some(DiskFaultPlan::from_spec(&spec)?);
+            }
+        }
+    }
+    Ok(Some((root, options)))
+}
 
 fn main() -> ExitCode {
     // Must run before anything else: on the first invocation this execs
@@ -24,18 +82,18 @@ fn main() -> ExitCode {
     // be observed without unsafe signal handlers.
     let term = datamime_runtime::termsig::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.as_slice() {
-        [flag, root] if flag == "--root" => PathBuf::from(root),
-        [h, ..] if h == "--help" || h == "-h" => {
+    let (root, options) = match parse_args(&args) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        _ => {
-            eprintln!("{USAGE}");
+        Err(e) => {
+            eprintln!("datamime-served: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    match datamime_serve::run(root, term) {
+    match datamime_serve::run_with(root, term, options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("datamime-served: {e}");

@@ -12,9 +12,11 @@
 //!   evaluation batches without ever reordering one job's observations,
 //!   so a fixed-seed job run through the daemon is bit-identical to the
 //!   one-shot CLI;
-//! - [`manifest`] — a fsync-on-commit write-ahead log of job lifecycle
-//!   transitions; after a crash (or a graceful drain) the daemon replays
-//!   it and resumes every in-flight job from its evaluation journal.
+//! - [`manifest`] — a fsync-on-commit, *segmented* write-ahead log of
+//!   job lifecycle transitions with compacted checkpoints, two-phase GC
+//!   records, and deterministic disk-fault injection; after a crash (or
+//!   a graceful drain) the daemon replays checkpoint + newer segments
+//!   and resumes every in-flight job from its evaluation journal.
 //!
 //! The client side — [`ServeClient`](datamime::servectl::ServeClient) and
 //! the `datamime ctl` subcommand — lives in the core crate.
@@ -28,6 +30,9 @@ pub mod manifest;
 pub mod sched;
 pub mod server;
 
-pub use manifest::{JobEntry, Manifest, MANIFEST_FILE};
+pub use manifest::{
+    segment_file_name, JobEntry, Manifest, ManifestOptions, WalError, WalStats, CHECKPOINT_FILE,
+    DEFAULT_SEGMENT_BYTES, MANIFEST_FILE,
+};
 pub use sched::{FairGate, Ticket};
-pub use server::run;
+pub use server::{run, run_with, ServeOptions};

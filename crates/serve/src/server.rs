@@ -9,37 +9,49 @@
 //! - **scheduling**: every accepted job runs the unmodified
 //!   `search_with_runtime` loop on its own thread, interleaved with its
 //!   tenants through the [`FairGate`] round-robin (see [`crate::sched`]);
-//! - **durability**: the [`Manifest`] WAL records lifecycle transitions
-//!   with fsync-on-commit, and each job journals its evaluations under
-//!   `jobs/<id>/journal.jsonl`. On startup both are replayed: every job
-//!   whose manifest state is non-terminal is resumed from its journal
-//!   and runs to the same result it would have reached uninterrupted;
+//! - **durability**: the segmented, checkpointed [`Manifest`] WAL
+//!   records lifecycle transitions with fsync-on-commit, and each job
+//!   journals its evaluations under `jobs/<id>/journal.jsonl`. On
+//!   startup both are replayed: pending GC intents are finished, and
+//!   every job whose manifest state is non-terminal is resumed from its
+//!   journal and runs to the same result it would have reached
+//!   uninterrupted. Terminal jobs beyond the `keep_terminal` retention
+//!   budget are garbage-collected via two-phase delete (durable intent,
+//!   then directory removal), so `jobs/` stops accumulating. An
+//!   out-of-space condition on any WAL write flips the daemon into
+//!   *draining read-only* mode: running jobs stop at their next batch
+//!   boundary with resumable journals, new submissions are refused, and
+//!   status/result/admin stay up;
 //! - **admin plane** (`admin.sock`): plain text `stats` / `version` /
-//!   `shutdown`. Stats are the daemon's [`MetricsRegistry`] — monotonic
-//!   counters (jobs submitted/completed/failed, evaluations, cache hits,
-//!   worker restarts, per-stage milliseconds) plus gauges — in
-//!   deterministic sorted order. `shutdown` drains: gates close, jobs
-//!   stop at their next batch boundary leaving resumable journals, and
-//!   the process exits 0.
+//!   `health` / `shutdown`. Stats are the daemon's [`MetricsRegistry`] —
+//!   monotonic counters (jobs submitted/completed/failed/quota-stopped,
+//!   evaluations, cache hits, worker restarts, per-stage milliseconds)
+//!   plus gauges (WAL segments and bytes, checkpoint seq, GC'd jobs,
+//!   read-only flag) — in deterministic sorted order. `health` is the
+//!   durability dashboard: uptime, WAL shape, checkpoint and GC
+//!   progress, and the read-only state with its reason. `shutdown`
+//!   drains: gates close, jobs stop at their next batch boundary leaving
+//!   resumable journals, and the process exits 0.
 
-use crate::manifest::{JobEntry, Manifest};
+use crate::manifest::{JobEntry, Manifest, ManifestOptions, WalError};
 use crate::sched::FairGate;
 use datamime::jobspec::JobSpec;
 use datamime::profiler::profile_workload;
 use datamime::search::search_with_runtime;
 use datamime::servectl::{JobState, ADMIN_SOCKET, JOB_SOCKET};
 use datamime_dist::{read_frame, write_frame, Frame};
+use datamime_runtime::diskfault::DiskTarget;
 use datamime_runtime::{
-    ExecError, GateClosed, GateHandle, MetricsRegistry, ProgressSink, RunMeta, SharedSink,
-    TermSignal,
+    DiskFaultInjector, DiskFaultPlan, ExecError, GateClosed, GateHandle, MetricsRegistry,
+    ProgressSink, RunMeta, SharedSink, TermSignal,
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Live progress of one job, updated by its [`JobSink`] and read by the
 /// status endpoint.
@@ -101,6 +113,20 @@ struct JobRecord {
     detail: Option<String>,
 }
 
+/// Daemon-level options beyond the state root: retention, WAL tuning,
+/// and the deterministic disk-fault plan (tests only).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Keep at most this many terminal jobs; older ones (by id) are
+    /// garbage-collected via two-phase delete. `None` keeps everything.
+    pub keep_terminal: Option<usize>,
+    /// Manifest segment-rotation threshold in bytes (`None` = default).
+    pub segment_bytes: Option<u64>,
+    /// Deterministic disk faults injected into the manifest, checkpoint,
+    /// journal, and GC write paths.
+    pub disk_faults: Option<DiskFaultPlan>,
+}
+
 /// State shared between the accept loop, connection handlers, and job
 /// threads.
 struct Shared {
@@ -110,7 +136,11 @@ struct Shared {
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     gate: FairGate,
     metrics: Arc<MetricsRegistry>,
-    next_job: AtomicU64,
+    started: Instant,
+    keep_terminal: Option<usize>,
+    injector: Option<DiskFaultInjector>,
+    read_only: AtomicBool,
+    read_only_reason: Mutex<String>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -143,18 +173,88 @@ impl Shared {
     }
 }
 
+/// Flips the daemon into draining read-only mode (idempotent): running
+/// jobs stop at their next batch boundary with resumable journals, new
+/// submissions are refused, and status/result/admin stay up. The way
+/// back is an operator restart with space freed.
+fn enter_read_only(shared: &Shared, reason: &str) {
+    if shared.read_only.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    *lock(&shared.read_only_reason) = reason.to_string();
+    shared.metrics.set_gauge("read_only", 1);
+    eprintln!("datamime-served: entering read-only mode: {reason}");
+    // Drain, do not kill: jobs see GateClosed::Shutdown at their next
+    // batch boundary, make no manifest transition, and stay resumable.
+    shared.gate.close();
+}
+
+/// Post-processes one manifest mutation: refreshes the WAL gauges,
+/// flips read-only on any out-of-space sighting (the mutation's own, or
+/// a checkpoint's recorded inside the manifest), and converts the error
+/// for `?` in `Result<_, String>` contexts.
+fn manifest_op(shared: &Shared, res: Result<(), WalError>) -> Result<(), String> {
+    let no_space_seen = lock(&shared.manifest).no_space_seen();
+    refresh_wal_gauges(shared);
+    if no_space_seen || res.as_ref().is_err_and(|e| e.no_space) {
+        let detail = match &res {
+            Err(e) => e.message.clone(),
+            Ok(()) => "out of disk space during a WAL checkpoint".to_string(),
+        };
+        enter_read_only(shared, &detail);
+    }
+    res.map_err(|e| e.message)
+}
+
+/// Mirrors the durable WAL shape into gauges so the plain `stats`
+/// command exposes what `health` reports.
+fn refresh_wal_gauges(shared: &Shared) {
+    let stats = lock(&shared.manifest).wal_stats();
+    shared.metrics.set_gauge("wal_segments", stats.segments);
+    shared
+        .metrics
+        .set_gauge("wal_segment_bytes", stats.segment_bytes);
+    shared
+        .metrics
+        .set_gauge("wal_checkpoint_seq", stats.checkpoint_seq);
+    shared
+        .metrics
+        .set_gauge("wal_checkpoint_failures", stats.checkpoint_failures);
+    shared.metrics.set_gauge("wal_pending_gc", stats.pending_gc);
+    shared.metrics.set_gauge("jobs_gcd_total", stats.gcd_jobs);
+}
+
+/// Runs the daemon rooted at `root` with default [`ServeOptions`]. See
+/// [`run_with`].
+///
+/// # Errors
+///
+/// As [`run_with`].
+pub fn run(root: PathBuf, term: TermSignal) -> Result<(), String> {
+    run_with(root, term, ServeOptions::default())
+}
+
 /// Runs the daemon rooted at `root` until `term` requests termination
 /// (SIGTERM/SIGINT via the sentinel, or the admin `shutdown` command).
-/// Replays the manifest first, resuming every non-terminal job.
+/// Replays the manifest first, finishing any pending GC intents and
+/// resuming every non-terminal job; then applies the retention policy.
 ///
 /// # Errors
 ///
 /// Fails on state-root or socket I/O errors; job failures are recorded
 /// in the manifest, not returned.
-pub fn run(root: PathBuf, term: TermSignal) -> Result<(), String> {
+pub fn run_with(root: PathBuf, term: TermSignal, options: ServeOptions) -> Result<(), String> {
     std::fs::create_dir_all(root.join("jobs"))
         .map_err(|e| format!("cannot create state root {root:?}: {e}"))?;
-    let (manifest, entries) = Manifest::open(&root)?;
+    let injector = options.disk_faults.map(DiskFaultInjector::new);
+    let (manifest, entries) = Manifest::open_with(
+        &root,
+        ManifestOptions {
+            segment_bytes: options.segment_bytes,
+            faults: injector.clone(),
+        },
+    )?;
+    let pending_gc = manifest.take_pending_gc();
     let shared = Arc::new(Shared {
         root: root.clone(),
         jobs: Mutex::new(BTreeMap::new()),
@@ -162,9 +262,21 @@ pub fn run(root: PathBuf, term: TermSignal) -> Result<(), String> {
         threads: Mutex::new(Vec::new()),
         gate: FairGate::new(),
         metrics: Arc::new(MetricsRegistry::new()),
-        next_job: AtomicU64::new(next_job_number(&entries)),
+        // audit:allow(determinism): only feeds the admin plane's uptime line
+        started: Instant::now(),
+        keep_terminal: options.keep_terminal,
+        injector,
+        read_only: AtomicBool::new(false),
+        read_only_reason: Mutex::new(String::new()),
     });
+    // Finish interrupted deletions before anything else: the intents are
+    // durable and the directory removals are idempotent.
+    for job in pending_gc {
+        finish_gc(&shared, &job);
+    }
     resume_jobs(&shared, entries);
+    maybe_gc(&shared);
+    refresh_wal_gauges(&shared);
 
     let job_listener = bind(&root.join(JOB_SOCKET))?;
     let admin_listener = bind(&root.join(ADMIN_SOCKET))?;
@@ -223,14 +335,75 @@ fn bind(path: &PathBuf) -> Result<UnixListener, String> {
     Ok(listener)
 }
 
-/// The highest job number in `entries`, plus one.
-fn next_job_number(entries: &BTreeMap<String, JobEntry>) -> u64 {
-    entries
-        .keys()
-        .filter_map(|id| id.strip_prefix("job-"))
-        .filter_map(|n| n.parse::<u64>().ok())
-        .max()
-        .map_or(1, |n| n + 1)
+/// Applies the retention policy: terminal jobs beyond the newest
+/// `keep_terminal` (in id order) are garbage-collected. Skipped while
+/// read-only — GC itself must append to the WAL.
+fn maybe_gc(shared: &Arc<Shared>) {
+    let Some(keep) = shared.keep_terminal else {
+        return;
+    };
+    if shared.read_only.load(Ordering::SeqCst) {
+        return;
+    }
+    let victims: Vec<String> = {
+        let jobs = lock(&shared.jobs);
+        let terminal: Vec<&String> = jobs
+            .iter()
+            .filter(|(_, r)| r.state.is_terminal())
+            .map(|(id, _)| id)
+            .collect();
+        terminal
+            .iter()
+            .take(terminal.len().saturating_sub(keep))
+            .map(|s| (*s).clone())
+            .collect()
+    };
+    for job in victims {
+        gc_job(shared, &job);
+    }
+}
+
+/// Two-phase delete of one terminal job: durable intent first, then the
+/// directory, then the closing record. A crash at any point either
+/// leaves the job untouched or leaves a pending intent the next startup
+/// finishes.
+fn gc_job(shared: &Arc<Shared>, job: &str) {
+    let res = lock(&shared.manifest).gc_intent(job);
+    if let Err(e) = manifest_op(shared, res) {
+        eprintln!("datamime-served: cannot record gc intent for {job}: {e}");
+        return;
+    }
+    // The intent is durable: the job is gone from the manifest fold, so
+    // it leaves the live table now regardless of how phase two fares.
+    lock(&shared.jobs).remove(job);
+    finish_gc(shared, job);
+}
+
+/// Phase two of GC: remove the job directory (idempotent) and close the
+/// intent. On failure the intent stays pending for the next startup.
+fn finish_gc(shared: &Arc<Shared>, job: &str) {
+    if let Some(inj) = &shared.injector {
+        if let Some(kind) = inj.next(DiskTarget::GcDir) {
+            eprintln!(
+                "datamime-served: injected {kind:?} during gc of {job}; intent stays pending"
+            );
+            return;
+        }
+    }
+    let dir = shared.job_dir(job);
+    match std::fs::remove_dir_all(&dir) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            eprintln!("datamime-served: cannot remove {dir:?}: {e}; gc intent stays pending");
+            return;
+        }
+    }
+    let res = lock(&shared.manifest).gc_done(job);
+    match manifest_op(shared, res) {
+        Ok(()) => shared.metrics.incr("jobs_gcd"),
+        Err(e) => eprintln!("datamime-served: cannot close gc intent for {job}: {e}"),
+    }
 }
 
 /// Re-creates job records from replayed manifest entries and restarts
@@ -278,8 +451,11 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
             .map_err(|e| format!("cannot create job dir: {e}"))?;
 
         shared.set_state(job, JobState::Running);
-        if let Err(e) = lock(&shared.manifest).start(job) {
-            eprintln!("datamime-served: cannot record start of {job}: {e}");
+        {
+            let res = lock(&shared.manifest).start(job);
+            if let Err(e) = manifest_op(shared, res) {
+                eprintln!("datamime-served: cannot record start of {job}: {e}");
+            }
         }
 
         let progress = lock(&shared.jobs)
@@ -323,6 +499,21 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         // (killed before the first append) is ignored and the job simply
         // starts over.
         let sidecar = shared.job_dir(job).join("journal.resume.jsonl");
+        if sidecar.exists() {
+            // Orphaned sidecar: a previous daemon crashed between staging
+            // the resume and finishing the rewrite. If the fresh journal
+            // replays, it is self-contained (its prefix came from the
+            // sidecar) and the sidecar is stale; otherwise the sidecar IS
+            // the journal — put it back. Either way the determinism of
+            // the search makes the resumed result identical.
+            if journal.exists() && datamime_runtime::replay(&journal).is_ok() {
+                std::fs::remove_file(&sidecar)
+                    .map_err(|e| format!("cannot drop the stale resume sidecar: {e}"))?;
+            } else {
+                std::fs::rename(&sidecar, &journal)
+                    .map_err(|e| format!("cannot restore the resume sidecar: {e}"))?;
+            }
+        }
         let resume_from =
             if resume && journal.exists() && datamime_runtime::replay(&journal).is_ok() {
                 std::fs::rename(&journal, &sidecar)
@@ -338,6 +529,7 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         opts.extra_sink = Some(SharedSink::new(JobSink { progress }));
         opts.batch_gate = Some(GateHandle::new(Arc::new(ticket)));
         opts.metrics = Some(Arc::clone(&shared.metrics));
+        opts.disk_faults = shared.injector.clone();
 
         let result = search_with_runtime(generator.as_ref(), &target_profile, &cfg, &opts);
         shared.gate.finish(seq);
@@ -351,14 +543,39 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
                 // result is served: a Done record without a fsynced
                 // `done` event would be re-run (and re-acknowledged with
                 // a possibly different journal) by a restarted daemon.
-                lock(&shared.manifest)
-                    .done(job, outcome.best_error, &outcome.best_unit_params)
-                    .map_err(|e| format!("search finished but its result could not be committed to the manifest: {e}"))?;
+                let (state, counter) = match outcome.quota {
+                    Some(cause) => {
+                        let res = lock(&shared.manifest).quota(
+                            job,
+                            outcome.best_error,
+                            &outcome.best_unit_params,
+                            cause.as_str(),
+                        );
+                        manifest_op(shared, res).map_err(|e| {
+                            format!("search stopped on its {} quota but the best-so-far could not be committed to the manifest: {e}", cause.as_str())
+                        })?;
+                        if let Some(rec) = lock(&shared.jobs).get_mut(job) {
+                            rec.detail = Some(cause.as_str().to_string());
+                        }
+                        (JobState::QuotaExceeded, "jobs_quota_exceeded")
+                    }
+                    None => {
+                        let res = lock(&shared.manifest).done(
+                            job,
+                            outcome.best_error,
+                            &outcome.best_unit_params,
+                        );
+                        manifest_op(shared, res).map_err(|e| {
+                            format!("search finished but its result could not be committed to the manifest: {e}")
+                        })?;
+                        (JobState::Done, "jobs_completed")
+                    }
+                };
                 if let Some(rec) = lock(&shared.jobs).get_mut(job) {
                     rec.result = Some((outcome.best_error, outcome.best_unit_params.clone()));
                 }
-                shared.set_state(job, JobState::Done);
-                shared.metrics.incr("jobs_completed");
+                shared.set_state(job, state);
+                shared.metrics.incr(counter);
                 Ok(())
             }
             Err(ExecError::Stopped(GateClosed::Shutdown)) => {
@@ -375,7 +592,8 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         }
     })();
     if let Err(detail) = outcome {
-        if let Err(e) = lock(&shared.manifest).fail(job, &detail) {
+        let res = lock(&shared.manifest).fail(job, &detail);
+        if let Err(e) = manifest_op(shared, res) {
             eprintln!("datamime-served: cannot record failure of {job}: {e}");
         }
         if let Some(rec) = lock(&shared.jobs).get_mut(job) {
@@ -384,10 +602,13 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         shared.set_state(job, JobState::Failed);
         shared.metrics.incr("jobs_failed");
     }
+    // One more terminal job may now exceed the retention budget.
+    maybe_gc(shared);
 }
 
-fn record_cancelled(shared: &Shared, job: &str) {
-    if let Err(e) = lock(&shared.manifest).cancel(job) {
+fn record_cancelled(shared: &Arc<Shared>, job: &str) {
+    let res = lock(&shared.manifest).cancel(job);
+    if let Err(e) = manifest_op(shared, res) {
         eprintln!("datamime-served: cannot record cancellation of {job}: {e}");
     }
     shared.set_state(job, JobState::Cancelled);
@@ -417,6 +638,14 @@ fn handle_job_conn(shared: &Arc<Shared>, conn: &mut UnixStream) {
 }
 
 fn submit(shared: &Arc<Shared>, spec_line: &str) -> Frame {
+    if shared.read_only.load(Ordering::SeqCst) {
+        return Frame::ServeErr {
+            detail: format!(
+                "daemon is read-only ({}); submissions are disabled",
+                lock(&shared.read_only_reason)
+            ),
+        };
+    }
     // Validate the whole spec now so a bad submit fails the submitter,
     // not a job thread minutes later.
     let spec = match JobSpec::parse(spec_line)
@@ -431,9 +660,17 @@ fn submit(shared: &Arc<Shared>, spec_line: &str) -> Frame {
         Ok(line) => line,
         Err(detail) => return Frame::ServeErr { detail },
     };
-    let n = shared.next_job.fetch_add(1, Ordering::SeqCst);
-    let job = format!("job-{n:04}");
-    if let Err(e) = lock(&shared.manifest).submit(&job, &canonical) {
+    // Id allocation and the submit record commit under one manifest
+    // lock, so concurrent submitters cannot race the same number. The
+    // high-water mark lives in the manifest fold (and its checkpoints),
+    // so GC of old jobs never recycles an id.
+    let submitted = {
+        let mut m = lock(&shared.manifest);
+        let job = format!("job-{:04}", m.next_job_number());
+        (job.clone(), m.submit(&job, &canonical))
+    };
+    let (job, res) = submitted;
+    if let Err(e) = manifest_op(shared, res) {
         return Frame::ServeErr { detail: e };
     }
     lock(&shared.jobs).insert(
@@ -477,7 +714,7 @@ fn result(shared: &Arc<Shared>, job: &str) -> Frame {
         return no_such_job(job);
     };
     match (&rec.state, &rec.result) {
-        (JobState::Done, Some((err, unit))) => Frame::JobResultResp {
+        (state, Some((err, unit))) if state.has_result() => Frame::JobResultResp {
             job: job.to_string(),
             best_error_bits: err.to_bits(),
             best_unit_bits: unit.iter().map(|u| u.to_bits()).collect(),
@@ -490,7 +727,7 @@ fn result(shared: &Arc<Shared>, job: &str) -> Frame {
             ),
         },
         _ => Frame::ServeErr {
-            detail: format!("job {job} is {}, not done", rec.state.as_str()),
+            detail: format!("job {job} is {}, no result to serve", rec.state.as_str()),
         },
     }
 }
@@ -540,6 +777,30 @@ fn handle_admin_conn(shared: &Arc<Shared>, conn: &mut UnixStream, term: &TermSig
             out
         }
         "version" => format!("datamime-served {}\n", env!("CARGO_PKG_VERSION")),
+        "health" => {
+            let wal = lock(&shared.manifest).wal_stats();
+            let read_only = shared.read_only.load(Ordering::SeqCst);
+            let mut out = String::new();
+            out.push_str(&format!(
+                "STAT uptime_s {}\n",
+                shared.started.elapsed().as_secs()
+            ));
+            out.push_str(&format!("STAT wal_segments {}\n", wal.segments));
+            out.push_str(&format!("STAT wal_segment_bytes {}\n", wal.segment_bytes));
+            out.push_str(&format!("STAT wal_checkpoint_seq {}\n", wal.checkpoint_seq));
+            out.push_str(&format!(
+                "STAT wal_checkpoint_failures {}\n",
+                wal.checkpoint_failures
+            ));
+            out.push_str(&format!("STAT wal_pending_gc {}\n", wal.pending_gc));
+            out.push_str(&format!("STAT jobs_gcd_total {}\n", wal.gcd_jobs));
+            out.push_str(&format!("STAT read_only {}\n", u64::from(read_only)));
+            if read_only {
+                out.push_str(&format!("READONLY {}\n", lock(&shared.read_only_reason)));
+            }
+            out.push_str("END\n");
+            out
+        }
         "shutdown" => {
             let _ = term.trigger();
             "OK draining\n".to_string()

@@ -1,0 +1,325 @@
+//! Property tests for the segmented manifest WAL: random operation
+//! sequences replay to exactly the state a simple in-memory model
+//! predicts, across segment sizes (forcing rotations and checkpoints),
+//! reopen cycles, and randomly torn segment tails.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use datamime::servectl::JobState;
+use datamime_serve::{segment_file_name, JobEntry, Manifest, ManifestOptions};
+use proptest::prelude::*;
+
+/// A unique scratch directory per test case (proptest runs many cases
+/// per process, so the counter disambiguates them).
+fn scratch(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "datamime-manifest-props-{}-{tag}-{case}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// In-test mirror of the manifest's folded state. Deliberately written
+/// against the documented semantics, not the implementation.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Model {
+    jobs: BTreeMap<String, ModelJob>,
+    pending_gc: Vec<String>,
+    gcd: u64,
+    max_job: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ModelJob {
+    spec: String,
+    state: JobState,
+    best_error: Option<f64>,
+    best_unit: Vec<f64>,
+    detail: Option<String>,
+}
+
+fn model_of(table: &BTreeMap<String, JobEntry>, pending: Vec<String>, gcd: u64, max: u64) -> Model {
+    Model {
+        jobs: table
+            .iter()
+            .map(|(id, e)| {
+                (
+                    id.clone(),
+                    ModelJob {
+                        spec: e.spec.clone(),
+                        state: e.state,
+                        best_error: e.best_error,
+                        best_unit: e.best_unit.clone(),
+                        detail: e.detail.clone(),
+                    },
+                )
+            })
+            .collect(),
+        pending_gc: pending,
+        gcd,
+        max_job: max,
+    }
+}
+
+fn observed(manifest: &Manifest, table: &BTreeMap<String, JobEntry>) -> Model {
+    model_of(
+        table,
+        manifest.take_pending_gc(),
+        manifest.wal_stats().gcd_jobs,
+        manifest.next_job_number() - 1,
+    )
+}
+
+/// Applies one (code, pick) choice to both the real manifest and the
+/// model. Choices are mapped onto *valid* operations deterministically,
+/// so the two sides always see the same op sequence.
+fn apply_step(m: &mut Manifest, model: &mut Model, step: usize, code: u8, pick: u8) {
+    let pick_job = |model: &Model| -> Option<String> {
+        let ids: Vec<&String> = model.jobs.keys().collect();
+        if ids.is_empty() {
+            None
+        } else {
+            Some(ids[pick as usize % ids.len()].clone())
+        }
+    };
+    let submit = |m: &mut Manifest, model: &mut Model| {
+        let id = format!("job-{:04}", model.max_job + 1);
+        let spec = format!("workload=mem-fb iters=8 seed={step}");
+        m.submit(&id, &spec).expect("submit");
+        model.max_job += 1;
+        model.jobs.insert(
+            id,
+            ModelJob {
+                spec,
+                state: JobState::Submitted,
+                best_error: None,
+                best_unit: Vec::new(),
+                detail: None,
+            },
+        );
+    };
+    match code % 8 {
+        0 => submit(m, model),
+        1 => match pick_job(model) {
+            Some(job) => {
+                m.start(&job).expect("start");
+                model.jobs.get_mut(&job).unwrap().state = JobState::Running;
+            }
+            None => submit(m, model),
+        },
+        2 => match pick_job(model) {
+            Some(job) => {
+                let err = step as f64 * 0.25;
+                let unit = vec![step as f64 * 0.125, 0.5];
+                m.done(&job, err, &unit).expect("done");
+                let e = model.jobs.get_mut(&job).unwrap();
+                e.state = JobState::Done;
+                e.best_error = Some(err);
+                e.best_unit = unit;
+            }
+            None => submit(m, model),
+        },
+        3 => match pick_job(model) {
+            Some(job) => {
+                let err = step as f64 * 0.5;
+                let unit = vec![0.75, step as f64 * 0.0625];
+                let cause = if step.is_multiple_of(2) {
+                    "max_evals"
+                } else {
+                    "wall_clock_s"
+                };
+                m.quota(&job, err, &unit, cause).expect("quota");
+                let e = model.jobs.get_mut(&job).unwrap();
+                e.state = JobState::QuotaExceeded;
+                e.best_error = Some(err);
+                e.best_unit = unit;
+                e.detail = Some(cause.to_string());
+            }
+            None => submit(m, model),
+        },
+        4 => match pick_job(model) {
+            Some(job) => {
+                m.cancel(&job).expect("cancel");
+                model.jobs.get_mut(&job).unwrap().state = JobState::Cancelled;
+            }
+            None => submit(m, model),
+        },
+        5 => match pick_job(model) {
+            Some(job) => {
+                let detail = format!("injected failure at step {step}");
+                m.fail(&job, &detail).expect("fail");
+                let e = model.jobs.get_mut(&job).unwrap();
+                e.state = JobState::Failed;
+                e.detail = Some(detail);
+            }
+            None => submit(m, model),
+        },
+        6 => match pick_job(model) {
+            Some(job) => {
+                m.gc_intent(&job).expect("gc intent");
+                model.jobs.remove(&job);
+                if !model.pending_gc.contains(&job) {
+                    model.pending_gc.push(job);
+                }
+            }
+            None => submit(m, model),
+        },
+        _ => {
+            if model.pending_gc.is_empty() {
+                submit(m, model);
+            } else {
+                let job = model.pending_gc[pick as usize % model.pending_gc.len()].clone();
+                m.gc_done(&job).expect("gc done");
+                model.pending_gc.retain(|j| j != &job);
+                model.gcd += 1;
+            }
+        }
+    }
+}
+
+fn open(root: &Path, segment_bytes: u64) -> (Manifest, BTreeMap<String, JobEntry>) {
+    Manifest::open_with(
+        root,
+        ManifestOptions {
+            segment_bytes: Some(segment_bytes),
+            faults: None,
+        },
+    )
+    .expect("open manifest")
+}
+
+/// Strategy: up to 40 raw (code, pick) choices plus a segment size that
+/// ranges from pathological (rotate+checkpoint on every append) to
+/// never-rotating.
+fn ops_and_segment() -> impl Strategy<Value = (Vec<(u8, u8)>, u64)> {
+    (
+        prop::collection::vec((0u8..=255, 0u8..=255), 1..40),
+        prop_oneof![Just(1u64), Just(64), Just(200), Just(1 << 20)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Live folded state always equals the model, and reopening (replay
+    /// of checkpoint + segments) reproduces it bit-for-bit.
+    #[test]
+    fn replay_matches_model_across_reopen((ops, segment_bytes) in ops_and_segment(), case in any::<u64>()) {
+        let root = scratch("reopen", case);
+        let mut model = Model::default();
+        {
+            let (mut m, table) = open(&root, segment_bytes);
+            prop_assert!(table.is_empty());
+            for (step, &(code, pick)) in ops.iter().enumerate() {
+                apply_step(&mut m, &mut model, step, code, pick);
+            }
+        }
+        let (m, table) = open(&root, segment_bytes);
+        prop_assert_eq!(observed(&m, &table), model);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Reopening twice in a row is idempotent even when the first open
+    /// rewrote state (segment deletion, tail repair).
+    #[test]
+    fn double_reopen_is_idempotent((ops, segment_bytes) in ops_and_segment(), case in any::<u64>()) {
+        let root = scratch("double", case);
+        let mut model = Model::default();
+        {
+            let (mut m, _) = open(&root, segment_bytes);
+            for (step, &(code, pick)) in ops.iter().enumerate() {
+                apply_step(&mut m, &mut model, step, code, pick);
+            }
+        }
+        let first = {
+            let (m, table) = open(&root, segment_bytes);
+            observed(&m, &table)
+        };
+        let (m, table) = open(&root, segment_bytes);
+        prop_assert_eq!(observed(&m, &table), first);
+        prop_assert_eq!(first, model);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Tearing the tail of the *active* segment (what a crash mid-append
+    /// can leave) loses only a suffix of acknowledged events: the
+    /// replayed state equals the model after some prefix of the ops.
+    #[test]
+    fn torn_active_tail_replays_to_a_prefix(
+        (ops, segment_bytes) in ops_and_segment(),
+        cut in 1usize..200,
+        case in any::<u64>(),
+    ) {
+        let root = scratch("torn", case);
+        let mut model = Model::default();
+        let mut snapshots = vec![model.clone()];
+        {
+            let (mut m, _) = open(&root, segment_bytes);
+            for (step, &(code, pick)) in ops.iter().enumerate() {
+                apply_step(&mut m, &mut model, step, code, pick);
+                snapshots.push(model.clone());
+            }
+        }
+        // Tear the highest-numbered segment: drop `cut` bytes from its
+        // tail (clamped to the file size).
+        // Segments need not start at 1 — checkpoints delete covered ones.
+        let last_seg = (1..=10_000u64)
+            .filter(|&s| root.join(segment_file_name(s)).exists())
+            .max()
+            .expect("at least one segment");
+        let path = root.join(segment_file_name(last_seg));
+        let len = std::fs::metadata(&path).expect("segment metadata").len();
+        let keep = len.saturating_sub(cut as u64);
+        let f = std::fs::OpenOptions::new().write(true).open(&path).expect("open segment");
+        f.set_len(keep).expect("truncate segment");
+        drop(f);
+
+        let (m, table) = open(&root, segment_bytes);
+        let got = observed(&m, &table);
+        prop_assert!(
+            snapshots.contains(&got),
+            "torn-tail replay must match some op prefix; got {got:?}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+/// An event kind this version has never heard of must fail the open
+/// loudly — even when it sits in an old (non-active) segment. Silently
+/// dropping transitions written by a newer daemon is how split-brain
+/// job tables happen.
+#[test]
+fn unknown_event_kind_in_any_segment_is_loud() {
+    use std::io::Write as _;
+
+    let root = scratch("unknown-kind", 0);
+    {
+        let (mut m, _) = open(&root, 1); // rotate on every append
+        m.submit("job-0001", "workload=mem-fb iters=8")
+            .expect("submit");
+        m.start("job-0001").expect("start");
+        m.submit("job-0002", "workload=mem-fb iters=8")
+            .expect("submit");
+    }
+    // Splice a future event kind into the *oldest* surviving segment.
+    let oldest = (1..)
+        .find(|&s| root.join(segment_file_name(s)).exists())
+        .expect("a segment survives");
+    let path = root.join(segment_file_name(oldest));
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open oldest segment");
+    writeln!(f, r#"{{"event":"promote","job":"job-0002"}}"#).expect("splice");
+    drop(f);
+
+    let err = Manifest::open(&root).expect_err("unknown event kind must refuse to open");
+    assert!(
+        err.contains("unknown manifest event"),
+        "error should name the problem: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

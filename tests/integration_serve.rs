@@ -144,3 +144,130 @@ fn daemon_jobs_are_bit_identical_to_one_shot_runs_on_both_backends() {
 
     let _ = std::fs::remove_dir_all(&root);
 }
+
+fn health_stat(health: &str, name: &str) -> u64 {
+    health
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("STAT {name} ")))
+        .unwrap_or_else(|| panic!("health lacks {name}: {health}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("health {name} is not a number: {health}"))
+}
+
+/// A `max_evals=` quota stop through the daemon: the job terminates
+/// gracefully in the distinct `quota_exceeded` state, its best-so-far is
+/// served and bit-identical to the one-shot quota stop, the `health`
+/// command reports the segmented WAL, and the retention policy then
+/// garbage-collects the oldest terminal job.
+#[test]
+fn quota_stops_health_reporting_and_retention() {
+    let root = tmp_root2();
+    let sentinel = root.join("term.sentinel");
+    let client = ServeClient::new(&root);
+
+    let daemon = {
+        let root = root.clone();
+        let term = TermSignal::at(sentinel.clone());
+        let options = datamime_serve::ServeOptions {
+            keep_terminal: Some(1),
+            // Rotate (and checkpoint) on every append so even this short
+            // run exercises the segmented-WAL machinery end to end.
+            segment_bytes: Some(1),
+            disk_faults: None,
+        };
+        std::thread::spawn(move || datamime_serve::run_with(root, term, options))
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while client.list().is_err() {
+        assert!(Instant::now() < deadline, "daemon never became reachable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // 24 iterations, capped at 8 observations: the quota, not the
+    // iteration budget, ends this search.
+    let quota_spec = "workload=mem-fb iters=24 seed=5 curves=false grid=4 max_evals=8";
+    let quota_job = client.submit_line(quota_spec).unwrap();
+    let status = client.wait(&quota_job, Duration::from_secs(600)).unwrap();
+    assert_eq!(status.state, JobState::QuotaExceeded, "{quota_job}");
+
+    // The best-so-far is served, and it is the same best-so-far the
+    // one-shot CLI reaches under the same quota.
+    let result = client.result(&quota_job).unwrap();
+    let reference = one_shot(quota_spec, &root.join("quota.reference.jsonl"));
+    assert!(reference.quota.is_some(), "reference must also quota-stop");
+    assert_eq!(
+        result.best_error.to_bits(),
+        reference.best_error.to_bits(),
+        "quota best error"
+    );
+    let got: Vec<u64> = result.best_unit.iter().map(|u| u.to_bits()).collect();
+    let want: Vec<u64> = reference
+        .best_unit_params
+        .iter()
+        .map(|u| u.to_bits())
+        .collect();
+    assert_eq!(got, want, "quota best unit point");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stat(&stats, "jobs_quota_exceeded"),
+        1,
+        "quota counter: {stats:?}"
+    );
+
+    // The health dashboard reflects the WAL shape and a healthy daemon.
+    let health = client.admin("health").unwrap();
+    assert!(health.ends_with("END\n"), "health terminates: {health}");
+    assert!(health_stat(&health, "wal_segments") >= 1, "{health}");
+    assert!(health_stat(&health, "wal_checkpoint_seq") >= 1, "{health}");
+    assert_eq!(health_stat(&health, "read_only"), 0, "{health}");
+    assert!(!health.contains("READONLY"), "not read-only: {health}");
+
+    // A second terminal job pushes the first past the retention budget.
+    let second = client
+        .submit_line("workload=mem-fb iters=6 seed=3 curves=false grid=4")
+        .unwrap();
+    let status = client.wait(&second, Duration::from_secs(600)).unwrap();
+    assert_eq!(status.state, JobState::Done, "{second}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while client
+        .list()
+        .unwrap()
+        .iter()
+        .any(|(id, _)| id == &quota_job)
+    {
+        assert!(
+            Instant::now() < deadline,
+            "retention never collected {quota_job}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        !root.join("jobs").join(&quota_job).exists(),
+        "GC removes the collected job's directory"
+    );
+    let health = client.admin("health").unwrap();
+    assert_eq!(health_stat(&health, "jobs_gcd_total"), 1, "{health}");
+    assert_eq!(health_stat(&health, "wal_pending_gc"), 0, "{health}");
+
+    // Job ids never recycle, even though the GC'd job was the newest
+    // number's predecessor.
+    let third = client
+        .submit_line("workload=mem-fb iters=6 seed=4 curves=false grid=4")
+        .unwrap();
+    assert_ne!(third, quota_job, "GC must not recycle job ids");
+    let status = client.wait(&third, Duration::from_secs(600)).unwrap();
+    assert_eq!(status.state, JobState::Done, "{third}");
+
+    assert_eq!(client.admin("shutdown").unwrap(), "OK draining\n");
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn tmp_root2() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datamime-serve-it2-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
