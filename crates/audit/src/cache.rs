@@ -1,0 +1,343 @@
+//! Content-hash incremental cache for per-file analysis.
+//!
+//! Lexing + parsing + rule evaluation dominates audit wall time, and on
+//! a typical edit almost every file is byte-identical to the previous
+//! run. The cache stores each file's [`FileFacts`] —
+//! raw diagnostics, lock acquisitions, allows, wire facts — keyed by a
+//! 64-bit FNV-1a hash of everything the analysis depends on: the file
+//! bytes, its workspace-relative path, whether it is a crate root, the
+//! full `audit.toml` text, and the engine version. Any of those
+//! changing misses cleanly; nothing else can change the analysis of a
+//! single file (cross-file rules — lock-order graphs, layering,
+//! wire-lock comparison, allow bookkeeping — run after the per-file
+//! phase every time, on the cached facts).
+//!
+//! Entries are one-file-per-source under `target/audit-cache/`, written
+//! via temp-file + rename so a crashed run never leaves a torn entry.
+//! (No fsync: this is a *cache* — losing it costs a re-analysis, not
+//! correctness.) The format is a versioned line protocol with
+//! tab-escaping; any parse hiccup is treated as a miss.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::lock_order::{Acquisition, FnLocks};
+use crate::rules::wire_compat::WireFacts;
+use crate::source::{Allow, BadAllow};
+use crate::FileFacts;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever rule logic changes in a way that invalidates cached
+/// per-file results.
+pub const ENGINE_VERSION: &str = "audit-v2";
+
+/// 64-bit FNV-1a.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key for one file's analysis.
+pub fn file_key(cfg_text: &str, rel_path: &Path, is_root: bool, content: &str) -> u64 {
+    let mut buf = Vec::new();
+    for part in [
+        ENGINE_VERSION,
+        cfg_text,
+        &rel_path.display().to_string(),
+        if is_root { "root" } else { "leaf" },
+        content,
+    ] {
+        buf.extend_from_slice(part.as_bytes());
+        buf.push(0);
+    }
+    fnv64(&buf)
+}
+
+/// The entry file for a source path (keyed by path only; the full key
+/// is embedded in the entry and checked on load).
+fn entry_path(dir: &Path, rel_path: &Path) -> PathBuf {
+    dir.join(format!(
+        "{:016x}.facts",
+        fnv64(rel_path.display().to_string().as_bytes())
+    ))
+}
+
+/// Attempts to load cached facts; `None` on miss, key mismatch, or any
+/// decode problem.
+pub fn load(dir: &Path, rel_path: &Path, key: u64) -> Option<FileFacts> {
+    let text = std::fs::read_to_string(entry_path(dir, rel_path)).ok()?;
+    decode(&text, key, rel_path)
+}
+
+/// Stores facts; failures are silent (a cache that cannot be written is
+/// just a cache that misses).
+pub fn store(dir: &Path, rel_path: &Path, key: u64, facts: &FileFacts) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let final_path = entry_path(dir, rel_path);
+    let tmp = final_path.with_extension(format!("tmp{}", std::process::id()));
+    if std::fs::write(&tmp, encode(key, facts)).is_ok() {
+        // A failed publish just means a re-analysis next run.
+        let _ = std::fs::rename(&tmp, &final_path);
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => break,
+        }
+    }
+    out
+}
+
+fn encode(key: u64, facts: &FileFacts) -> String {
+    let mut out = format!("audit-cache {key:016x}\n");
+    for d in &facts.diags {
+        out.push_str(&format!("D\t{}\t{}\t{}\n", d.rule, d.line, esc(&d.message)));
+    }
+    for a in &facts.allows {
+        out.push_str(&format!(
+            "A\t{}\t{}\t{}\n",
+            esc(&a.rule),
+            a.line,
+            esc(&a.reason)
+        ));
+    }
+    for b in &facts.bad_allows {
+        out.push_str(&format!("B\t{}\t{}\n", b.line, esc(&b.problem)));
+    }
+    for f in &facts.lock_fns {
+        out.push_str(&format!("F\t{}\n", esc(&f.function)));
+        for a in &f.acquisitions {
+            out.push_str(&format!("Q\t{}\t{}\n", esc(&a.lock), a.line));
+        }
+    }
+    if let Some(w) = &facts.wire {
+        out.push_str("W!\n");
+        for (name, (value, line)) in &w.versions {
+            out.push_str(&format!("WV\t{}\t{}\t{}\n", esc(name), esc(value), line));
+        }
+        for (variant, (num, line)) in &w.kinds {
+            out.push_str(&format!("WK\t{}\t{}\t{}\n", esc(variant), esc(num), line));
+        }
+        for (name, (kinds, line)) in &w.kindsets {
+            out.push_str(&format!(
+                "WS\t{}\t{}\t{}\n",
+                esc(name),
+                line,
+                kinds.iter().map(|k| esc(k)).collect::<Vec<_>>().join(",")
+            ));
+        }
+    }
+    out
+}
+
+fn decode(text: &str, want_key: u64, rel_path: &Path) -> Option<FileFacts> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let key_hex = header.strip_prefix("audit-cache ")?;
+    if u64::from_str_radix(key_hex, 16).ok()? != want_key {
+        return None;
+    }
+    let mut facts = FileFacts {
+        rel_path: rel_path.to_path_buf(),
+        diags: Vec::new(),
+        lock_fns: Vec::new(),
+        allows: Vec::new(),
+        bad_allows: Vec::new(),
+        wire: None,
+    };
+    for line in lines {
+        let mut parts = line.split('\t');
+        match parts.next()? {
+            "D" => {
+                let rule = crate::rules::rule_name(parts.next()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let message = unesc(parts.next()?);
+                facts
+                    .diags
+                    .push(Diagnostic::new(rule, rel_path, line_no, message));
+            }
+            "A" => {
+                let rule = unesc(parts.next()?);
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let reason = unesc(parts.next()?);
+                facts.allows.push(Allow {
+                    rule,
+                    reason,
+                    line: line_no,
+                });
+            }
+            "B" => {
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let problem = unesc(parts.next()?);
+                facts.bad_allows.push(BadAllow {
+                    problem,
+                    line: line_no,
+                });
+            }
+            "F" => {
+                facts.lock_fns.push(FnLocks {
+                    function: unesc(parts.next()?),
+                    file: rel_path.to_path_buf(),
+                    acquisitions: Vec::new(),
+                });
+            }
+            "Q" => {
+                let lock = unesc(parts.next()?);
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                facts.lock_fns.last_mut()?.acquisitions.push(Acquisition {
+                    lock,
+                    line: line_no,
+                });
+            }
+            "W!" => {
+                facts.wire = Some(WireFacts::default());
+            }
+            "WV" => {
+                let name = unesc(parts.next()?);
+                let value = unesc(parts.next()?);
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                facts.wire.as_mut()?.versions.insert(name, (value, line_no));
+            }
+            "WK" => {
+                let variant = unesc(parts.next()?);
+                let num = unesc(parts.next()?);
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                facts.wire.as_mut()?.kinds.insert(variant, (num, line_no));
+            }
+            "WS" => {
+                let name = unesc(parts.next()?);
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let kinds: Vec<String> = parts
+                    .next()?
+                    .split(',')
+                    .filter(|k| !k.is_empty())
+                    .map(unesc)
+                    .collect();
+                facts.wire.as_mut()?.kindsets.insert(name, (kinds, line_no));
+            }
+            _ => return None,
+        }
+    }
+    Some(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_facts() -> FileFacts {
+        let rel = PathBuf::from("crates/x/src/lib.rs");
+        let mut wire = WireFacts::default();
+        wire.versions
+            .insert("WIRE_REVISION".into(), ("2".into(), 4));
+        wire.kinds.insert("Frame::Hello".into(), ("1".into(), 10));
+        wire.kindsets.insert(
+            "WAL_EVENT_KINDS".into(),
+            (vec!["done".into(), "gc".into()], 20),
+        );
+        FileFacts {
+            rel_path: rel.clone(),
+            diags: vec![Diagnostic::new(
+                "panic-safety",
+                &rel,
+                7,
+                "line with\ttab and\nnewline",
+            )],
+            lock_fns: vec![FnLocks {
+                function: "f".into(),
+                file: rel.clone(),
+                acquisitions: vec![Acquisition {
+                    lock: "shared.state".into(),
+                    line: 9,
+                }],
+            }],
+            allows: vec![Allow {
+                rule: "lock-order".into(),
+                reason: "re-lock per iteration".into(),
+                line: 12,
+            }],
+            bad_allows: vec![BadAllow {
+                problem: "missing reason".into(),
+                line: 30,
+            }],
+            wire: Some(wire),
+        }
+    }
+
+    #[test]
+    fn round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("audit-cache-test-{}", std::process::id()));
+        let rel = PathBuf::from("crates/x/src/lib.rs");
+        let facts = sample_facts();
+        store(&dir, &rel, 42, &facts);
+        let back = load(&dir, &rel, 42).expect("hit");
+        assert_eq!(back.diags.len(), 1);
+        assert_eq!(back.diags[0].rule, "panic-safety");
+        assert_eq!(back.diags[0].message, "line with\ttab and\nnewline");
+        assert_eq!(back.lock_fns[0].acquisitions[0].lock, "shared.state");
+        assert_eq!(back.allows[0].reason, "re-lock per iteration");
+        assert_eq!(back.bad_allows[0].line, 30);
+        let wire = back.wire.expect("wire facts survive");
+        assert_eq!(wire.kinds["Frame::Hello"].0, "1");
+        assert_eq!(wire.kindsets["WAL_EVENT_KINDS"].0, vec!["done", "gc"]);
+        // Wrong key misses.
+        assert!(load(&dir, &rel, 43).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keys_cover_every_analysis_input() {
+        let rel = Path::new("a.rs");
+        let base = file_key("cfg", rel, false, "body");
+        assert_ne!(base, file_key("cfg2", rel, false, "body"), "config text");
+        assert_ne!(
+            base,
+            file_key("cfg", Path::new("b.rs"), false, "body"),
+            "path"
+        );
+        assert_ne!(base, file_key("cfg", rel, true, "body"), "root flag");
+        assert_ne!(base, file_key("cfg", rel, false, "body2"), "content");
+    }
+
+    #[test]
+    fn garbage_entries_are_misses() {
+        assert!(decode("not a cache file", 1, Path::new("a.rs")).is_none());
+        assert!(decode("audit-cache zzzz\n", 1, Path::new("a.rs")).is_none());
+        assert!(decode(
+            "audit-cache 0000000000000001\nX\tjunk\n",
+            1,
+            Path::new("a.rs")
+        )
+        .is_none());
+    }
+}

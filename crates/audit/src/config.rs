@@ -1,24 +1,34 @@
 //! `audit.toml`: which paths each rule covers and what each rule denies.
 //!
-//! The configuration is explicit on purpose — the deterministic surface
-//! and the supervised-evaluation surface are *policy*, not something the
-//! tool can infer. See the workspace `audit.toml` for the commented
-//! canonical instance.
+//! The configuration is explicit on purpose — the deterministic surface,
+//! the supervised-evaluation surface, the durability paths, and the
+//! journal/wire sink lists are *policy*, not something the tool can
+//! infer. See the workspace `audit.toml` for the commented canonical
+//! instance.
 
 use crate::toml::{self, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Scope + deny-lists for the determinism rule.
+/// Scope + source/sink lists for the nondet-taint rule (successor of
+/// PR 3's `determinism` ident denylist).
 #[derive(Debug, Clone)]
-pub struct DeterminismConfig {
-    /// Files/directories (workspace-relative) declared deterministic.
+pub struct NondetTaintConfig {
+    /// Files/directories (workspace-relative) where taint flow from
+    /// sources into sinks is checked — wide coverage, whole crates.
     pub paths: Vec<PathBuf>,
-    /// Identifiers whose mere use is a hazard (`HashMap`, `thread_rng`…).
+    /// The original narrow deterministic core, where unordered
+    /// containers are denied outright on top of taint checking.
+    pub strict_paths: Vec<PathBuf>,
+    /// Identifiers denied in strict paths (`HashMap`, `HashSet`…).
     pub deny_idents: Vec<String>,
-    /// `Type::method` paths that read ambient state (`Instant::now`…).
-    pub deny_calls: Vec<String>,
+    /// Nondeterminism sources: `Type::method` call paths or bare fn
+    /// names (`Instant::now`, `thread_rng`).
+    pub sources: Vec<String>,
+    /// Sink call names — journal record appenders, frame writes,
+    /// objective observations.
+    pub sinks: Vec<String>,
 }
 
 /// Scope + deny-lists for the panic-safety rule.
@@ -33,6 +43,47 @@ pub struct PanicSafetyConfig {
     pub deny_macros: Vec<String>,
 }
 
+/// Scope for the durability-protocol rule.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Files/directories holding crash-safety-critical writers.
+    pub paths: Vec<PathBuf>,
+    /// Call names that fsync a *directory* after a rename
+    /// (project helpers like `sync_dir`).
+    pub dirsync_fns: Vec<String>,
+}
+
+/// Scope + API list for the swallowed-result rule.
+#[derive(Debug, Clone)]
+pub struct SwallowedResultConfig {
+    /// Files/directories where discards of the listed APIs are audited.
+    pub paths: Vec<PathBuf>,
+    /// Durability/IPC call names whose `Result` must not be silently
+    /// dropped.
+    pub apis: Vec<String>,
+}
+
+/// Settings for the blocking-in-lock rule (workspace-global).
+#[derive(Debug, Clone)]
+pub struct BlockingInLockConfig {
+    /// Whether the rule runs.
+    pub enabled: bool,
+    /// Project helper functions that return a guard (`lock(&m)`).
+    pub guard_fns: Vec<String>,
+    /// Call names considered blocking while a guard is live.
+    pub blocking: Vec<String>,
+}
+
+/// Settings for the wire-compat rule.
+#[derive(Debug, Clone)]
+pub struct WireCompatConfig {
+    /// Workspace-relative files whose wire surfaces are locked. Empty
+    /// disables the rule.
+    pub files: Vec<PathBuf>,
+    /// Workspace-relative lockfile path.
+    pub lock: PathBuf,
+}
+
 /// The full audit configuration.
 #[derive(Debug, Clone)]
 pub struct AuditConfig {
@@ -41,10 +92,18 @@ pub struct AuditConfig {
     /// Workspace-relative path prefixes to skip entirely (fixture
     /// corpora, generated code).
     pub exclude: Vec<PathBuf>,
-    /// Determinism rule settings.
-    pub determinism: DeterminismConfig,
+    /// Nondet-taint rule settings.
+    pub nondet_taint: NondetTaintConfig,
     /// Panic-safety rule settings.
     pub panic_safety: PanicSafetyConfig,
+    /// Durability-protocol rule settings.
+    pub durability: DurabilityConfig,
+    /// Swallowed-result rule settings.
+    pub swallowed_result: SwallowedResultConfig,
+    /// Blocking-in-lock rule settings.
+    pub blocking_in_lock: BlockingInLockConfig,
+    /// Wire-compat rule settings.
+    pub wire_compat: WireCompatConfig,
     /// Whether the lock-order rule runs.
     pub lock_order: bool,
     /// Whether the unsafe-forbidden rule runs.
@@ -52,6 +111,9 @@ pub struct AuditConfig {
     /// Allowed internal dependencies per crate; a crate absent from the
     /// matrix is itself a layering violation.
     pub layering: BTreeMap<String, Vec<String>>,
+    /// The raw configuration text — hashed into incremental-cache keys
+    /// so a policy change invalidates every cached analysis.
+    pub source_text: String,
 }
 
 /// A configuration failure (I/O, parse error, wrong value shape).
@@ -86,26 +148,36 @@ impl AuditConfig {
         Ok(AuditConfig {
             roots: path_list(&doc, "scan", "roots", &["crates"])?,
             exclude: path_list(&doc, "scan", "exclude", &[])?,
-            determinism: DeterminismConfig {
-                paths: path_list(&doc, "determinism", "paths", &[])?,
+            nondet_taint: NondetTaintConfig {
+                paths: path_list(&doc, "nondet-taint", "paths", &[])?,
+                strict_paths: path_list(&doc, "nondet-taint", "strict-paths", &[])?,
                 deny_idents: str_list(
                     &doc,
-                    "determinism",
+                    "nondet-taint",
                     "deny-idents",
                     &[
                         "HashMap",
                         "HashSet",
                         "DefaultHasher",
+                        "RandomState",
                         "thread_rng",
                         "from_entropy",
                     ],
                 )?,
-                deny_calls: str_list(
+                sources: str_list(
                     &doc,
-                    "determinism",
-                    "deny-calls",
-                    &["Instant::now", "SystemTime::now"],
+                    "nondet-taint",
+                    "sources",
+                    &[
+                        "Instant::now",
+                        "SystemTime::now",
+                        "thread_rng",
+                        "from_entropy",
+                        "DefaultHasher::new",
+                        "RandomState::new",
+                    ],
                 )?,
+                sinks: str_list(&doc, "nondet-taint", "sinks", &[])?,
             },
             panic_safety: PanicSafetyConfig {
                 paths: path_list(&doc, "panic-safety", "paths", &[])?,
@@ -122,9 +194,58 @@ impl AuditConfig {
                     &["panic", "unreachable", "todo", "unimplemented"],
                 )?,
             },
+            durability: DurabilityConfig {
+                paths: path_list(&doc, "durability-protocol", "paths", &[])?,
+                dirsync_fns: str_list(&doc, "durability-protocol", "dirsync-fns", &["sync_dir"])?,
+            },
+            swallowed_result: SwallowedResultConfig {
+                paths: path_list(&doc, "swallowed-result", "paths", &[])?,
+                apis: str_list(
+                    &doc,
+                    "swallowed-result",
+                    "apis",
+                    &["sync_all", "sync_data", "rename", "write_frame"],
+                )?,
+            },
+            blocking_in_lock: BlockingInLockConfig {
+                enabled: flag(&doc, "blocking-in-lock", "enabled", true)?,
+                guard_fns: str_list(&doc, "blocking-in-lock", "guard-fns", &[])?,
+                blocking: str_list(
+                    &doc,
+                    "blocking-in-lock",
+                    "blocking",
+                    &[
+                        "sleep",
+                        "sync_all",
+                        "sync_data",
+                        "read_frame",
+                        "write_frame",
+                        "read_to_string",
+                        "read_to_end",
+                        "read_exact",
+                        "connect",
+                        "accept",
+                        "recv",
+                        "recv_timeout",
+                        "join",
+                        "wait",
+                        "wait_timeout",
+                    ],
+                )?,
+            },
+            wire_compat: WireCompatConfig {
+                files: path_list(&doc, "wire-compat", "files", &[])?,
+                lock: match doc.get("wire-compat", "lock") {
+                    Some(e) => PathBuf::from(e.value.as_str().ok_or_else(|| {
+                        ConfigError("`[wire-compat] lock` must be a string".to_string())
+                    })?),
+                    None => PathBuf::from("audit.wire.lock"),
+                },
+            },
             lock_order: flag(&doc, "lock-order", "enabled", true)?,
             unsafe_forbidden: flag(&doc, "unsafe-forbidden", "enabled", true)?,
             layering,
+            source_text: text.to_string(),
         })
     }
 
@@ -195,8 +316,18 @@ mod tests {
     fn defaults_apply_when_sections_are_absent() {
         let cfg = AuditConfig::from_toml("").unwrap();
         assert_eq!(cfg.roots, vec![PathBuf::from("crates")]);
-        assert!(cfg.determinism.deny_idents.contains(&"HashMap".to_string()));
+        assert!(cfg
+            .nondet_taint
+            .deny_idents
+            .contains(&"HashMap".to_string()));
+        assert!(cfg
+            .nondet_taint
+            .sources
+            .contains(&"Instant::now".to_string()));
         assert!(cfg.lock_order && cfg.unsafe_forbidden);
+        assert!(cfg.blocking_in_lock.enabled);
+        assert!(cfg.wire_compat.files.is_empty(), "wire-compat defaults off");
+        assert_eq!(cfg.wire_compat.lock, PathBuf::from("audit.wire.lock"));
         assert!(cfg.layering.is_empty());
     }
 
@@ -207,12 +338,26 @@ mod tests {
             [scan]
             roots = ["crates"]
             exclude = ["crates/audit/tests/fixtures"]
-            [determinism]
-            paths = ["crates/sim/src", "crates/core/src/search.rs"]
+            [nondet-taint]
+            paths = ["crates/runtime/src"]
+            strict-paths = ["crates/sim/src", "crates/core/src/search.rs"]
             deny-idents = ["HashMap"]
-            deny-calls = ["Instant::now"]
+            sources = ["Instant::now"]
+            sinks = ["eval", "write_frame"]
             [panic-safety]
             paths = ["crates/core/src/profiler.rs"]
+            [durability-protocol]
+            paths = ["crates/serve/src/manifest.rs"]
+            dirsync-fns = ["sync_dir"]
+            [swallowed-result]
+            paths = ["crates/serve/src"]
+            apis = ["sync_all", "rename"]
+            [blocking-in-lock]
+            guard-fns = ["lock"]
+            blocking = ["sleep"]
+            [wire-compat]
+            files = ["crates/dist/src/protocol.rs"]
+            lock = "audit.wire.lock"
             [lock-order]
             enabled = false
             [layering.allow]
@@ -224,19 +369,29 @@ mod tests {
         assert!(cfg.is_excluded(Path::new("crates/audit/tests/fixtures/determinism.rs")));
         assert!(AuditConfig::path_in_scope(
             Path::new("crates/sim/src/cache.rs"),
-            &cfg.determinism.paths
+            &cfg.nondet_taint.strict_paths
         ));
         assert!(!AuditConfig::path_in_scope(
             Path::new("crates/sim/tests/properties.rs"),
-            &cfg.determinism.paths
+            &cfg.nondet_taint.strict_paths
         ));
+        assert_eq!(cfg.nondet_taint.sinks, vec!["eval", "write_frame"]);
+        assert_eq!(cfg.durability.paths.len(), 1);
+        assert_eq!(cfg.swallowed_result.apis, vec!["sync_all", "rename"]);
+        assert_eq!(cfg.blocking_in_lock.guard_fns, vec!["lock"]);
+        assert_eq!(
+            cfg.wire_compat.files,
+            vec![PathBuf::from("crates/dist/src/protocol.rs")]
+        );
         assert!(!cfg.lock_order);
         assert_eq!(cfg.layering["datamime-sim"], vec!["datamime-stats"]);
+        assert!(cfg.source_text.contains("[wire-compat]"));
     }
 
     #[test]
     fn shape_errors_are_reported() {
-        assert!(AuditConfig::from_toml("[determinism]\npaths = \"not-a-list\"\n").is_err());
+        assert!(AuditConfig::from_toml("[nondet-taint]\npaths = \"not-a-list\"\n").is_err());
         assert!(AuditConfig::from_toml("[lock-order]\nenabled = \"yes\"\n").is_err());
+        assert!(AuditConfig::from_toml("[swallowed-result]\napis = [1]\n").is_err());
     }
 }

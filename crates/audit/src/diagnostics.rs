@@ -5,7 +5,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 /// One audit violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Rule identifier (`determinism`, `panic-safety`, `lock-order`,
     /// `layering`, `unsafe-forbidden`, `unused-allow`, `allow-syntax`).

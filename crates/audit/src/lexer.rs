@@ -2,11 +2,18 @@
 //!
 //! The build environment has no crates.io access, so `syn`/`proc-macro2`
 //! are unavailable; the audit rules only need a token stream with line
-//! numbers, which this module produces. The lexer understands everything
-//! that can *hide* tokens from a naive text scan — nested block comments,
-//! raw strings with arbitrary `#` fences, byte/char literals, raw
-//! identifiers, lifetimes — so that rule patterns never fire inside a
-//! string or comment and never miss real code.
+//! numbers and byte spans, which this module produces. The lexer
+//! understands everything that can *hide* tokens from a naive text scan —
+//! nested block comments, raw strings with arbitrary `#` fences,
+//! byte/char literals, raw identifiers, lifetimes — so that rule patterns
+//! never fire inside a string or comment and never miss real code.
+//!
+//! Every token and comment carries its `[start, end)` byte span into the
+//! original source. The spans are a checked invariant, not decoration:
+//! `tests/lexer_props.rs` sweeps every workspace source file and asserts
+//! that spans are in order, never overlap, and partition the file down to
+//! whitespace — i.e. re-concatenating the spans (plus the whitespace gaps
+//! between them) reconstructs the file byte for byte.
 //!
 //! Comments are not tokens: they are collected separately so the
 //! `// audit:allow(rule): reason` escape hatch can be parsed from them.
@@ -15,7 +22,7 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword (raw identifiers are normalized: `r#match`
-    /// lexes as `match`).
+    /// lexes as `match`, though its span still covers the `r#`).
     Ident,
     /// Any literal: number, string, raw string, byte string, char, byte.
     Literal,
@@ -25,16 +32,22 @@ pub enum TokKind {
     Punct,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and byte span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token kind.
     pub kind: TokKind,
-    /// Source text (normalized for raw identifiers, truncated for long
-    /// literals — rules only match identifiers and punctuation).
+    /// Source text. Identifiers are normalized for raw-identifier
+    /// prefixes; every other kind is the exact source slice (string
+    /// literals keep their quotes and escapes, so rules can read their
+    /// contents).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
 }
 
 impl Token {
@@ -45,17 +58,36 @@ impl Token {
 
     /// Whether this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
-        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// For a plain string literal (`"…"` with no raw fence), the content
+    /// between the quotes; `None` for every other token. Escapes are not
+    /// processed — good enough for the event-kind and frame-name strings
+    /// the wire-compat rule reads, which are plain ASCII words.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Literal {
+            return None;
+        }
+        let t = self.text.as_str();
+        if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+            return Some(&t[1..t.len() - 1]);
+        }
+        None
     }
 }
 
-/// One comment (line or block) with its 1-based starting line.
+/// One comment (line or block) with its 1-based starting line and span.
 #[derive(Debug, Clone)]
 pub struct Comment {
     /// Comment text including the `//` / `/*` introducer.
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// Byte offset of the comment's first byte.
+    pub start: usize,
+    /// Byte offset one past the comment's last byte.
+    pub end: usize,
 }
 
 /// The result of lexing one file.
@@ -74,16 +106,21 @@ pub struct Lexed {
 pub fn lex(src: &str) -> Lexed {
     Lexer {
         chars: src.chars().collect(),
+        src,
         pos: 0,
+        byte: 0,
         line: 1,
         out: Lexed::default(),
     }
     .run()
 }
 
-struct Lexer {
+struct Lexer<'s> {
     chars: Vec<char>,
+    src: &'s str,
     pos: usize,
+    /// Byte offset of `chars[pos]` in `src`.
+    byte: usize,
     line: u32,
     out: Lexed,
 }
@@ -100,7 +137,7 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-impl Lexer {
+impl Lexer<'_> {
     fn peek(&self) -> Option<char> {
         self.chars.get(self.pos).copied()
     }
@@ -112,6 +149,7 @@ impl Lexer {
     fn bump(&mut self) -> Option<char> {
         let c = self.peek()?;
         self.pos += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
         }
@@ -131,24 +169,38 @@ impl Lexer {
             } else if c.is_ascii_digit() {
                 self.number();
             } else if c == '"' {
-                self.string();
+                let (line, start) = (self.line, self.byte);
+                self.string(line, start);
             } else if c == '\'' {
                 self.lifetime_or_char();
             } else {
-                let line = self.line;
+                let (line, start) = (self.line, self.byte);
                 self.bump();
-                self.push(TokKind::Punct, c.to_string(), line);
+                self.push(TokKind::Punct, c.to_string(), line, start);
             }
         }
         self.out
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.tokens.push(Token { kind, text, line });
+    /// Pushes a token ending at the current byte position.
+    fn push(&mut self, kind: TokKind, text: String, line: u32, start: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            start,
+            end: self.byte,
+        });
+    }
+
+    /// Pushes a literal whose text is the exact source slice.
+    fn push_slice_literal(&mut self, line: u32, start: usize) {
+        let text = self.src[start..self.byte].to_string();
+        self.push(TokKind::Literal, text, line, start);
     }
 
     fn line_comment(&mut self) {
-        let line = self.line;
+        let (line, start) = (self.line, self.byte);
         let mut text = String::new();
         while let Some(c) = self.peek() {
             if c == '\n' {
@@ -157,11 +209,16 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.out.comments.push(Comment { text, line });
+        self.out.comments.push(Comment {
+            text,
+            line,
+            start,
+            end: self.byte,
+        });
     }
 
     fn block_comment(&mut self) {
-        let line = self.line;
+        let (line, start) = (self.line, self.byte);
         let mut text = String::new();
         let mut depth = 0usize;
         while let Some(c) = self.peek() {
@@ -183,7 +240,12 @@ impl Lexer {
                 self.bump();
             }
         }
-        self.out.comments.push(Comment { text, line });
+        self.out.comments.push(Comment {
+            text,
+            line,
+            start,
+            end: self.byte,
+        });
     }
 
     fn ident_text(&mut self) -> String {
@@ -200,17 +262,17 @@ impl Lexer {
     }
 
     fn ident_or_prefixed_literal(&mut self) {
-        let line = self.line;
+        let (line, start) = (self.line, self.byte);
         let text = self.ident_text();
         if STRING_PREFIXES.contains(&text.as_str()) {
             // `b"…"`, `c"…"`, `r"…"` — prefixed plain string.
             if self.peek() == Some('"') {
-                self.string();
+                self.string(line, start);
                 return;
             }
             // `b'x'` — byte literal.
             if text == "b" && self.peek() == Some('\'') {
-                self.char_literal();
+                self.char_literal(line, start);
                 return;
             }
             // `r#"…"#` / `br##"…"##` — raw string; `r#ident` — raw ident.
@@ -220,22 +282,22 @@ impl Lexer {
                     fence += 1;
                 }
                 if self.peek_at(fence) == Some('"') {
-                    self.raw_string(fence);
+                    self.raw_string(fence, line, start);
                     return;
                 }
                 if text == "r" && fence == 1 {
                     self.bump(); // the '#'
                     let raw = self.ident_text();
-                    self.push(TokKind::Ident, raw, line);
+                    self.push(TokKind::Ident, raw, line, start);
                     return;
                 }
             }
         }
-        self.push(TokKind::Ident, text, line);
+        self.push(TokKind::Ident, text, line, start);
     }
 
     fn number(&mut self) {
-        let line = self.line;
+        let (line, start) = (self.line, self.byte);
         let mut text = String::new();
         while let Some(c) = self.peek() {
             if is_ident_continue(c) {
@@ -256,11 +318,13 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokKind::Literal, text, line);
+        self.push(TokKind::Literal, text, line, start);
     }
 
-    fn string(&mut self) {
-        let line = self.line;
+    /// Lexes a plain (possibly prefixed) string literal whose opening
+    /// quote is at the current position; the span starts at `start`,
+    /// which precedes any already-consumed `b`/`c`/`r` prefix.
+    fn string(&mut self, line: u32, start: usize) {
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             if c == '\\' {
@@ -269,11 +333,10 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokKind::Literal, "\"…\"".to_string(), line);
+        self.push_slice_literal(line, start);
     }
 
-    fn raw_string(&mut self, fence: usize) {
-        let line = self.line;
+    fn raw_string(&mut self, fence: usize, line: u32, start: usize) {
         for _ in 0..=fence {
             self.bump(); // the '#'s and the opening quote
         }
@@ -288,11 +351,10 @@ impl Lexer {
                 }
             }
         }
-        self.push(TokKind::Literal, "r\"…\"".to_string(), line);
+        self.push_slice_literal(line, start);
     }
 
-    fn char_literal(&mut self) {
-        let line = self.line;
+    fn char_literal(&mut self, line: u32, start: usize) {
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             if c == '\\' {
@@ -301,7 +363,7 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokKind::Literal, "'…'".to_string(), line);
+        self.push_slice_literal(line, start);
     }
 
     fn lifetime_or_char(&mut self) {
@@ -313,16 +375,16 @@ impl Lexer {
             saw_ident = true;
             ahead += 1;
         }
+        let (line, start) = (self.line, self.byte);
         if saw_ident
             && self.peek_at(ahead) != Some('\'')
             && self.peek_at(1).is_some_and(is_ident_start)
         {
-            let line = self.line;
             self.bump(); // quote
             let name = self.ident_text();
-            self.push(TokKind::Lifetime, format!("'{name}"), line);
+            self.push(TokKind::Lifetime, format!("'{name}"), line, start);
         } else {
-            self.char_literal();
+            self.char_literal(line, start);
         }
     }
 }
@@ -412,5 +474,43 @@ mod tests {
             .tokens
             .iter()
             .any(|t| t.kind == TokKind::Literal && t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn string_literals_keep_exact_text_and_content() {
+        let lexed = lex("let a = \"eval\"; let b = r#\"raw\"#;");
+        let lits: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .collect();
+        assert_eq!(lits[0].text, "\"eval\"");
+        assert_eq!(lits[0].str_content(), Some("eval"));
+        assert_eq!(lits[1].text, "r#\"raw\"#");
+        assert_eq!(lits[1].str_content(), None, "raw strings are not plain");
+    }
+
+    #[test]
+    fn spans_partition_sources() {
+        let src = "fn f<'a>(x: &'a str) -> u8 { let c = 'x'; b\"by\"; /* hi */ 0 } // t\n";
+        let lexed = lex(src);
+        let mut spans: Vec<(usize, usize)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.start, t.end))
+            .chain(lexed.comments.iter().map(|c| (c.start, c.end)))
+            .collect();
+        spans.sort_unstable();
+        let mut cursor = 0;
+        for (s, e) in spans {
+            assert!(s >= cursor, "overlap at byte {s}");
+            assert!(
+                src[cursor..s].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?}",
+                &src[cursor..s]
+            );
+            cursor = e;
+        }
+        assert!(src[cursor..].chars().all(char::is_whitespace));
     }
 }

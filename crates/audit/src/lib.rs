@@ -1,16 +1,18 @@
-//! `datamime-audit`: a std-only static-analysis pass over the Datamime
-//! workspace.
+//! `datamime-audit`: a std-only static-analysis engine over the
+//! Datamime workspace.
 //!
 //! The search runtime promises bit-identical results across worker
 //! counts and journal replays, graceful degradation of supervised
-//! evaluations, and a layered crate graph. The compiler checks none of
-//! that — this crate does, with four CI-gating rules over a hand-rolled
-//! token stream (no `syn`: the build environment has no crates.io
-//! access, and the auditor must sit below every layer it audits):
+//! evaluations, crash-safe durability of manifests and WAL segments,
+//! and a layered crate graph. The compiler checks none of that — this
+//! crate does, over a hand-rolled token stream and a lightweight
+//! structural parser (no `syn`: the build environment has no crates.io
+//! access, and the auditor must sit below every layer it audits). Nine
+//! CI-gating rule families:
 //!
-//! - **`determinism`** — no `HashMap`/`HashSet`/`DefaultHasher`/
-//!   `thread_rng`/`from_entropy` and no `Instant::now`/`SystemTime::now`
-//!   in paths declared deterministic.
+//! - **`nondet-taint`** — flow-sensitive taint from nondeterminism
+//!   sources (clocks, entropy) to journaled/wire sinks; strict paths
+//!   additionally deny unordered containers outright.
 //! - **`panic-safety`** — no `.unwrap()`/`.expect(…)`/`panic!`-family
 //!   macros on the supervised evaluation path.
 //! - **`lock-order`** — no two locks acquired in both orders anywhere in
@@ -19,6 +21,23 @@
 //!   `[layering.allow]` matrix.
 //! - **`unsafe-forbidden`** — every crate root carries
 //!   `#![forbid(unsafe_code)]`, and no scanned code uses `unsafe`.
+//! - **`durability-protocol`** — file handles on durability paths must
+//!   follow write → fsync → rename → dir-fsync; a rename before the
+//!   sync, or a dropped handle with unsynced writes, is a violation.
+//! - **`swallowed-result`** — `let _ =` / `.ok()` / unread `Result`s on
+//!   configured durability/IPC APIs.
+//! - **`blocking-in-lock`** — no blocking I/O, sleeps, or waits while a
+//!   mutex/rwlock guard is live.
+//! - **`wire-compat`** — frame kinds, journal event kinds, and their
+//!   version constants are locked in a committed `audit.wire.lock`;
+//!   kinds cannot change without a revision bump.
+//!
+//! The engine analyzes files in parallel (deterministic report order:
+//! results are merged in discovery order and finally sorted), and can
+//! reuse per-file results across runs via a content-hash cache
+//! ([`cache`]). Cross-file rules — lock-order graphs, layering, the
+//! wire-lock comparison, and allow bookkeeping — always run, over the
+//! (possibly cached) per-file facts.
 //!
 //! Intentional exceptions are written in the source as
 //! `// audit:allow(rule): reason` on (or directly above) the flagged
@@ -28,28 +47,66 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod config;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 pub mod toml;
 pub mod workspace;
 
 use config::AuditConfig;
 use diagnostics::Diagnostic;
-use std::path::Path;
-use workspace::{Workspace, WorkspaceError};
+use source::{Allow, BadAllow, SourceFile};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use workspace::{RawFile, Workspace, WorkspaceError};
+
+/// Everything the per-file analysis phase learns about one source file.
+/// This is the unit of caching: per-file diagnostics plus the raw
+/// material the cross-file rules consume.
+#[derive(Debug)]
+pub struct FileFacts {
+    /// Path relative to the workspace root.
+    pub rel_path: PathBuf,
+    /// Per-file rule violations (before `audit:allow` suppression).
+    pub diags: Vec<Diagnostic>,
+    /// Lock acquisition sequences, for the cross-file lock-order graph.
+    pub lock_fns: Vec<rules::lock_order::FnLocks>,
+    /// Well-formed `audit:allow` comments in the file.
+    pub allows: Vec<Allow>,
+    /// Malformed allow comments.
+    pub bad_allows: Vec<BadAllow>,
+    /// Wire surface facts, when the file is configured under
+    /// `[wire-compat] files`.
+    pub wire: Option<rules::wire_compat::WireFacts>,
+}
+
+/// Engine knobs beyond the policy config.
+#[derive(Debug, Default)]
+pub struct CheckOptions {
+    /// Directory for the per-file facts cache; `None` disables caching
+    /// (the default — tests and one-shot runs stay hermetic).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker thread count; `None` means available parallelism.
+    pub jobs: Option<usize>,
+}
 
 /// The outcome of one `check` run.
 #[derive(Debug)]
 pub struct CheckReport {
-    /// All violations, sorted by (file, line, rule).
+    /// All violations, sorted by (file, line, rule, message).
     pub diagnostics: Vec<Diagnostic>,
     /// Number of Rust files scanned.
     pub files_scanned: usize,
     /// Number of crates discovered.
     pub crates_scanned: usize,
+    /// Files whose analysis was served from the cache.
+    pub cache_hits: usize,
 }
 
 impl CheckReport {
@@ -59,37 +116,63 @@ impl CheckReport {
     }
 }
 
+/// Runs every enabled rule over the workspace at `root` with default
+/// options (no cache).
+pub fn run_check(root: &Path, cfg: &AuditConfig) -> Result<CheckReport, WorkspaceError> {
+    run_check_with(root, cfg, &CheckOptions::default())
+}
+
 /// Runs every enabled rule over the workspace at `root` and applies the
 /// `audit:allow` suppression pass.
-pub fn run_check(root: &Path, cfg: &AuditConfig) -> Result<CheckReport, WorkspaceError> {
+pub fn run_check_with(
+    root: &Path,
+    cfg: &AuditConfig,
+    opts: &CheckOptions,
+) -> Result<CheckReport, WorkspaceError> {
     let ws = Workspace::discover(root, cfg)?;
-    let mut raw: Vec<Diagnostic> = Vec::new();
-
     let roots = ws.crate_roots();
+    let is_root: Vec<bool> = ws
+        .files
+        .iter()
+        .map(|f| roots.contains(f.rel_path.as_path()))
+        .collect();
+
+    let (facts, cache_hits) = analyze_all(&ws.files, &is_root, cfg, opts);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
     let mut lock_fns = Vec::new();
-    for src in &ws.files {
-        if AuditConfig::path_in_scope(&src.rel_path, &cfg.determinism.paths) {
-            raw.extend(rules::determinism::check(src, &cfg.determinism));
-        }
-        if AuditConfig::path_in_scope(&src.rel_path, &cfg.panic_safety.paths) {
-            raw.extend(rules::panic_safety::check(src, &cfg.panic_safety));
-        }
-        if cfg.unsafe_forbidden {
-            raw.extend(rules::unsafe_forbidden::check_unsafe_use(src));
-            if roots.contains(src.rel_path.as_path()) {
-                raw.extend(rules::unsafe_forbidden::check_root(src));
-            }
-        }
-        if cfg.lock_order {
-            lock_fns.extend(rules::lock_order::collect(src));
-        }
+    for f in &facts {
+        raw.extend(f.diags.iter().cloned());
+        lock_fns.extend(f.lock_fns.iter().cloned());
     }
     if cfg.lock_order {
         raw.extend(rules::lock_order::report(&lock_fns));
     }
     raw.extend(rules::layering::check(&ws.crates, &cfg.layering));
 
-    let mut diagnostics = apply_allows(&ws, raw);
+    if !cfg.wire_compat.files.is_empty() {
+        let mut current = Vec::new();
+        for rel in &cfg.wire_compat.files {
+            match facts.iter().find(|f| &f.rel_path == rel) {
+                Some(f) => current.push((rel.clone(), f.wire.clone().unwrap_or_default())),
+                None => raw.push(Diagnostic::new(
+                    "wire-compat",
+                    rel,
+                    0,
+                    "configured wire file was not found by the scan — check \
+                     [wire-compat] files against the scan roots",
+                )),
+            }
+        }
+        let lock_text = std::fs::read_to_string(root.join(&cfg.wire_compat.lock)).ok();
+        raw.extend(rules::wire_compat::check_against_lock(
+            &current,
+            lock_text.as_deref(),
+            &cfg.wire_compat,
+        ));
+    }
+
+    let mut diagnostics = apply_allows(&facts, raw);
     diagnostics.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
     });
@@ -97,26 +180,143 @@ pub fn run_check(root: &Path, cfg: &AuditConfig) -> Result<CheckReport, Workspac
         diagnostics,
         files_scanned: ws.files.len(),
         crates_scanned: ws.crates.len(),
+        cache_hits,
     })
+}
+
+/// Runs the per-file phase over every file, in parallel, preserving
+/// discovery order in the output. Returns the facts plus the cache hit
+/// count.
+fn analyze_all(
+    files: &[RawFile],
+    is_root: &[bool],
+    cfg: &AuditConfig,
+    opts: &CheckOptions,
+) -> (Vec<FileFacts>, usize) {
+    let n = files.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let jobs = opts
+        .jobs
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    let cache_dir = opts.cache_dir.as_deref();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, FileFacts, bool)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = analyze_or_load(&files[i], is_root[i], cfg, cache_dir);
+                results
+                    .lock()
+                    .expect("audit worker panicked while holding the results lock")
+                    .push((i, item.0, item.1));
+            });
+        }
+    });
+    let mut slots = results
+        .into_inner()
+        .expect("audit worker panicked while holding the results lock");
+    // Merge back into discovery order so diagnostics are deterministic
+    // regardless of scheduling.
+    slots.sort_by_key(|(i, _, _)| *i);
+    let cache_hits = slots.iter().filter(|(_, _, hit)| *hit).count();
+    (slots.into_iter().map(|(_, f, _)| f).collect(), cache_hits)
+}
+
+/// Analyzes one file, consulting the cache first when enabled. The
+/// second element reports whether the result came from the cache.
+fn analyze_or_load(
+    raw: &RawFile,
+    is_root: bool,
+    cfg: &AuditConfig,
+    cache_dir: Option<&Path>,
+) -> (FileFacts, bool) {
+    if let Some(dir) = cache_dir {
+        let key = cache::file_key(&cfg.source_text, &raw.rel_path, is_root, &raw.text);
+        if let Some(facts) = cache::load(dir, &raw.rel_path, key) {
+            return (facts, true);
+        }
+        let facts = analyze_file(raw, is_root, cfg);
+        cache::store(dir, &raw.rel_path, key, &facts);
+        return (facts, false);
+    }
+    (analyze_file(raw, is_root, cfg), false)
+}
+
+/// The per-file analysis: lex + parse once, then run every rule whose
+/// scope covers this file.
+pub fn analyze_file(raw: &RawFile, is_root: bool, cfg: &AuditConfig) -> FileFacts {
+    let src = SourceFile::parse(&raw.rel_path, &raw.text);
+    let mut diags = Vec::new();
+
+    let strict = AuditConfig::path_in_scope(&src.rel_path, &cfg.nondet_taint.strict_paths);
+    let wide = AuditConfig::path_in_scope(&src.rel_path, &cfg.nondet_taint.paths);
+    if strict || wide {
+        diags.extend(rules::nondet_taint::check(&src, &cfg.nondet_taint, strict));
+    }
+    if AuditConfig::path_in_scope(&src.rel_path, &cfg.panic_safety.paths) {
+        diags.extend(rules::panic_safety::check(&src, &cfg.panic_safety));
+    }
+    if AuditConfig::path_in_scope(&src.rel_path, &cfg.durability.paths) {
+        diags.extend(rules::durability::check(&src, &cfg.durability));
+    }
+    if AuditConfig::path_in_scope(&src.rel_path, &cfg.swallowed_result.paths) {
+        diags.extend(rules::swallowed_result::check(&src, &cfg.swallowed_result));
+    }
+    if cfg.blocking_in_lock.enabled {
+        diags.extend(rules::blocking_in_lock::check(&src, &cfg.blocking_in_lock));
+    }
+    if cfg.unsafe_forbidden {
+        diags.extend(rules::unsafe_forbidden::check_unsafe_use(&src));
+        if is_root {
+            diags.extend(rules::unsafe_forbidden::check_root(&src));
+        }
+    }
+    let lock_fns = if cfg.lock_order {
+        rules::lock_order::collect(&src)
+    } else {
+        Vec::new()
+    };
+    let wire = cfg
+        .wire_compat
+        .files
+        .iter()
+        .any(|f| f == &src.rel_path)
+        .then(|| rules::wire_compat::extract(&src));
+
+    FileFacts {
+        rel_path: raw.rel_path.clone(),
+        diags,
+        lock_fns,
+        allows: src.allows,
+        bad_allows: src.bad_allows,
+        wire,
+    }
 }
 
 /// Suppresses diagnostics covered by a well-formed
 /// `// audit:allow(rule): reason` on the same line or the line above,
 /// then reports the allows that misfired: unknown rule names and allows
 /// that suppressed nothing.
-fn apply_allows(ws: &Workspace, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+fn apply_allows(facts: &[FileFacts], raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     // (file index, allow index) -> used?
-    let mut used: Vec<Vec<bool>> = ws
-        .files
-        .iter()
-        .map(|f| vec![false; f.allows.len()])
-        .collect();
+    let mut used: Vec<Vec<bool>> = facts.iter().map(|f| vec![false; f.allows.len()]).collect();
 
     for d in raw {
         let mut suppressed = false;
-        if let Some(fi) = ws.files.iter().position(|f| f.rel_path == d.file) {
-            for (ai, allow) in ws.files[fi].allows.iter().enumerate() {
+        if let Some(fi) = facts.iter().position(|f| f.rel_path == d.file) {
+            for (ai, allow) in facts[fi].allows.iter().enumerate() {
                 if allow.rule == d.rule && (allow.line == d.line || allow.line + 1 == d.line) {
                     used[fi][ai] = true;
                     suppressed = true;
@@ -128,7 +328,7 @@ fn apply_allows(ws: &Workspace, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
         }
     }
 
-    for (fi, f) in ws.files.iter().enumerate() {
+    for (fi, f) in facts.iter().enumerate() {
         for b in &f.bad_allows {
             out.push(Diagnostic::new(
                 "allow-syntax",

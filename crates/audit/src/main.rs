@@ -2,39 +2,55 @@
 //!
 //! ```text
 //! cargo run -p datamime-audit -- check [--root DIR] [--config FILE]
-//!                                      [--format human|json] [--quiet]
+//!                                      [--format human|json|sarif]
+//!                                      [--no-cache] [--quiet]
+//! cargo run -p datamime-audit -- wire-lock [--update] [--force]
+//!                                          [--root DIR] [--config FILE]
 //! cargo run -p datamime-audit -- rules
 //! ```
 //!
-//! Exit codes: `0` — clean; `1` — violations found; `2` — usage,
-//! configuration, or scan error. Without `--root`/`--config`, the
-//! workspace root is located by walking up from the current directory to
-//! the nearest `audit.toml`.
+//! Exit codes: `0` — clean; `1` — violations found (or a stale
+//! wire-lock); `2` — usage, configuration, or scan error. Without
+//! `--root`/`--config`, the workspace root is located by walking up
+//! from the current directory to the nearest `audit.toml`.
+//!
+//! `check` keeps a per-file facts cache under `<root>/target/audit-cache`
+//! (disable with `--no-cache`); the summary line reports hit counts and
+//! wall time so CI logs show whether the cache is doing its job.
 
 #![forbid(unsafe_code)]
 
 use datamime_audit::config::AuditConfig;
-use datamime_audit::{diagnostics, run_check};
+use datamime_audit::rules::wire_compat;
+use datamime_audit::{diagnostics, run_check_with, sarif, CheckOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 datamime-audit: static-analysis gates for the Datamime workspace
 
 USAGE:
-    datamime-audit check [--root DIR] [--config FILE] [--format human|json] [--quiet]
+    datamime-audit check [--root DIR] [--config FILE] [--format human|json|sarif]
+                         [--no-cache] [--quiet]
+    datamime-audit wire-lock [--update] [--force] [--root DIR] [--config FILE]
     datamime-audit rules
 
 OPTIONS:
     --root DIR       Workspace root (default: nearest ancestor with audit.toml)
     --config FILE    Configuration file (default: <root>/audit.toml)
-    --format KIND    Output format: human (default) or json
+    --format KIND    Output format: human (default), json, or sarif
+    --no-cache       Skip the per-file facts cache under target/audit-cache
     --quiet          Suppress the summary line on success
+    --update         (wire-lock) Rewrite the lockfile from current sources
+    --force          (wire-lock) Re-baseline even when kinds changed without
+                     a revision bump (normally refused)
 ";
 
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 struct Options {
@@ -42,6 +58,9 @@ struct Options {
     config: Option<PathBuf>,
     format: Format,
     quiet: bool,
+    no_cache: bool,
+    update: bool,
+    force: bool,
 }
 
 fn main() -> ExitCode {
@@ -59,6 +78,14 @@ fn main() -> ExitCode {
         }
         "check" => match parse_options(args) {
             Ok(opts) => check(&opts),
+            Err(msg) => {
+                eprintln!("datamime-audit: {msg}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        },
+        "wire-lock" => match parse_options(args) {
+            Ok(opts) => wire_lock(&opts),
             Err(msg) => {
                 eprintln!("datamime-audit: {msg}");
                 eprint!("{USAGE}");
@@ -83,6 +110,9 @@ fn parse_options(mut args: impl Iterator<Item = String>) -> Result<Options, Stri
         config: None,
         format: Format::Human,
         quiet: false,
+        no_cache: false,
+        update: false,
+        force: false,
     };
     while let Some(arg) = args.next() {
         // Accept both `--flag value` and `--flag=value`.
@@ -108,17 +138,23 @@ fn parse_options(mut args: impl Iterator<Item = String>) -> Result<Options, Stri
                 opts.format = match value.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
+                    "sarif" => Format::Sarif,
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
             "--quiet" | "-q" => opts.quiet = true,
+            "--no-cache" => opts.no_cache = true,
+            "--update" => opts.update = true,
+            "--force" => opts.force = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
 }
 
-fn check(opts: &Options) -> ExitCode {
+/// Resolves the workspace root and loads the config, or prints the
+/// error and returns the exit code.
+fn load(opts: &Options) -> Result<(PathBuf, AuditConfig), ExitCode> {
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => match find_root() {
@@ -128,7 +164,7 @@ fn check(opts: &Options) -> ExitCode {
                     "datamime-audit: no audit.toml found here or in any parent \
                      directory (pass --root or --config)"
                 );
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         },
     };
@@ -136,37 +172,58 @@ fn check(opts: &Options) -> ExitCode {
         .config
         .clone()
         .unwrap_or_else(|| root.join("audit.toml"));
-    let cfg = match AuditConfig::load(&config_path) {
-        Ok(cfg) => cfg,
+    match AuditConfig::load(&config_path) {
+        Ok(cfg) => Ok((root, cfg)),
         Err(e) => {
             eprintln!("datamime-audit: {e}");
-            return ExitCode::from(2);
+            Err(ExitCode::from(2))
         }
+    }
+}
+
+fn check(opts: &Options) -> ExitCode {
+    let (root, cfg) = match load(opts) {
+        Ok(rc) => rc,
+        Err(code) => return code,
     };
-    let report = match run_check(&root, &cfg) {
+    let check_opts = CheckOptions {
+        cache_dir: (!opts.no_cache).then(|| root.join("target").join("audit-cache")),
+        jobs: None,
+    };
+    let started = Instant::now();
+    let report = match run_check_with(&root, &cfg, &check_opts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("datamime-audit: {e}");
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis();
     match opts.format {
         Format::Json => print!("{}", diagnostics::to_json(&report.diagnostics)),
+        Format::Sarif => print!("{}", sarif::to_sarif(&report.diagnostics)),
         Format::Human => {
             for d in &report.diagnostics {
                 println!("{d}");
             }
             if !report.clean() {
                 eprintln!(
-                    "datamime-audit: {} violation(s) across {} file(s) in {} crate(s)",
+                    "datamime-audit: {} violation(s) across {} file(s) in {} crate(s) \
+                     ({}/{} cached, {elapsed_ms} ms)",
                     report.diagnostics.len(),
                     report.files_scanned,
-                    report.crates_scanned
+                    report.crates_scanned,
+                    report.cache_hits,
+                    report.files_scanned,
                 );
             } else if !opts.quiet {
                 eprintln!(
-                    "datamime-audit: clean ({} files, {} crates)",
-                    report.files_scanned, report.crates_scanned
+                    "datamime-audit: clean ({} files, {} crates, {}/{} cached, \
+                     {elapsed_ms} ms)",
+                    report.files_scanned,
+                    report.crates_scanned,
+                    report.cache_hits,
+                    report.files_scanned,
                 );
             }
         }
@@ -176,6 +233,87 @@ fn check(opts: &Options) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `wire-lock`: show or refresh the committed wire-compat baseline.
+///
+/// Without `--update`, reports whether the lockfile matches current
+/// sources (exit 1 when it does not). With `--update`, rewrites it —
+/// unless kinds changed while every version constant stayed put, which
+/// is exactly the regression the rule exists to catch; that re-baseline
+/// is refused without `--force`.
+fn wire_lock(opts: &Options) -> ExitCode {
+    let (root, cfg) = match load(opts) {
+        Ok(rc) => rc,
+        Err(code) => return code,
+    };
+    if cfg.wire_compat.files.is_empty() {
+        eprintln!("datamime-audit: no [wire-compat] files configured in audit.toml");
+        return ExitCode::from(2);
+    }
+    let current = match wire_compat::extract_configured(&root, &cfg.wire_compat) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("datamime-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let lock_path = root.join(&cfg.wire_compat.lock);
+    let existing = std::fs::read_to_string(&lock_path).ok();
+    let diags = wire_compat::check_against_lock(&current, existing.as_deref(), &cfg.wire_compat);
+
+    if !opts.update {
+        if diags.is_empty() {
+            if !opts.quiet {
+                eprintln!(
+                    "datamime-audit: {} is up to date ({} wire file(s))",
+                    cfg.wire_compat.lock.display(),
+                    current.len()
+                );
+            }
+            return ExitCode::SUCCESS;
+        }
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!(
+            "datamime-audit: {} is out of date (run `wire-lock --update`)",
+            cfg.wire_compat.lock.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let unbumped: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message.contains("without a revision bump"))
+        .collect();
+    if !unbumped.is_empty() && !opts.force {
+        for d in &unbumped {
+            println!("{d}");
+        }
+        eprintln!(
+            "datamime-audit: refusing to re-baseline: wire kinds changed but no \
+             revision constant moved — bump the revision (or pass --force if the \
+             old numbering truly never shipped)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let rendered = wire_compat::render_lock(&current);
+    if let Err(e) = std::fs::write(&lock_path, &rendered) {
+        eprintln!(
+            "datamime-audit: cannot write {}: {e}",
+            cfg.wire_compat.lock.display()
+        );
+        return ExitCode::from(2);
+    }
+    if !opts.quiet {
+        eprintln!(
+            "datamime-audit: wrote {} ({} wire file(s))",
+            cfg.wire_compat.lock.display(),
+            current.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Walks up from the current directory to the nearest `audit.toml`.

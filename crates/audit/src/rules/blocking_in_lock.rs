@@ -1,0 +1,242 @@
+//! Rule `blocking-in-lock`: no blocking I/O or sleeps while a
+//! `Mutex`/`RwLock` guard is live.
+//!
+//! The lock-order rule catches *inversions*; this rule catches the
+//! other deadlock-and-latency family: holding a guard across a call
+//! that can block indefinitely (socket reads, fsyncs, `sleep`,
+//! `join`). In the serve daemon one connection thread sleeping inside
+//! a shared-state guard stalls every other tenant — the fairness
+//! guarantees are only as good as the critical sections are short.
+//!
+//! Guard liveness is tracked structurally: a guard is born at
+//! `let g = recv.lock()` / `.read()` / `.write()` (the zero-argument
+//! acquisition forms, possibly chained through `.unwrap()`), or at
+//! `let g = lock(&m)` for the configured guard-returning helper
+//! functions; it dies at the end of its enclosing block or at an
+//! explicit `drop(g)`. Between birth and death, any call whose name is
+//! in the configured blocking list is flagged.
+//!
+//! Honest limits: temporary guards (`lock(&m).cancel(job)`) are not
+//! tracked — the guard dies within the statement; and a blocking call
+//! hidden behind a project-local helper name is invisible unless that
+//! name is added to the blocking list. The condvar idiom
+//! `cv.wait(guard)` is exempted when a live guard is passed as an
+//! argument — handing the guard over is the correct pattern, not a
+//! violation.
+
+use crate::config::BlockingInLockConfig;
+use crate::diagnostics::Diagnostic;
+use crate::parser;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Checks one file (the rule is workspace-global, path-unscoped).
+pub fn check(src: &SourceFile, cfg: &BlockingInLockConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &src.tokens;
+    for f in parser::functions(src) {
+        if src.is_test_code(f.body.0) {
+            continue;
+        }
+        // Guard name -> (live-from token idx, live-to token idx).
+        let mut guards: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for b in parser::let_bindings(toks, f.body) {
+            if b.names.len() != 1 || b.init.0 > b.init.1 {
+                continue;
+            }
+            if !init_acquires_guard(toks, b.init, cfg) {
+                continue;
+            }
+            let mut to = parser::scope_end(toks, b.stmt_end, f.body);
+            // An explicit `drop(g)` ends the guard early.
+            let calls = parser::calls_in(toks, (b.stmt_end, to));
+            for c in &calls {
+                if c.name == "drop"
+                    && !c.is_macro
+                    && c.arg_idents(toks).collect::<Vec<_>>() == vec![b.names[0].as_str()]
+                {
+                    to = c.start;
+                    break;
+                }
+            }
+            guards.insert(b.names[0].clone(), (b.stmt_end, to));
+        }
+        if guards.is_empty() {
+            continue;
+        }
+        for c in parser::calls_in(toks, (f.body.0 + 1, f.body.1.saturating_sub(1))) {
+            if c.is_macro || !cfg.blocking.iter().any(|b| b == &c.name) {
+                continue;
+            }
+            let live: Vec<&str> = guards
+                .iter()
+                .filter(|(_, (from, to))| c.name_idx > *from && c.name_idx < *to)
+                .map(|(name, _)| name.as_str())
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            // Condvar handoff: `cv.wait(guard)` consumes the guard.
+            if matches!(c.name.as_str(), "wait" | "wait_timeout" | "wait_while")
+                && c.arg_idents(toks).any(|a| live.contains(&a))
+            {
+                continue;
+            }
+            if src.is_test_code(c.name_idx) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                "blocking-in-lock",
+                &src.rel_path,
+                c.line,
+                format!(
+                    "`{}` can block while guard `{}` is live (held since line {}): \
+                     shorten the critical section — copy what you need out of the \
+                     guard, drop it, then do the blocking work",
+                    c.name,
+                    live.join("`, `"),
+                    toks[guards[live[0]].0.min(toks.len() - 1)].line,
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether the initializer's value *is* a guard: the expression's
+/// trailing call is `.lock()`/`.read()`/`.write()` (zero-argument,
+/// chained off a receiver; `.unwrap()`/`.expect(…)` wrappers are peeled
+/// first) or a configured guard-returning helper.
+///
+/// Trailing-call position matters: in
+/// `let v = std::mem::take(&mut *lock(&m))` or a `match` arm that locks
+/// internally, the guard is a *temporary* that dies within the
+/// statement — the bound name is plain data, not a guard.
+fn init_acquires_guard(
+    toks: &[crate::lexer::Token],
+    init: (usize, usize),
+    cfg: &BlockingInLockConfig,
+) -> bool {
+    let calls = parser::calls_in(toks, init);
+    let mut end = init.1;
+    loop {
+        let Some(c) = calls.iter().find(|c| !c.is_macro && c.args.1 == end) else {
+            return false;
+        };
+        let zero_args = c.args.1 == c.args.0 + 1;
+        let is_method = c.name_idx > 0 && toks[c.name_idx - 1].is_punct('.');
+        match c.name.as_str() {
+            "unwrap" | "expect" if is_method && c.name_idx >= 2 => {
+                // Peel the wrapper and look at its receiver chain, which
+                // must itself end in a call.
+                end = c.name_idx - 2;
+                if !toks.get(end).is_some_and(|t| t.is_punct(')')) {
+                    return false;
+                }
+            }
+            "lock" | "read" | "write" if zero_args && is_method => return true,
+            name => {
+                return cfg.guard_fns.iter().any(|g| g == name) && c.recv.is_none() && !zero_args;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn cfg() -> BlockingInLockConfig {
+        BlockingInLockConfig {
+            enabled: true,
+            guard_fns: vec!["lock".into()],
+            blocking: vec![
+                "sleep".into(),
+                "write_all".into(),
+                "sync_all".into(),
+                "read_frame".into(),
+                "join".into(),
+                "wait".into(),
+            ],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse(Path::new("f.rs"), src), &cfg())
+    }
+
+    #[test]
+    fn blocking_call_under_guard_is_flagged() {
+        let diags = run("fn f() {\n\
+               let g = state.lock().unwrap();\n\
+               std::thread::sleep(d);\n\
+               use_it(&g);\n\
+             }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`sleep`"));
+        assert!(diags[0].message.contains("guard `g`"));
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let diags = run("fn f() {\n\
+               let g = state.lock().unwrap();\n\
+               let want = g.want;\n\
+               drop(g);\n\
+               std::thread::sleep(want);\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn inner_block_scope_ends_the_guard() {
+        let diags = run("fn f() {\n\
+               { let g = state.write(); g.push(1); }\n\
+               out.write_all(buf)?;\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn guard_helper_fn_counts_and_condvar_wait_is_exempt() {
+        let diags = run("fn f() {\n\
+               let mut g = lock(&shared.state);\n\
+               g = cv.wait(g).unwrap();\n\
+               handle.join();\n\
+             }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`join`"));
+    }
+
+    #[test]
+    fn io_write_with_args_is_not_an_acquisition() {
+        let diags = run("fn f() { let n = sock.write(buf); std::thread::sleep(d); }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn value_taken_out_of_a_temporary_guard_is_not_a_guard() {
+        // The guard inside `take(&mut *lock(..))` dies at the `;` — the
+        // bound Vec is plain data and joining afterwards is the correct
+        // drain idiom, not a violation.
+        let diags = run("fn f() {\n\
+               let threads = std::mem::take(&mut *lock(&shared.threads));\n\
+               for t in threads { let _ = t.join(); }\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn lock_inside_a_match_init_is_not_a_guard() {
+        let diags = run("fn f() {\n\
+               let resp = match req {\n\
+                 Req::List => lock(&shared.jobs).len(),\n\
+                 Req::Ping => 0,\n\
+               };\n\
+               conn.read_frame();\n\
+               send(resp);\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,21 +1,38 @@
 //! The audit rules.
 //!
 //! Each rule consumes lexed [`SourceFile`](crate::source::SourceFile)s
-//! or parsed manifests and emits [`Diagnostic`](crate::diagnostics::Diagnostic)s;
+//! (most now via the structural [`parser`](crate::parser)) or parsed
+//! manifests and emits [`Diagnostic`](crate::diagnostics::Diagnostic)s;
 //! the engine in [`crate::run_check`] owns scoping (which files a rule
-//! sees) and the `audit:allow` suppression pass.
+//! sees), parallelism, caching, and the `audit:allow` suppression pass.
 
-pub mod determinism;
+pub mod blocking_in_lock;
+pub mod durability;
 pub mod layering;
 pub mod lock_order;
+pub mod nondet_taint;
 pub mod panic_safety;
+pub mod swallowed_result;
 pub mod unsafe_forbidden;
+pub mod wire_compat;
 
 /// Every rule identifier an `audit:allow(...)` comment may name.
-pub const RULES: [&str; 5] = [
-    "determinism",
+/// (`nondet-taint` superseded PR 3's `determinism`; the flow-aware
+/// families landed with the audit-v2 engine.)
+pub const RULES: [&str; 9] = [
+    "nondet-taint",
     "panic-safety",
     "lock-order",
     "layering",
     "unsafe-forbidden",
+    "durability-protocol",
+    "swallowed-result",
+    "blocking-in-lock",
+    "wire-compat",
 ];
+
+/// Looks up the `'static` rule name for a string (used when
+/// deserializing cached diagnostics).
+pub fn rule_name(name: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| **r == name).copied()
+}

@@ -1,0 +1,159 @@
+//! Rule `swallowed-result`: durability and IPC errors must not be
+//! silently discarded.
+//!
+//! A dropped `Result` from `sync_all`, `rename`, or a frame send is how
+//! a "crash-safe" system quietly stops being one: the operation failed,
+//! nothing was logged, and replay diverges later with no breadcrumb.
+//! This rule flags three discard shapes applied to calls into the
+//! *configured* API list (only those — `let _ = join_handle` idioms on
+//! unrelated calls stay legal):
+//!
+//! - `let _ = file.sync_all();` — bound to the wildcard pattern;
+//! - `file.sync_all().ok();` — `.ok()` immediately chained onto the
+//!   call, discarding the error branch;
+//! - `file.sync_all();` — the call in statement position with its
+//!   `Result` unread (no `?`, no binding, no match).
+//!
+//! Sites that are *intentionally* best-effort (cleanup on shutdown
+//! paths, second-chance repair where the first error is already being
+//!  reported) carry `// audit:allow(swallowed-result): reason` — the
+//! reason is the point: it forces the "why is dropping this error
+//! correct?" argument into the source.
+
+use crate::config::SwallowedResultConfig;
+use crate::diagnostics::Diagnostic;
+use crate::parser::{self, Call};
+use crate::source::SourceFile;
+
+/// Checks one in-scope file.
+pub fn check(src: &SourceFile, cfg: &SwallowedResultConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &src.tokens;
+    for f in parser::functions(src) {
+        if src.is_test_code(f.body.0) {
+            continue;
+        }
+        let body = (f.body.0 + 1, f.body.1.saturating_sub(1));
+        if body.0 > body.1 {
+            continue;
+        }
+        let calls = parser::calls_in(toks, body);
+        // `let _ = …` bindings whose initializer calls a configured API.
+        for b in parser::let_bindings(toks, f.body) {
+            if !b.is_wildcard {
+                continue;
+            }
+            for c in &calls {
+                if c.name_idx >= b.init.0
+                    && c.name_idx <= b.init.1
+                    && is_api(c, cfg)
+                    && !src.is_test_code(c.name_idx)
+                {
+                    out.push(diag(src, c, "discarded with `let _ =`"));
+                }
+            }
+        }
+        for c in &calls {
+            if !is_api(c, cfg) || src.is_test_code(c.name_idx) {
+                continue;
+            }
+            let after = c.args.1 + 1;
+            // `call(…).ok()` — chained discard.
+            if toks.get(after).is_some_and(|t| t.is_punct('.'))
+                && toks.get(after + 1).is_some_and(|t| t.is_ident("ok"))
+                && toks.get(after + 2).is_some_and(|t| t.is_punct('('))
+                && toks.get(after + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                out.push(diag(src, c, "discarded with `.ok()`"));
+                continue;
+            }
+            // `call(…);` in statement position — unread Result.
+            let stmt_start = c.start > 0
+                && (toks[c.start - 1].is_punct(';')
+                    || toks[c.start - 1].is_punct('{')
+                    || toks[c.start - 1].is_punct('}'));
+            if stmt_start && toks.get(after).is_some_and(|t| t.is_punct(';')) {
+                out.push(diag(src, c, "called as a statement with its Result unread"));
+            }
+        }
+    }
+    out
+}
+
+fn is_api(c: &Call, cfg: &SwallowedResultConfig) -> bool {
+    !c.is_macro && cfg.apis.iter().any(|a| a == &c.name)
+}
+
+fn diag(src: &SourceFile, c: &Call, how: &str) -> Diagnostic {
+    Diagnostic::new(
+        "swallowed-result",
+        &src.rel_path,
+        c.line,
+        format!(
+            "`{}` is a durability/IPC call and its Result is {how}: handle the \
+             error (log, mark failed, or propagate) or annotate why dropping it \
+             is safe with audit:allow(swallowed-result)",
+            c.name
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn cfg() -> SwallowedResultConfig {
+        SwallowedResultConfig {
+            paths: Vec::new(),
+            apis: vec![
+                "sync_all".into(),
+                "rename".into(),
+                "write_frame".into(),
+                "set_read_timeout".into(),
+            ],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse(Path::new("f.rs"), src), &cfg())
+    }
+
+    #[test]
+    fn all_three_discard_shapes_are_flagged() {
+        let diags = run("fn f() {\n\
+               let _ = file.sync_all();\n\
+               std::fs::rename(a, b).ok();\n\
+               conn.write_frame(&frame);\n\
+             }\n");
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags[0].message.contains("let _ ="));
+        assert!(diags[1].message.contains(".ok()"));
+        assert!(diags[2].message.contains("unread"));
+    }
+
+    #[test]
+    fn handled_results_are_clean() {
+        let diags = run("fn f() -> io::Result<()> {\n\
+               file.sync_all()?;\n\
+               if let Err(e) = std::fs::rename(a, b) { log(e); }\n\
+               let n = stream.set_read_timeout(Some(t));\n\
+               n.map_err(drop)?;\n\
+               match conn.write_frame(&frame) { Ok(()) => {}, Err(e) => fail(e) }\n\
+               Ok(())\n\
+             }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unconfigured_calls_may_be_discarded() {
+        let diags = run("fn f() { let _ = handle.join(); tx.send(1).ok(); }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let diags = run("#[cfg(test)]\nmod t { fn f() { let _ = file.sync_all(); } }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

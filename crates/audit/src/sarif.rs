@@ -1,0 +1,109 @@
+//! SARIF 2.1.0 output (`--format=sarif`), the interchange format code
+//! hosts ingest for inline annotations.
+//!
+//! Deliberately minimal: one run, one tool, one result per diagnostic
+//! with a `physicalLocation`. Rule metadata lists the nine policy rules
+//! plus the two allow-bookkeeping rules so every emitted `ruleId`
+//! resolves. SARIF requires `startLine >= 1`; file-level diagnostics
+//! (line 0) are pinned to line 1.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::RULES;
+
+/// Renders diagnostics as a SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\n  \"version\": \"2.1.0\",\n  \
+         \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \
+         \"name\": \"datamime-audit\",\n          \"rules\": [",
+    );
+    let all_rules: Vec<&str> = RULES
+        .iter()
+        .copied()
+        .chain(["allow-syntax", "unused-allow"])
+        .collect();
+    for (i, r) in all_rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n            {\"id\": ");
+        json_str(&mut out, r);
+        out.push('}');
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n        {\"ruleId\": ");
+        json_str(&mut out, d.rule);
+        out.push_str(", \"level\": \"error\", \"message\": {\"text\": ");
+        json_str(&mut out, &d.message);
+        out.push_str(
+            "}, \"locations\": [{\"physicalLocation\": \
+                      {\"artifactLocation\": {\"uri\": ",
+        );
+        json_str(&mut out, &d.file.display().to_string());
+        out.push_str("}, \"region\": {\"startLine\": ");
+        out.push_str(&d.line.max(1).to_string());
+        out.push_str("}}}]}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_structure_and_escaping() {
+        let diags = vec![
+            Diagnostic::new("wire-compat", "audit.wire.lock", 0, "lock is stale"),
+            Diagnostic::new(
+                "panic-safety",
+                "crates/x/src/lib.rs",
+                7,
+                "`.unwrap()` with \"quotes\"",
+            ),
+        ];
+        let s = to_sarif(&diags);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"datamime-audit\""));
+        assert!(s.contains("\"ruleId\": \"wire-compat\""));
+        // Line 0 diagnostics clamp to SARIF's 1-based minimum.
+        assert!(s.contains("\"startLine\": 1"));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\\\"quotes\\\""));
+        // Every policy rule is declared in tool metadata.
+        for r in RULES {
+            assert!(s.contains(&format!("{{\"id\": \"{r}\"}}")), "{r}");
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_with_no_results() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": []"));
+    }
+}

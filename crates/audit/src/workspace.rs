@@ -9,11 +9,21 @@
 //! [`SourceFile::is_test_code`](crate::source::SourceFile::is_test_code)).
 
 use crate::config::AuditConfig;
-use crate::source::SourceFile;
 use crate::toml;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// One source file as read from disk. Lexing and parsing happen in the
+/// per-file analysis phase (parallel, cacheable) — discovery only does
+/// I/O, so the cache can skip the expensive work entirely on a hit.
+#[derive(Debug)]
+pub struct RawFile {
+    /// Path relative to the workspace root.
+    pub rel_path: PathBuf,
+    /// Full file contents.
+    pub text: String,
+}
 
 /// One dependency edge as written in a manifest.
 #[derive(Debug, Clone)]
@@ -47,8 +57,8 @@ pub struct CrateInfo {
 pub struct Workspace {
     /// Discovered crates, sorted by name.
     pub crates: Vec<CrateInfo>,
-    /// Every lexed `src/**/*.rs`, sorted by path.
-    pub files: Vec<SourceFile>,
+    /// Every `src/**/*.rs` (raw text, not yet lexed), sorted by path.
+    pub files: Vec<RawFile>,
 }
 
 /// A discovery failure (I/O or a manifest that does not parse).
@@ -136,7 +146,10 @@ impl Workspace {
 
             for rel in &src_files {
                 let text = read(&root.join(rel))?;
-                files.push(SourceFile::parse(rel, &text));
+                files.push(RawFile {
+                    rel_path: rel.clone(),
+                    text,
+                });
             }
             crates.push(CrateInfo {
                 name: name.to_string(),

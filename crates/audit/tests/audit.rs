@@ -1,12 +1,13 @@
 //! End-to-end audit runs: each fixture mini-workspace under
-//! `tests/fixtures/` trips exactly its intended rule, the CLI reports
-//! violations with a non-zero exit, and — the self-check — the live
-//! workspace passes with zero violations.
+//! `tests/fixtures/` trips exactly its intended rule (and its clean
+//! twin passes), the CLI reports violations with a non-zero exit in
+//! every output format, the incremental cache round-trips, and — the
+//! self-check — the live workspace passes with zero violations.
 
 use datamime_audit::config::AuditConfig;
 use datamime_audit::diagnostics::Diagnostic;
-use datamime_audit::run_check;
-use std::path::PathBuf;
+use datamime_audit::{run_check, run_check_with, CheckOptions};
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn fixture_root(name: &str) -> PathBuf {
@@ -27,15 +28,106 @@ fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
     diags.iter().map(|d| d.rule).collect()
 }
 
+fn assert_clean(name: &str) {
+    let diags = check_fixture(name);
+    assert!(diags.is_empty(), "{name} should pass: {diags:?}");
+}
+
 #[test]
-fn determinism_fixture_trips_only_determinism() {
-    let diags = check_fixture("determinism");
-    // `use … HashMap` + two `HashMap` in the body + one `Instant::now`.
-    assert_eq!(rules_of(&diags), vec!["determinism"; 4], "{diags:?}");
-    assert!(diags.iter().any(|d| d.message.contains("Instant::now")));
+fn nondet_taint_fixture_flags_the_flow_and_the_strict_container() {
+    let diags = check_fixture("nondet_taint");
+    assert_eq!(rules_of(&diags), vec!["nondet-taint"; 4], "{diags:?}");
+    // One flow diagnostic at the sink, naming source and sink…
+    let flow: Vec<_> = diags
+        .iter()
+        .filter(|d| d.message.contains("flows into"))
+        .collect();
+    assert_eq!(flow.len(), 1, "{diags:?}");
+    assert!(flow[0].message.contains("Instant::now"));
+    assert!(flow[0].message.contains("`observe`"));
+    assert!(flow[0].file.ends_with("crates/taint/src/lib.rs"));
+    // …and three strict-path container mentions (use + type + new).
+    let strict = diags
+        .iter()
+        .filter(|d| d.message.contains("strict deterministic path"))
+        .count();
+    assert_eq!(strict, 3, "{diags:?}");
+}
+
+#[test]
+fn nondet_taint_clean_twin_passes() {
+    // Same policy, but the clock feeds a log line (not the sink) and
+    // the strict half uses BTreeMap.
+    assert_clean("nondet_taint_clean");
+}
+
+#[test]
+fn durability_fixture_flags_all_three_protocol_gaps() {
+    let diags = check_fixture("durability");
+    assert_eq!(
+        rules_of(&diags),
+        vec!["durability-protocol"; 3],
+        "{diags:?}"
+    );
     assert!(diags
         .iter()
-        .all(|d| d.file.ends_with("crates/det/src/lib.rs")));
+        .any(|d| d.message.contains("without `sync_all`")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("publishes `out` before it is fsynced")));
+    assert!(diags.iter().any(|d| d.message.contains("directory fsync")));
+}
+
+#[test]
+fn durability_clean_twin_passes() {
+    // create-temp -> write -> sync_all -> rename -> sync_dir.
+    assert_clean("durability_clean");
+}
+
+#[test]
+fn swallowed_result_fixture_flags_every_discard_shape() {
+    let diags = check_fixture("swallowed_result");
+    assert_eq!(rules_of(&diags), vec!["swallowed-result"; 3], "{diags:?}");
+    assert!(diags[0].message.contains("`let _ =`"), "{diags:?}");
+    assert!(diags[1].message.contains("`.ok()`"), "{diags:?}");
+    assert!(diags[2].message.contains("unread"), "{diags:?}");
+}
+
+#[test]
+fn swallowed_result_clean_twin_passes_with_a_used_allow() {
+    // `?` propagation plus one reasoned audit:allow on a best-effort
+    // cleanup; an unused allow would itself be a violation.
+    assert_clean("swallowed_result_clean");
+}
+
+#[test]
+fn blocking_in_lock_fixture_flags_the_sleep_under_the_guard() {
+    let diags = check_fixture("blocking_in_lock");
+    assert_eq!(rules_of(&diags), vec!["blocking-in-lock"], "{diags:?}");
+    assert!(diags[0].message.contains("`sleep`"));
+    assert!(diags[0].message.contains("guard `held`"));
+}
+
+#[test]
+fn blocking_in_lock_clean_twin_passes() {
+    // The guard dies at its block close before the sleep.
+    assert_clean("blocking_in_lock_clean");
+}
+
+#[test]
+fn wire_compat_fixture_fails_a_kind_addition_without_a_revision_bump() {
+    // The acceptance scenario: `Frame::Retire` exists in the source,
+    // the committed lock predates it, and WIRE_REVISION never moved.
+    let diags = check_fixture("wire_compat");
+    assert_eq!(rules_of(&diags), vec!["wire-compat"], "{diags:?}");
+    assert!(diags[0].message.contains("`Frame::Retire`"), "{diags:?}");
+    assert!(diags[0].message.contains("without a revision bump"));
+    assert_eq!(diags[0].line, 18, "points at the new match arm");
+}
+
+#[test]
+fn wire_compat_clean_twin_passes_when_the_revision_moved_too() {
+    assert_clean("wire_compat_clean");
 }
 
 #[test]
@@ -87,28 +179,129 @@ fn misfiring_allows_are_themselves_violations() {
 
 #[test]
 fn clean_fixture_passes_and_its_allow_counts_as_used() {
-    let diags = check_fixture("clean");
-    assert!(diags.is_empty(), "{diags:?}");
+    assert_clean("clean");
+}
+
+/// The facts cache: a cold run misses everything, a warm run hits
+/// everything, and the diagnostics are byte-identical either way.
+#[test]
+fn cache_round_trips_and_reports_hits() {
+    let root = fixture_root("swallowed_result");
+    let cfg = AuditConfig::load(&root.join("audit.toml")).expect("config loads");
+    let cache_dir = std::env::temp_dir().join(format!("audit-e2e-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let opts = CheckOptions {
+        cache_dir: Some(cache_dir.clone()),
+        jobs: None,
+    };
+    let cold = run_check_with(&root, &cfg, &opts).expect("cold run");
+    assert_eq!(cold.cache_hits, 0, "cold run must miss");
+    let warm = run_check_with(&root, &cfg, &opts).expect("warm run");
+    assert_eq!(warm.cache_hits, warm.files_scanned, "warm run must hit");
+    assert_eq!(
+        cold.diagnostics, warm.diagnostics,
+        "cache must not change results"
+    );
+    // A policy edit invalidates every entry (config text is in the key).
+    let mut edited = cfg.clone();
+    edited.source_text.push_str("\n# policy touched\n");
+    let invalidated = run_check_with(&root, &edited, &opts).expect("post-edit run");
+    assert_eq!(invalidated.cache_hits, 0, "config change must miss");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+fn audit_cli(args: &[&str], root: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_datamime-audit"))
+        .args(args)
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("audit binary runs")
+}
+
+/// Golden-file checks: the machine formats are a contract for CI
+/// consumers, so their exact bytes are pinned.
+#[test]
+fn json_output_matches_the_golden_file() {
+    let out = audit_cli(
+        &["check", "--no-cache", "--format=json"],
+        &fixture_root("swallowed_result"),
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let golden = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/swallowed_result.json"),
+    )
+    .expect("golden json exists");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden);
+}
+
+#[test]
+fn sarif_output_matches_the_golden_file() {
+    let out = audit_cli(
+        &["check", "--no-cache", "--format=sarif"],
+        &fixture_root("swallowed_result"),
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let golden = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/swallowed_result.sarif"),
+    )
+    .expect("golden sarif exists");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden);
+}
+
+/// Copies a fixture into a scratch dir so a CLI test can mutate it.
+fn copy_fixture(name: &str, tag: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("audit-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    fn walk(from: &Path, to: &Path) {
+        std::fs::create_dir_all(to).expect("mkdir");
+        for entry in std::fs::read_dir(from).expect("readdir") {
+            let entry = entry.expect("entry");
+            let target = to.join(entry.file_name());
+            if entry.file_type().expect("ftype").is_dir() {
+                walk(&entry.path(), &target);
+            } else {
+                std::fs::copy(entry.path(), &target).expect("copy");
+            }
+        }
+    }
+    walk(&fixture_root(name), &dst);
+    dst
+}
+
+/// `wire-lock --update` must refuse to paper over an unbumped kind
+/// change; `--force` is the explicit escape hatch.
+#[test]
+fn wire_lock_update_refuses_unbumped_kind_changes() {
+    let scratch = copy_fixture("wire_compat", "wirelock");
+    let refused = audit_cli(&["wire-lock", "--update"], &scratch);
+    assert_eq!(refused.status.code(), Some(1), "unbumped update must fail");
+    assert!(
+        String::from_utf8_lossy(&refused.stderr).contains("refusing to re-baseline"),
+        "{}",
+        String::from_utf8_lossy(&refused.stderr)
+    );
+    let forced = audit_cli(&["wire-lock", "--update", "--force"], &scratch);
+    assert_eq!(forced.status.code(), Some(0), "--force must succeed");
+    let lock = std::fs::read_to_string(scratch.join("audit.wire.lock")).expect("lock rewritten");
+    assert!(lock.contains("kind Frame::Retire = 3"), "{lock}");
+    // After the forced re-baseline the audit is clean again.
+    let clean = audit_cli(&["check", "--no-cache", "--quiet"], &scratch);
+    assert_eq!(clean.status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]
 fn cli_exits_nonzero_on_a_fixture_and_zero_on_the_workspace() {
-    let bin = env!("CARGO_BIN_EXE_datamime-audit");
-    let bad = Command::new(bin)
-        .args(["check", "--root"])
-        .arg(fixture_root("panic_safety"))
-        .arg("--format=json")
-        .output()
-        .expect("audit binary runs");
+    let bad = audit_cli(
+        &["check", "--no-cache", "--format=json"],
+        &fixture_root("panic_safety"),
+    );
     assert_eq!(bad.status.code(), Some(1), "fixture must fail the audit");
     let json = String::from_utf8_lossy(&bad.stdout);
     assert!(json.contains("\"rule\":\"panic-safety\""), "{json}");
 
-    let good = Command::new(bin)
-        .args(["check", "--root"])
-        .arg(workspace_root())
-        .output()
-        .expect("audit binary runs");
+    let good = audit_cli(&["check", "--no-cache"], &workspace_root());
     assert_eq!(
         good.status.code(),
         Some(0),
@@ -126,7 +319,7 @@ fn workspace_root() -> PathBuf {
 }
 
 /// The self-check gate: the workspace this crate ships in must audit
-/// clean under its own committed policy.
+/// clean under its own committed policy — all nine rules.
 #[test]
 fn live_workspace_audits_clean() {
     let root = workspace_root();
@@ -142,7 +335,17 @@ fn live_workspace_audits_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    // Sanity: the scan actually covered the workspace.
+    // Sanity: the scan actually covered the workspace, and the policy
+    // actually engages the new rule families.
     assert!(report.crates_scanned >= 10, "{}", report.crates_scanned);
     assert!(report.files_scanned >= 50, "{}", report.files_scanned);
+    assert!(
+        !cfg.durability.paths.is_empty(),
+        "durability policy engaged"
+    );
+    assert!(
+        !cfg.swallowed_result.paths.is_empty(),
+        "swallowed-result engaged"
+    );
+    assert!(!cfg.wire_compat.files.is_empty(), "wire-compat engaged");
 }

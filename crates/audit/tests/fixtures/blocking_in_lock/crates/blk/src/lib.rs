@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: sleeping while a mutex guard is live.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn tick(counter: &Mutex<u64>) {
+    let mut held = counter.lock().unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    *held += 1;
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: the clean twin — the guard dies at the block close
+//! before anything blocks.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn tick(counter: &Mutex<u64>) {
+    {
+        let mut held = counter.lock().unwrap();
+        *held += 1;
+    }
+    std::thread::sleep(Duration::from_millis(5));
+}

@@ -1,10 +1,12 @@
 #![forbid(unsafe_code)]
 //! Audit fixture: a compliant crate, including one *used* allow.
 
-use std::time::Instant;
+fn observe(_sample: f64) {}
 
-/// Stamps an operator-facing log line.
-pub fn log_stamp() -> Instant {
-    // audit:allow(determinism): operator-facing log timestamp, never journaled
-    Instant::now()
+/// Journals a wall-clock duration on purpose — the allow below is what
+/// keeps this fixture clean, and it must register as used.
+pub fn log_stamp() {
+    let started = std::time::Instant::now();
+    // audit:allow(nondet-taint): fixture demonstrates a reasoned, used allow on a journaled duration
+    observe(started.elapsed().as_secs_f64());
 }

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: a torn-write publisher — the handle is dropped
+//! unsynced and the rename is never made durable.
+
+use std::io::Write;
+use std::path::Path;
+
+pub fn publish(dst: &Path, data: &[u8]) -> std::io::Result<()> {
+    let tmp = dst.with_extension("tmp");
+    let mut out = std::fs::File::create(&tmp)?;
+    out.write_all(data)?;
+    std::fs::rename(&tmp, dst)?;
+    Ok(())
+}

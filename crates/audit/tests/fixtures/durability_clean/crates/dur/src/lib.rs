@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: the full create-temp -> write -> fsync -> rename ->
+//! dir-fsync publication protocol, done right.
+
+use std::io::Write;
+use std::path::Path;
+
+pub fn publish(dst: &Path, data: &[u8]) -> std::io::Result<()> {
+    let tmp = dst.with_extension("tmp");
+    let mut out = std::fs::File::create(&tmp)?;
+    out.write_all(data)?;
+    out.sync_all()?;
+    std::fs::rename(&tmp, dst)?;
+    sync_dir(dst.parent().unwrap_or(Path::new(".")))?;
+    Ok(())
+}
+
+/// Fsyncs a directory so a rename inside it survives a crash.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}

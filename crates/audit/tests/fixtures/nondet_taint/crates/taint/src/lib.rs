@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: wall-clock taint reaching a journaled sink, plus a
+//! strict-path crate half that uses a denied container.
+
+mod strict;
+
+fn observe(_sample: f64) {}
+
+/// Derives a "measurement" from the wall clock and journals it — the
+/// taint flows through two bindings before hitting the sink.
+pub fn measure() {
+    let started = std::time::Instant::now();
+    let elapsed = started.elapsed().as_secs_f64();
+    observe(elapsed);
+}

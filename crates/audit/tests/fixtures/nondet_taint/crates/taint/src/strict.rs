@@ -1,0 +1,11 @@
+//! Strict-path half: unordered containers are denied outright here.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut h: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h.len()
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: the clean twin — the clock is displayed, never
+//! journaled, and the strict half uses an ordered container.
+
+mod strict;
+
+fn observe(_sample: f64) {}
+
+/// Times an operation for an operator-facing log line only.
+pub fn measure(samples: &[f64]) -> String {
+    let started = std::time::Instant::now();
+    observe(samples.len() as f64);
+    format!("{} ms", started.elapsed().as_millis())
+}

@@ -1,0 +1,11 @@
+//! Strict-path half: BTreeMap keeps iteration order deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut h: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h.len()
+}

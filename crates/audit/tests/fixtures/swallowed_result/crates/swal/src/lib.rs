@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: durability results dropped on the floor in all three
+//! ways the rule knows about.
+
+use std::fs::File;
+use std::path::Path;
+
+pub fn publish(f: &File, tmp: &Path, dst: &Path) {
+    let _ = f.sync_all();
+    std::fs::rename(tmp, dst).ok();
+    f.sync_data();
+}

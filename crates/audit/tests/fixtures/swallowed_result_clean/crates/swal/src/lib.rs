@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: the clean twin — results propagate with `?`, and the
+//! one intentional discard carries a reasoned allow.
+
+use std::fs::File;
+use std::path::Path;
+
+pub fn publish(f: &File, tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    f.sync_all()?;
+    std::fs::rename(tmp, dst)?;
+    // audit:allow(swallowed-result): best-effort cleanup of the staging file
+    let _ = std::fs::remove_file(tmp);
+    Ok(())
+}

@@ -3,7 +3,7 @@
 
 /// Adds, under a pile of stale and broken allows.
 pub fn tidy(a: u32, b: u32) -> u32 {
-    // audit:allow(determinism): stale — nothing below reads a clock
+    // audit:allow(nondet-taint): stale — nothing below reads a clock
     let c = a.wrapping_add(b);
     // audit:allow(panic-safety)
     // audit:allow(no-such-rule): the rule name is a typo

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: the `Retire` frame was added below WITHOUT bumping
+//! `WIRE_REVISION` — exactly the regression the rule exists to catch.
+
+pub const WIRE_REVISION: u32 = 1;
+
+pub enum Frame {
+    Hello,
+    Data,
+    Retire,
+}
+
+impl Frame {
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello => 1,
+            Frame::Data => 2,
+            Frame::Retire => 3,
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+//! Audit fixture: the clean twin — `Retire` was added AND the revision
+//! constant moved, and the lockfile was regenerated.
+
+pub const WIRE_REVISION: u32 = 2;
+
+pub enum Frame {
+    Hello,
+    Data,
+    Retire,
+}
+
+impl Frame {
+    pub fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello => 1,
+            Frame::Data => 2,
+            Frame::Retire => 3,
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the hand-rolled lexer, run against every `.rs`
+//! file in the workspace (including this one).
+//!
+//! Two invariants, checked per file:
+//!
+//! 1. **Spans partition the file.** Token and comment byte spans are
+//!    strictly ordered, never overlap, and every byte between two spans
+//!    (and before the first / after the last) is whitespace. Nothing in
+//!    the file is silently skipped or double-lexed.
+//! 2. **Round-trip identity.** Re-concatenating the gap bytes and span
+//!    bytes in order reconstructs the original file exactly — the spans
+//!    are honest about where each token starts and ends.
+//!
+//! A third, weaker check pins the token *text* to its span: for every
+//! kind except identifiers (raw identifiers normalize `r#match` to
+//! `match` on purpose), the token's `text` equals the source slice.
+
+use datamime_audit::lexer::{lex, TokKind};
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under the workspace's `crates/` tree,
+/// including test and fixture sources — the lexer must cope with all of
+/// them, fixtures most of all (they are deliberately weird).
+fn workspace_rust_files() -> Vec<PathBuf> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/audit sits two levels below the root")
+        .join("crates");
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Asserts both invariants for one source text; returns the number of
+/// spans checked.
+fn assert_partitions(path: &Path, src: &str) -> usize {
+    let lexed = lex(src);
+    let mut spans: Vec<(usize, usize, bool)> = lexed
+        .tokens
+        .iter()
+        .map(|t| (t.start, t.end, t.kind == TokKind::Ident))
+        .chain(lexed.comments.iter().map(|c| (c.start, c.end, true)))
+        .collect();
+    spans.sort_unstable();
+
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut cursor = 0usize;
+    for &(start, end, _) in &spans {
+        assert!(
+            start >= cursor,
+            "{}: span [{start},{end}) overlaps previous span ending at {cursor}",
+            path.display()
+        );
+        assert!(
+            start <= end && end <= src.len(),
+            "{}: span [{start},{end}) out of bounds (len {})",
+            path.display(),
+            src.len()
+        );
+        let gap = &src[cursor..start];
+        assert!(
+            gap.chars().all(char::is_whitespace),
+            "{}: non-whitespace bytes {:?} between spans at [{cursor},{start})",
+            path.display(),
+            gap
+        );
+        rebuilt.push_str(gap);
+        rebuilt.push_str(&src[start..end]);
+        cursor = end;
+    }
+    let tail = &src[cursor..];
+    assert!(
+        tail.chars().all(char::is_whitespace),
+        "{}: non-whitespace tail {:?}",
+        path.display(),
+        &tail[..tail.len().min(80)]
+    );
+    rebuilt.push_str(tail);
+    assert_eq!(
+        rebuilt,
+        src,
+        "{}: round-trip reconstruction differs",
+        path.display()
+    );
+
+    // Text/span agreement (identifiers exempt: raw idents normalize).
+    for t in &lexed.tokens {
+        if t.kind != TokKind::Ident {
+            assert_eq!(
+                t.text,
+                &src[t.start..t.end],
+                "{}: token text diverges from its span at byte {}",
+                path.display(),
+                t.start
+            );
+        }
+    }
+    spans.len()
+}
+
+#[test]
+fn spans_partition_every_workspace_source_file() {
+    let files = workspace_rust_files();
+    assert!(
+        files.len() >= 50,
+        "workspace sweep found only {} files",
+        files.len()
+    );
+    let mut total_spans = 0usize;
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("source file reads");
+        total_spans += assert_partitions(path, &src);
+    }
+    assert!(
+        total_spans > 100_000,
+        "suspiciously few tokens: {total_spans}"
+    );
+}
+
+#[test]
+fn adversarial_constructs_round_trip() {
+    // Each entry is a construct that has historically confused
+    // hand-rolled lexers: raw strings with fences, char-vs-lifetime,
+    // nested block comments, prefixed literals, raw identifiers.
+    for src in [
+        "let a = r#\"raw \"quoted\" text\"#;",
+        "let b = br##\"fence ## inside \"# still\"##;",
+        "let c = 'x'; let d: &'static str = \"s\"; let e = '\\'';",
+        "/* outer /* inner */ still outer */ fn f() {}",
+        "let f = b'\\n'; let g = b\"bytes\\\"esc\";",
+        "let r#match = 1; let h = r#fn;",
+        "for i in 0..10 { let x = 1.5e-3 + 2.0E+7; let y = 0xFFu32; }",
+        "let s = \"multi\nline\nstring\"; let t = 1;",
+        "macro_rules! m { ($x:expr) => { $x + 'a' as u32 } }",
+        "fn g<'a, T: Iterator<Item = &'a str>>(it: T) -> Option<&'a str> { it.last() }",
+        "let u = c\"c-string\"; let v = cr#\"raw c \"q\" s\"#;",
+        "let w = \"\"; let x = ''; let y = 1..=2;",
+        "impl<'de> Visitor<'de> for V { fn visit(&self) -> &'de str { \"\" } }",
+    ] {
+        assert_partitions(Path::new("<adversarial>"), src);
+    }
+}

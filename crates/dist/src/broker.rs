@@ -293,6 +293,7 @@ impl Broker {
     /// late messages from the old process are ignored.
     fn retire_and_respawn(&mut self, i: usize) -> Result<(), String> {
         if let Some(mut child) = self.slots[i].child.take() {
+            // audit:allow(swallowed-result): the worker may already have exited — kill failing means there is nothing left to kill
             let _ = child.kill();
             let _ = child.wait();
         }
@@ -383,7 +384,10 @@ impl Broker {
         if job.attempt < self.cfg.max_retries {
             job.attempt += 1;
             job.ready_at = Some(
-                // audit:allow(determinism): wall-clock only gates *when* the retry starts; the backoff length itself is the seeded pure function shared with the supervisor
+                // Wall-clock only gates *when* the retry starts; the
+                // backoff length itself is the seeded pure function
+                // shared with the supervisor, and taint analysis sees
+                // the timestamp never reaches a journaled surface.
                 Instant::now()
                     + retry_backoff(
                         self.cfg.backoff_base,
@@ -489,7 +493,8 @@ impl Backend for Broker {
         let mut done = 0usize;
 
         while done < jobs.len() {
-            // audit:allow(determinism): the event loop's clock schedules dispatch and enforces deadlines; observed values never depend on it
+            // The event loop's clock schedules dispatch and enforces
+            // deadlines; observed values never depend on it.
             let now = Instant::now();
             self.enforce_deadlines(&mut jobs, now, on_attempt, &mut done)?;
             self.dispatch_ready(&mut jobs, now);
@@ -640,9 +645,11 @@ impl Drop for Broker {
         self.shutdown.store(true, Ordering::SeqCst);
         for slot in &mut self.slots {
             if let Some(conn) = slot.conn.as_mut() {
+                // audit:allow(swallowed-result): courtesy frame in Drop — the kill below is the enforcement
                 let _ = write_frame(conn, &Frame::Shutdown);
             }
             if let Some(mut child) = slot.child.take() {
+                // audit:allow(swallowed-result): the worker may already have exited — kill failing means there is nothing left to kill
                 let _ = child.kill();
                 let _ = child.wait();
             }
@@ -679,7 +686,11 @@ fn handshake_and_read(mut conn: UnixStream, expect_ctx: u64, tx: &mpsc::Sender<M
     let reject = |reason: String| {
         let _ = tx.send(Msg::Rejected { reason });
     };
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    // Without the handshake deadline a silent client would pin this
+    // thread forever; if the socket cannot take a timeout, reject it.
+    if let Err(e) = conn.set_read_timeout(Some(Duration::from_secs(10))) {
+        return reject(format!("cannot arm the handshake timeout: {e}"));
+    }
     let hello = match read_frame(&mut conn) {
         Ok(f) => f,
         Err(ProtocolError::VersionMismatch { got, want }) => {
@@ -731,7 +742,11 @@ fn handshake_and_read(mut conn: UnixStream, expect_ctx: u64, tx: &mpsc::Sender<M
     {
         return;
     }
-    let _ = conn.set_read_timeout(None);
+    // The worker connection must outlive the handshake deadline: a
+    // leftover 10s timeout would sever an idle worker mid-run.
+    if let Err(e) = conn.set_read_timeout(None) {
+        return reject(format!("cannot disarm the handshake timeout: {e}"));
+    }
     let writer = match conn.try_clone() {
         Ok(w) => w,
         Err(e) => return reject(format!("cannot clone worker {worker_id} socket: {e}")),

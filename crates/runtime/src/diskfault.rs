@@ -300,11 +300,13 @@ impl DiskFaultKind {
         match self {
             DiskFaultKind::NoSpace => no_space_error(),
             DiskFaultKind::ShortWrite => {
+                // audit:allow(swallowed-result): fault injection deliberately tears this write — the error it returns is the product
                 let _ = w.write_all(&bytes[..bytes.len() / 2]);
                 let _ = w.flush();
                 io::Error::new(io::ErrorKind::WriteZero, "injected short write")
             }
             DiskFaultKind::SyncFail => {
+                // audit:allow(swallowed-result): fault injection deliberately tears this write — the error it returns is the product
                 let _ = w.write_all(bytes);
                 let _ = w.flush();
                 io::Error::other("injected fsync failure")

@@ -731,7 +731,8 @@ impl Executor {
         let mut effective_k = self.meta.batch_k;
         let mut consecutive_failures = 0u32;
         let mut quarantine: Vec<Vec<f64>> = Vec::new();
-        // audit:allow(determinism): the wall-clock quota only decides *when to stop*, at a batch boundary — it never feeds the optimizer or the journal
+        // The wall-clock quota only decides *when to stop*, at a batch
+        // boundary — it never feeds the optimizer or the journal.
         let quota_started = Instant::now();
         let mut quota: Option<QuotaCause> = None;
 
@@ -755,7 +756,8 @@ impl Executor {
             }
             let done = history.len();
             let k = effective_k.min(iterations - done);
-            // audit:allow(determinism): stage timing feeds telemetry only, never the optimizer or journal
+            // Stage timing feeds telemetry only, never the optimizer or
+            // the journal.
             let suggest_started = Instant::now();
             let units = optimizer.suggest_batch(k);
             telemetry.record("suggest", suggest_started.elapsed());

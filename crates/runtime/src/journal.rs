@@ -47,6 +47,12 @@ pub const JOURNAL_VERSION: u64 = 2;
 /// The oldest journal version [`replay`] still reads.
 pub const OLDEST_READABLE_VERSION: u64 = 1;
 
+/// Every `event` value a journal line may carry. This registry is a
+/// wire surface: the audit's `wire-compat` rule locks it in
+/// `audit.wire.lock`, so adding, removing, or renaming a kind without
+/// bumping [`JOURNAL_VERSION`] fails CI.
+pub const JOURNAL_EVENT_KINDS: [&str; 5] = ["header", "eval", "cache_hit", "fault", "attempt"];
+
 /// A failure reading or writing a journal.
 #[derive(Debug)]
 pub enum JournalError {

@@ -276,7 +276,8 @@ impl Watchdog {
     /// Arms `token` to be cancelled `timeout` from now unless the
     /// returned guard is dropped first.
     pub fn register(&self, timeout: Duration, token: CancelToken) -> WatchGuard<'_> {
-        // audit:allow(determinism): the watchdog is wall-clock by design — timeouts cancel work but never feed results
+        // The watchdog is wall-clock by design — timeouts cancel work
+        // but never feed results.
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.state.lock().expect("watchdog poisoned");
         let id = st.next_id;
@@ -333,7 +334,8 @@ fn watch_loop(shared: &WatchShared) {
         if st.shutdown {
             return;
         }
-        // audit:allow(determinism): the watchdog is wall-clock by design — timeouts cancel work but never feed results
+        // The watchdog is wall-clock by design — timeouts cancel work
+        // but never feed results.
         let now = Instant::now();
         st.entries.retain(|(deadline, _, token)| {
             if *deadline <= now {

@@ -108,6 +108,7 @@ pub fn install() -> TermSignal {
         }
     }
     let path = std::env::temp_dir().join(format!("datamime-term-{}.sentinel", std::process::id()));
+    // audit:allow(swallowed-result): a stale sentinel from a previous pid usually does not exist — creation below is authoritative
     let _ = std::fs::remove_file(&path);
     if std::env::var_os(NO_TRAP_ENV).is_some() {
         return TermSignal::at(path);

@@ -65,6 +65,19 @@ const CHECKPOINT_TMP: &str = "manifest.ckpt.tmp";
 /// Default segment-rotation threshold in bytes.
 pub const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024;
 
+/// Manifest WAL format revision. Replay accepts only this revision's
+/// event vocabulary; bump it whenever [`MANIFEST_EVENT_KINDS`] changes
+/// meaning or membership.
+pub const MANIFEST_FORMAT_REVISION: u32 = 1;
+
+/// Every `event` value a WAL line may carry. This registry is a wire
+/// surface: the audit's `wire-compat` rule locks it in
+/// `audit.wire.lock`, so adding, removing, or renaming a kind without
+/// bumping [`MANIFEST_FORMAT_REVISION`] fails CI.
+pub const MANIFEST_EVENT_KINDS: [&str; 8] = [
+    "submit", "start", "done", "quota", "cancel", "fail", "gc", "gc_done",
+];
+
 /// The file name of WAL segment `seq` (`manifest.000007.log`).
 pub fn segment_file_name(seq: u64) -> String {
     format!("manifest.{seq:06}.log")
@@ -486,7 +499,9 @@ impl Manifest {
                 // append (the live-writer analogue of open's tail
                 // repair). Best effort — a disk that cannot truncate
                 // will be repaired on the next open instead.
+                // audit:allow(swallowed-result): repair of an already-failing disk — the append error below is what the caller acts on
                 let _ = self.out.set_len(self.active_bytes);
+                // audit:allow(swallowed-result): repair of an already-failing disk — the append error below is what the caller acts on
                 let _ = self.out.sync_all();
                 Err(WalError {
                     no_space: is_no_space(&err),
@@ -527,7 +542,7 @@ impl Manifest {
                 let from = self.checkpoint_seq;
                 self.checkpoint_seq = covers;
                 for seq in (from + 1)..=covers {
-                    // Best effort: a survivor is deleted by the next open.
+                    // audit:allow(swallowed-result): best effort — a surviving retired segment is deleted by the next open
                     let _ = std::fs::remove_file(self.root.join(segment_file_name(seq)));
                 }
             }
@@ -536,6 +551,7 @@ impl Manifest {
                 if e.no_space {
                     self.no_space_seen = true;
                 }
+                // audit:allow(swallowed-result): best effort — a stale checkpoint temp is overwritten by the next attempt
                 let _ = std::fs::remove_file(self.root.join(CHECKPOINT_TMP));
                 eprintln!(
                     "datamime-served: checkpoint covering segment {covers} failed \
@@ -579,7 +595,9 @@ impl Manifest {
 }
 
 /// Fsyncs a directory so a just-created/renamed entry survives a crash.
-fn sync_dir(dir: &Path) -> Result<(), String> {
+/// Crate-visible: the server's journal-sidecar staging renames need the
+/// same discipline.
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), String> {
     File::open(dir)
         .and_then(|d| d.sync_all())
         .map_err(|e| format!("cannot fsync directory {dir:?}: {e}"))

@@ -48,7 +48,7 @@ use datamime_runtime::{
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -262,7 +262,8 @@ pub fn run_with(root: PathBuf, term: TermSignal, options: ServeOptions) -> Resul
         threads: Mutex::new(Vec::new()),
         gate: FairGate::new(),
         metrics: Arc::new(MetricsRegistry::new()),
-        // audit:allow(determinism): only feeds the admin plane's uptime line
+        // Only feeds the admin plane's uptime line; taint analysis sees
+        // it never reaches a journaled or wire surface.
         started: Instant::now(),
         keep_terminal: options.keep_terminal,
         injector,
@@ -318,7 +319,9 @@ pub fn run_with(root: PathBuf, term: TermSignal, options: ServeOptions) -> Resul
     for t in threads {
         let _ = t.join();
     }
+    // audit:allow(swallowed-result): shutdown cleanup is best-effort — a leftover socket file is replaced by the next bind
     let _ = std::fs::remove_file(root.join(JOB_SOCKET));
+    // audit:allow(swallowed-result): shutdown cleanup is best-effort — a leftover socket file is replaced by the next bind
     let _ = std::fs::remove_file(root.join(ADMIN_SOCKET));
     Ok(())
 }
@@ -326,6 +329,7 @@ pub fn run_with(root: PathBuf, term: TermSignal, options: ServeOptions) -> Resul
 fn bind(path: &PathBuf) -> Result<UnixListener, String> {
     // A daemon killed with SIGKILL leaves its socket files behind; a
     // fresh bind must replace them.
+    // audit:allow(swallowed-result): the file usually does not exist — a real collision surfaces as the bind error below
     let _ = std::fs::remove_file(path);
     let listener =
         UnixListener::bind(path).map_err(|e| format!("cannot listen on {path:?}: {e}"))?;
@@ -512,12 +516,19 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
             } else {
                 std::fs::rename(&sidecar, &journal)
                     .map_err(|e| format!("cannot restore the resume sidecar: {e}"))?;
+                // The restored name must survive a crash before we rely
+                // on it: rename durability requires the parent fsync.
+                crate::manifest::sync_dir(sidecar.parent().unwrap_or(Path::new(".")))?;
             }
         }
         let resume_from =
             if resume && journal.exists() && datamime_runtime::replay(&journal).is_ok() {
                 std::fs::rename(&journal, &sidecar)
                     .map_err(|e| format!("cannot stage the resume journal: {e}"))?;
+                // Make the staging durable: if we crash mid-rewrite, the
+                // orphaned-sidecar recovery above only works if the
+                // sidecar's name actually reached the disk.
+                crate::manifest::sync_dir(sidecar.parent().unwrap_or(Path::new(".")))?;
                 Some(sidecar.clone())
             } else {
                 None
@@ -535,6 +546,7 @@ fn run_job(shared: &Arc<Shared>, job: &str, spec_line: &str, resume: bool) {
         shared.gate.finish(seq);
         if resume_from.is_some() {
             // The fresh journal now carries the whole observed prefix.
+            // audit:allow(swallowed-result): best effort — a surviving stale sidecar is dropped by the orphan recovery on the next start
             let _ = std::fs::remove_file(&sidecar);
         }
         match result {
@@ -616,8 +628,14 @@ fn record_cancelled(shared: &Arc<Shared>, job: &str) {
 }
 
 fn handle_job_conn(shared: &Arc<Shared>, conn: &mut UnixStream) {
-    let _ = conn.set_nonblocking(false);
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    // A socket we cannot put back into blocking mode or bound the read
+    // on would either busy-spin or hang this thread; drop the
+    // connection instead — the client sees EOF and retries.
+    if conn.set_nonblocking(false).is_err()
+        || conn.set_read_timeout(Some(Duration::from_secs(5))).is_err()
+    {
+        return;
+    }
     let Ok(req) = read_frame(conn) else { return };
     let resp = match req {
         Frame::SubmitJob { spec } => submit(shared, &spec),
@@ -634,6 +652,7 @@ fn handle_job_conn(shared: &Arc<Shared>, conn: &mut UnixStream) {
             detail: format!("unexpected frame on the job socket: {other:?}"),
         },
     };
+    // audit:allow(swallowed-result): response is best-effort — the client may already have hung up
     let _ = write_frame(conn, &resp);
 }
 
@@ -758,8 +777,14 @@ fn no_such_job(job: &str) -> Frame {
 }
 
 fn handle_admin_conn(shared: &Arc<Shared>, conn: &mut UnixStream, term: &TermSignal) {
-    let _ = conn.set_nonblocking(false);
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+    // A socket we cannot put back into blocking mode or bound the read
+    // on would either busy-spin or hang this thread; drop the
+    // connection instead — the client sees EOF and retries.
+    if conn.set_nonblocking(false).is_err()
+        || conn.set_read_timeout(Some(Duration::from_secs(5))).is_err()
+    {
+        return;
+    }
     let mut line = String::new();
     if BufReader::new(&mut *conn).read_line(&mut line).is_err() {
         return;
@@ -801,11 +826,15 @@ fn handle_admin_conn(shared: &Arc<Shared>, conn: &mut UnixStream, term: &TermSig
             out.push_str("END\n");
             out
         }
-        "shutdown" => {
-            let _ = term.trigger();
-            "OK draining\n".to_string()
-        }
+        "shutdown" => match term.trigger() {
+            Ok(()) => "OK draining\n".to_string(),
+            // A shutdown the daemon cannot act on must not be
+            // acknowledged as OK — the operator would walk away from a
+            // server that is still running.
+            Err(e) => format!("ERROR cannot trigger drain: {e}\n"),
+        },
         other => format!("ERROR unknown admin command `{other}`\n"),
     };
+    // audit:allow(swallowed-result): reply is best-effort — the admin client may already have hung up
     let _ = conn.write_all(reply.as_bytes());
 }

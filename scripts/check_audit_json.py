@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validates `datamime-audit check --format=json` output against
+docs/audit.schema.json using only the standard library.
+
+Usage: check_audit_json.py SCHEMA_FILE [REPORT_FILE]
+
+Reads the report from REPORT_FILE, or stdin when omitted. Exits 0 when
+the report conforms, 1 with one line per problem when it does not, and
+2 on unreadable input. Implements the JSON-Schema subset the checked-in
+schema actually uses (type, required, properties, additionalProperties,
+items, enum, minimum, minLength) so CI needs no third-party packages.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "array": list,
+    "object": dict,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def validate(value, schema, path, problems):
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        ok = isinstance(value, py) and not (
+            expected in ("integer", "number") and isinstance(value, bool)
+        )
+        if not ok:
+            problems.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        problems.append(f"{path}: {value!r} is not one of {schema['enum']}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            problems.append(f"{path}: {value} is below minimum {schema['minimum']}")
+    if isinstance(value, str) and "minLength" in schema:
+        if len(value) < schema["minLength"]:
+            problems.append(f"{path}: shorter than minLength {schema['minLength']}")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", problems)
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                problems.append(f"{path}: missing required key {key!r}")
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    problems.append(f"{path}: unexpected key {key!r}")
+        for key, sub in props.items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", problems)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            schema = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot load schema {argv[1]}: {e}", file=sys.stderr)
+        return 2
+    try:
+        if len(argv) == 3:
+            with open(argv[2], encoding="utf-8") as f:
+                report = json.load(f)
+        else:
+            report = json.load(sys.stdin)
+    except (OSError, ValueError) as e:
+        print(f"cannot load report: {e}", file=sys.stderr)
+        return 2
+    problems = []
+    validate(report, schema, "$", problems)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"audit json ok ({len(report)} diagnostic(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,11 +26,29 @@ else
   echo "==> cargo clippy not installed; skipping lints"
 fi
 
-# Static-analysis gate: determinism, panic-safety, lock-order, layering,
-# and unsafe-forbidden invariants (policy in audit.toml, tool in
-# crates/audit). Runs before the tests — it is fast and its findings
-# usually explain any downstream flakiness.
+# Static-analysis gate: nine rule families — nondet-taint, panic-safety,
+# lock-order, layering, unsafe-forbidden, durability-protocol,
+# swallowed-result, blocking-in-lock, and wire-compat (policy in
+# audit.toml + audit.wire.lock, tool in crates/audit). Runs before the
+# tests — it is fast and its findings usually explain any downstream
+# flakiness. The fixture suite proves each rule still trips on its
+# violating mini-workspace and stays quiet on the clean twin.
+run cargo test -q -p datamime-audit --test audit
+# Two passes so the log shows the facts cache working: the first may be
+# cold, the second must report (nearly) full hits and a small wall time
+# in its summary line.
 run cargo run -q -p datamime-audit -- check
+run cargo run -q -p datamime-audit -- check
+
+# The machine-readable report is a contract (docs/audit.schema.json);
+# validate it with the stdlib-only checker when python3 is around.
+if command -v python3 >/dev/null 2>&1; then
+  echo "==> datamime-audit check --format=json | check_audit_json.py"
+  cargo run -q -p datamime-audit -- check --format=json \
+    | python3 scripts/check_audit_json.py docs/audit.schema.json
+else
+  echo "==> python3 not installed; skipping audit json schema validation"
+fi
 
 # Public-API docs must build warning-free (broken intra-doc links,
 # missing docs on public items, invalid doc examples).
