@@ -2,7 +2,7 @@
 //! in [`datamime_bench::simbench`], measured with fixed seeds.
 //!
 //! ```text
-//! bench_sim [-o FILE] [--baseline FILE] [--check] [--reps N]
+//! bench_sim [-o FILE] [--baseline FILE] [--check] [--cross-check] [--reps N]
 //! ```
 //!
 //! - `-o FILE` — write the JSON report to FILE (default: stdout);
@@ -10,9 +10,17 @@
 //!   `before_ns_per_op` (plus a `speedup` ratio) per bench; checksums are
 //!   compared and a mismatch **fails the run**, because it means the
 //!   kernel's simulated behaviour changed rather than just its speed;
-//! - `--check` — smoke mode for CI: one rep, one invocation per kernel,
-//!   no report. Proves the benches still compile and run deterministically
-//!   within the tier-1 time budget;
+//! - `--check` — smoke mode for CI: no report, and (unless `--reps` is
+//!   given) a single rep per kernel. Proves the benches still compile and
+//!   run deterministically within the tier-1 time budget. With
+//!   `--baseline` it additionally **fails on regression**: any kernel
+//!   whose median exceeds [`REGRESSION_THRESHOLD`] × its baseline median
+//!   exits nonzero (the threshold is deliberately loose — see the noise
+//!   discussion in docs/PERFORMANCE.md — so it catches structural
+//!   regressions, not scheduler jitter);
+//! - `--cross-check` — run every `scalar/...` reference twin against its
+//!   batched `sim/...` kernel and fail on any checksum divergence. This is
+//!   the batched-vs-scalar behavioural gate CI runs on every push;
 //! - `--reps N` — timed repetitions per kernel (default 15);
 //! - `--memo-json FILE` — embed FILE (the JSON object `memo_fig10` from
 //!   the `datamime-experiments` binary of that name) in the report as the
@@ -23,8 +31,15 @@
 //! See docs/PERFORMANCE.md for how to read the report.
 
 #![forbid(unsafe_code)]
-use datamime_bench::simbench::{all_kernels, quartiles, BENCH_SEED};
+use datamime_bench::simbench::{all_kernels, quartiles, scalar_kernels, BENCH_SEED};
 use std::time::Instant;
+
+/// A kernel in `--check --baseline` mode fails if its median ns/op exceeds
+/// this multiple of the committed baseline's median. 1.6× sits well above
+/// the cross-run noise we measure on shared hosts (docs/PERFORMANCE.md,
+/// "Noise") but well below the 2×+ cost of accidentally knocking a kernel
+/// off its fast path.
+const REGRESSION_THRESHOLD: f64 = 1.6;
 
 struct BenchRow {
     name: &'static str,
@@ -47,7 +62,9 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut check = false;
+    let mut cross_check = false;
     let mut reps: usize = 15;
+    let mut reps_explicit = false;
     let mut memo_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,16 +73,23 @@ fn main() {
             "--baseline" => baseline_path = Some(expect_value(it.next(), "--baseline")),
             "--memo-json" => memo_path = Some(expect_value(it.next(), "--memo-json")),
             "--check" => check = true,
+            "--cross-check" => cross_check = true,
             "--reps" => {
                 reps = expect_value(it.next(), "--reps")
                     .parse()
-                    .unwrap_or_else(|e| die(&format!("--reps: {e}")))
+                    .unwrap_or_else(|e| die(&format!("--reps: {e}")));
+                reps_explicit = true;
             }
             other => die(&format!("unknown argument {other}")),
         }
     }
-    if check {
+    if check && !reps_explicit {
         reps = 1;
+    }
+
+    if cross_check {
+        run_cross_check();
+        return;
     }
 
     let baseline = baseline_path.as_deref().map(|p| {
@@ -102,6 +126,9 @@ fn main() {
     }
 
     if check {
+        if let Some(base) = baseline.as_deref() {
+            enforce_baseline(&rows, base);
+        }
         eprintln!("bench_sim --check: {} kernels ran clean", rows.len());
         return;
     }
@@ -117,6 +144,85 @@ fn main() {
             eprintln!("wrote {p}");
         }
         None => println!("{report}"),
+    }
+}
+
+/// `--cross-check`: run every scalar reference twin against its batched
+/// kernel and fail on checksum divergence.
+fn run_cross_check() {
+    let mut batched = all_kernels();
+    let mut failures = 0usize;
+    for mut scalar in scalar_kernels() {
+        let suffix = scalar.name.strip_prefix("scalar/").unwrap_or(scalar.name);
+        let Some(twin) = batched
+            .iter_mut()
+            .find(|k| k.name.strip_prefix("sim/") == Some(suffix))
+        else {
+            die(&format!(
+                "{}: no batched twin to compare against",
+                scalar.name
+            ));
+        };
+        let (fast, reference) = ((twin.run)(), (scalar.run)());
+        if fast == reference {
+            eprintln!(
+                "{:<24} == {:<26} checksum {fast:#018x}",
+                twin.name, scalar.name
+            );
+        } else {
+            eprintln!(
+                "{:<24} {fast:#018x} != {:<26} {reference:#018x}  MISMATCH",
+                twin.name, scalar.name
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        die(&format!(
+            "{failures} batched/scalar checksum mismatch(es): the fast paths \
+             changed simulated behaviour"
+        ));
+    }
+    eprintln!("bench_sim --cross-check: all batched kernels match their scalar twins");
+}
+
+/// The `--check --baseline` gate: kernels present in the baseline must
+/// keep their checksum (behaviour) and stay within [`REGRESSION_THRESHOLD`]
+/// of their baseline median (speed).
+fn enforce_baseline(rows: &[BenchRow], baseline: &[BaselineRow]) {
+    let mut regressed = Vec::new();
+    for r in rows {
+        let Some(b) = baseline.iter().find(|b| b.name == r.name) else {
+            continue;
+        };
+        let got = format!("{:#018x}", r.checksum);
+        if b.checksum != got {
+            die(&format!(
+                "{}: checksum changed ({} -> {got}); the kernel's simulated \
+                 behaviour diverged from the baseline",
+                r.name, b.checksum
+            ));
+        }
+        if r.median > REGRESSION_THRESHOLD * b.median {
+            regressed.push(format!(
+                "{}: {:.2} ns/op vs baseline {:.2} (gate {:.2})",
+                r.name,
+                r.median,
+                b.median,
+                REGRESSION_THRESHOLD * b.median
+            ));
+        }
+    }
+    if !regressed.is_empty() {
+        for line in &regressed {
+            eprintln!("bench_sim: REGRESSION {line}");
+        }
+        eprintln!(
+            "bench_sim: {} kernel(s) regressed beyond the {REGRESSION_THRESHOLD}x \
+             threshold (docs/PERFORMANCE.md)",
+            regressed.len()
+        );
+        std::process::exit(1);
     }
 }
 

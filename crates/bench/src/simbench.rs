@@ -15,7 +15,9 @@
 //! fast-path rewrites stayed bit-identical.
 
 use datamime_dist::{read_frame, write_frame, Frame};
-use datamime_sim::{Cache, CacheConfig, Machine, MachineConfig, Replacement, Sampler, Tlb};
+use datamime_sim::{
+    Access, Cache, CacheConfig, Machine, MachineConfig, RefCache, RefTlb, Replacement, Sampler, Tlb,
+};
 use datamime_stats::Rng;
 use std::os::unix::net::UnixStream;
 
@@ -66,8 +68,18 @@ fn address_stream(n: usize, seed: u64) -> Vec<u64> {
 
 /// The headline kernel: a three-level L1/L2/LLC lookup chain (Broadwell
 /// geometries, DRRIP LLC) over a mixed-locality address stream.
+///
+/// The chain runs block-at-a-time through [`Cache::access_block_clean`]:
+/// the L1 sweeps a block of addresses, the L2 sees only the L1's misses,
+/// and the LLC only the L2's. Each cache observes exactly the subsequence
+/// of addresses — in exactly the order — that the scalar
+/// `l1.miss && l2.miss → llc` formulation would send it, so every counter
+/// (and therefore the checksum) is bit-identical; what changes is that
+/// each level's probe loop runs tight instead of interleaving three
+/// levels' code behind data-dependent branches.
 pub fn l1l2llc_access() -> Kernel {
     const N: usize = 200_000;
+    const BLOCK: usize = 1024;
     let stream = address_stream(N, BENCH_SEED);
     let mut l1 = Cache::new(CacheConfig::new(32 * 1024, 8));
     let mut l2 = Cache::new(CacheConfig::new(256 * 1024, 8));
@@ -77,14 +89,22 @@ pub fn l1l2llc_access() -> Kernel {
         line_bytes: 64,
         replacement: Replacement::Drrip,
     });
+    let mut m1: Vec<u64> = Vec::with_capacity(BLOCK);
+    let mut m2: Vec<u64> = Vec::with_capacity(BLOCK);
+    let mut m3: Vec<u64> = Vec::with_capacity(BLOCK);
+    let mut wb: Vec<u64> = Vec::new();
     Kernel {
         name: "sim/l1l2llc_access",
         ops: N as u64,
         run: Box::new(move || {
-            for &a in &stream {
-                if l1.access(a, false).is_miss() && l2.access(a, false).is_miss() {
-                    let _ = llc.access(a, false);
-                }
+            for chunk in stream.chunks(BLOCK) {
+                m1.clear();
+                m2.clear();
+                m3.clear();
+                l1.access_block_clean(chunk, &mut m1, &mut wb);
+                l2.access_block_clean(&m1, &mut m2, &mut wb);
+                llc.access_block_clean(&m2, &mut m3, &mut wb);
+                debug_assert!(wb.is_empty(), "clean reads evict no dirty victims");
             }
             mix(mix(mix(0, l1.hits()), l2.misses()), llc.misses())
         }),
@@ -269,6 +289,113 @@ pub fn all_kernels() -> Vec<Kernel> {
     ]
 }
 
+/// Scalar twins of the cache/TLB kernels, built on the straight-line
+/// reference models (`RefCache`/`RefTlb`) with strictly per-access
+/// formulations — no batching, no specialization, no narrow tags.
+///
+/// Each twin is named `scalar/<kernel>` and folds the **same counters in
+/// the same order** as its `sim/<kernel>` counterpart, so equal simulated
+/// behaviour means equal checksums. `bench_sim --cross-check` runs both
+/// sides and fails on any mismatch; this is the runtime complement to the
+/// `crates/sim` equivalence property tests, pinned on the exact streams
+/// the benchmarks measure. (The `machine_*` kernels have no reference twin
+/// — `Machine` has a single implementation whose batched internals are
+/// covered by the cache/TLB references plus the sim-crate property tests.)
+pub fn scalar_kernels() -> Vec<Kernel> {
+    vec![
+        scalar_l1l2llc_access(),
+        scalar_cache_l1_hit(),
+        scalar_cache_llc_drrip(),
+        scalar_tlb_access(),
+    ]
+}
+
+/// Per-access reference formulation of [`l1l2llc_access`]: the classic
+/// `l1 miss → l2 → llc` chain, one address at a time through `RefCache`.
+fn scalar_l1l2llc_access() -> Kernel {
+    const N: usize = 200_000;
+    let stream = address_stream(N, BENCH_SEED);
+    let mut l1 = RefCache::new(CacheConfig::new(32 * 1024, 8));
+    let mut l2 = RefCache::new(CacheConfig::new(256 * 1024, 8));
+    let mut llc = RefCache::new(CacheConfig {
+        size_bytes: 12 << 20,
+        ways: 12,
+        line_bytes: 64,
+        replacement: Replacement::Drrip,
+    });
+    Kernel {
+        name: "scalar/l1l2llc_access",
+        ops: N as u64,
+        run: Box::new(move || {
+            for &a in &stream {
+                if let Access::Miss { .. } = l1.access(a, false) {
+                    if let Access::Miss { .. } = l2.access(a, false) {
+                        let _ = llc.access(a, false);
+                    }
+                }
+            }
+            mix(mix(mix(0, l1.hits()), l2.misses()), llc.misses())
+        }),
+    }
+}
+
+/// Reference twin of [`cache_l1_hit`].
+fn scalar_cache_l1_hit() -> Kernel {
+    const N: usize = 262_144;
+    let mut cache = RefCache::new(CacheConfig::new(32 * 1024, 8));
+    let lines: Vec<u64> = (0..256u64).map(|i| 0x1000_0000 + i * 64).collect();
+    Kernel {
+        name: "scalar/cache_l1_hit",
+        ops: N as u64,
+        run: Box::new(move || {
+            for i in 0..N {
+                let _ = cache.access(lines[i & 255], i & 7 == 0);
+            }
+            mix(cache.hits(), cache.misses())
+        }),
+    }
+}
+
+/// Reference twin of [`cache_llc_drrip`].
+fn scalar_cache_llc_drrip() -> Kernel {
+    const N: usize = 131_072;
+    let mut cache = RefCache::new(CacheConfig {
+        size_bytes: 16 * 1024,
+        ways: 8,
+        line_bytes: 64,
+        replacement: Replacement::Drrip,
+    });
+    let lines: Vec<u64> = (0..512u64).map(|i| 0x1000_0000 + i * 64).collect();
+    Kernel {
+        name: "scalar/cache_llc_drrip",
+        ops: N as u64,
+        run: Box::new(move || {
+            for i in 0..N {
+                let _ = cache.access(lines[i & 511], false);
+            }
+            mix(cache.hits(), cache.misses())
+        }),
+    }
+}
+
+/// Reference twin of [`tlb_access`].
+fn scalar_tlb_access() -> Kernel {
+    const N: usize = 262_144;
+    let mut tlb = RefTlb::new(datamime_sim::TlbConfig::new(64, 4));
+    let mut rng = Rng::with_seed(BENCH_SEED ^ 0x71b);
+    let pages: Vec<u64> = (0..N).map(|_| rng.below(96) * 4096).collect();
+    Kernel {
+        name: "scalar/tlb_access",
+        ops: N as u64,
+        run: Box::new(move || {
+            for &p in &pages {
+                let _ = tlb.access(p);
+            }
+            mix(tlb.hits(), tlb.misses())
+        }),
+    }
+}
+
 /// `(q1, median, q3)` of a sample set (linear interpolation).
 ///
 /// # Panics
@@ -297,6 +424,21 @@ mod tests {
         // checksum on their first invocation.
         for (mut a, mut b) in all_kernels().into_iter().zip(all_kernels()) {
             assert_eq!((a.run)(), (b.run)(), "{} not deterministic", a.name);
+        }
+    }
+
+    #[test]
+    fn scalar_twins_checksum_match_batched_kernels() {
+        // The in-process version of `bench_sim --cross-check`: every
+        // scalar/<k> twin must fingerprint identically to sim/<k>.
+        let mut batched = all_kernels();
+        for mut scalar in scalar_kernels() {
+            let suffix = scalar.name.strip_prefix("scalar/").unwrap();
+            let twin = batched
+                .iter_mut()
+                .find(|k| k.name.strip_prefix("sim/") == Some(suffix))
+                .unwrap_or_else(|| panic!("no batched twin for {}", scalar.name));
+            assert_eq!((twin.run)(), (scalar.run)(), "{} diverged", scalar.name);
         }
     }
 

@@ -18,11 +18,12 @@
 //! bits (and so memo entries from one protocol generation are never
 //! served to another).
 
+use crate::arena::EvalArena;
 use crate::error_model::{profile_error, DistanceKind, MetricWeights};
 use crate::generator::{generator_for_program, DatasetGenerator, QuantizedGenerator};
 use crate::metrics::{CurveMetric, DistMetric};
 use crate::profile::Profile;
-use crate::profiler::{profile_workload_cancellable, CurveMethod, ProfilingConfig};
+use crate::profiler::{profile_workload_cancellable_in, CurveMethod, ProfilingConfig};
 use crate::search::SearchConfig;
 use datamime_dist::{serve, worker_identity, WorkerConfig, PROTOCOL_VERSION};
 use datamime_runtime::{fingerprint, CancelToken, FaultPlan, StageTimes};
@@ -469,7 +470,18 @@ pub fn run_worker_with_signal(
             }
             let workload = stages.time("instantiate", || generator.instantiate(&req.unit));
             let profile = stages.time("profile", || {
-                profile_workload_cancellable(&workload, &cfg.machine, &cfg.profiling, &token)
+                // The worker process serves evaluations on one thread; its
+                // arena persists across requests, so every candidate after
+                // the first reuses the same simulator arrays.
+                EvalArena::with_thread_local(|arena| {
+                    profile_workload_cancellable_in(
+                        &workload,
+                        &cfg.machine,
+                        &cfg.profiling,
+                        &token,
+                        arena,
+                    )
+                })
             });
             stages.time("error", || {
                 profile_error(&target, &profile, &cfg.weights).total

@@ -9,8 +9,8 @@
 //! Fig. 11 single-metric sweeps use this).
 
 use crate::metrics::{CurveMetric, DistMetric};
-use crate::profile::Profile;
-use datamime_stats::emd::{curve_distance, emd_normalized, ks_statistic};
+use crate::profile::{CurvePoint, Profile};
+use datamime_stats::emd::{curve_distance_iter, emd_normalized, ks_statistic};
 use std::collections::BTreeMap;
 
 /// Distance used to compare metric distributions.
@@ -140,12 +140,18 @@ pub fn profile_error(
     }
     let mut curves = BTreeMap::new();
     for m in CurveMetric::ALL {
-        let t = target.curve_values(m);
-        let c = candidate.curve_values(m);
+        let (t, c) = (target.curve(), candidate.curve());
         if t.is_empty() || t.len() != c.len() {
             continue;
         }
-        let d = curve_distance(&t, &c);
+        // Compare straight off the curve rows; collecting y-values into
+        // temporaries here used to be the last allocation in a profile
+        // comparison.
+        let pick = |p: &CurvePoint| match m {
+            CurveMetric::LlcMpkiCurve => p.llc_mpki,
+            CurveMetric::IpcCurve => p.ipc,
+        };
+        let d = curve_distance_iter(t.iter().map(pick), c.iter().map(pick));
         total += weights.curve_weight(m) * d;
         curves.insert(m, d);
     }

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod compress;
 pub mod constrained;
 pub mod distproc;
@@ -59,6 +60,7 @@ pub mod servectl;
 pub mod validate;
 pub mod workload;
 
+pub use arena::EvalArena;
 pub use compress::{search_compress_aware, workload_compression_ratio, KvGeneratorCompressible};
 pub use constrained::{ConstrainedGenerator, ConstraintError, ParamConstraint};
 pub use error_model::{profile_error, DistanceKind, ErrorBreakdown, MetricWeights};

@@ -4,12 +4,13 @@
 //! samples all Table-I metrics at fixed intervals, and sweeps LLC way
 //! allocations (CAT-style) to measure the cache-sensitivity curves.
 
+use crate::arena::EvalArena;
 use crate::profile::{CurvePoint, Profile};
 use crate::workload::Workload;
 use datamime_apps::App;
 use datamime_loadgen::{Driver, WorkloadSpec};
 use datamime_runtime::CancelToken;
-use datamime_sim::{Machine, MachineConfig, MetricSample, Sampler};
+use datamime_sim::{MachineConfig, MetricSample, Sampler};
 
 /// How cache-sensitivity curves are measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +118,28 @@ pub fn profile_workload_cancellable(
     )
 }
 
+/// [`profile_workload_cancellable`] drawing simulator state from `arena`
+/// instead of the allocator. The evaluation loops pass their per-worker
+/// [`EvalArena`] here so retries and curve sweeps recycle the
+/// multi-megabyte machine arrays; results are bit-identical to the
+/// non-pooled variant.
+pub fn profile_workload_cancellable_in(
+    workload: &Workload,
+    machine_cfg: &MachineConfig,
+    cfg: &ProfilingConfig,
+    cancel: &CancelToken,
+    arena: &mut EvalArena,
+) -> Profile {
+    profile_app_cancellable_in(
+        &|| workload.app.build(),
+        workload.load,
+        machine_cfg,
+        cfg,
+        cancel,
+        arena,
+    )
+}
+
 /// Profiles any [`App`] (built fresh per run by `build`) under a load spec.
 ///
 /// This is the generic entry point; [`profile_workload`] wraps it, and the
@@ -153,13 +176,37 @@ pub fn profile_app_cancellable(
     cfg: &ProfilingConfig,
     cancel: &CancelToken,
 ) -> Profile {
+    // A throwaway arena: every take falls through to fresh construction,
+    // making this exactly the non-pooled profile.
+    profile_app_cancellable_in(build, load, machine_cfg, cfg, cancel, &mut EvalArena::new())
+}
+
+/// Like [`profile_app_cancellable`], but all machines and samplers are
+/// taken from (and recycled into) `arena`, so a worker that profiles many
+/// candidates allocates the simulator arrays once and `reinit`s them per
+/// run. Pooling is bit-invisible: `reinit` reproduces fresh construction
+/// exactly (property-tested in `crates/sim`), so this returns the same
+/// profile as the non-pooled variant, sample for sample.
+///
+/// # Panics
+///
+/// Panics if the profiling configuration requests zero samples.
+pub fn profile_app_cancellable_in(
+    build: &dyn Fn() -> Box<dyn App>,
+    load: WorkloadSpec,
+    machine_cfg: &MachineConfig,
+    cfg: &ProfilingConfig,
+    cancel: &CancelToken,
+    arena: &mut EvalArena,
+) -> Profile {
     assert!(cfg.n_samples > 0, "need at least one sample");
     let mut should_stop = || cancel.is_cancelled();
 
-    // Main distribution run.
+    // Main distribution run. The sampler stays out until its samples are
+    // consumed at the end; the machine is recycled as soon as the run ends.
     let mut app = build();
-    let mut machine = Machine::new(machine_cfg.clone());
-    let mut sampler = Sampler::new(cfg.interval_cycles);
+    let mut machine = arena.take_machine(machine_cfg.clone());
+    let mut sampler = arena.take_sampler(cfg.interval_cycles);
     let mut driver = Driver::new(load, cfg.seed);
     driver.run_cancellable(
         app.as_mut(),
@@ -168,6 +215,7 @@ pub fn profile_app_cancellable(
         cfg.n_samples,
         &mut should_stop,
     );
+    arena.recycle_machine(machine);
 
     // Curve sweep with CAT-restricted LLC allocations.
     let mut curve = Vec::new();
@@ -183,17 +231,19 @@ pub fn profile_app_cancellable(
                     }
                     let part_cfg = machine_cfg.with_llc_ways(ways);
                     let mut app = build();
-                    let mut machine = Machine::new(part_cfg.clone());
-                    let mut sampler = Sampler::new(cfg.interval_cycles);
+                    let mut machine = arena.take_machine(part_cfg.clone());
+                    let mut point_sampler = arena.take_sampler(cfg.interval_cycles);
                     let mut driver = Driver::new(load, cfg.seed ^ u64::from(ways));
                     driver.run_cancellable(
                         app.as_mut(),
                         &mut machine,
-                        &mut sampler,
+                        &mut point_sampler,
                         cfg.curve_samples.max(1),
                         &mut should_stop,
                     );
-                    curve.push(curve_point(&sampler, part_cfg.llc_bytes()));
+                    curve.push(curve_point(&point_sampler, part_cfg.llc_bytes()));
+                    arena.recycle_machine(machine);
+                    arena.recycle_sampler(point_sampler);
                 }
             }
             CurveMethod::Dynaway => {
@@ -201,7 +251,7 @@ pub fn profile_app_cancellable(
                 // and let the driver's built-in warm-up sample absorb the
                 // cold restart.
                 let mut app = build();
-                let mut machine = Machine::new(machine_cfg.clone());
+                let mut machine = arena.take_machine(machine_cfg.clone());
                 let mut driver = Driver::new(load, cfg.seed ^ 0xD1A);
                 for &ways in &cfg.curve_ways {
                     if cancel.is_cancelled() {
@@ -211,17 +261,19 @@ pub fn profile_app_cancellable(
                         continue;
                     }
                     machine.set_llc_ways(ways);
-                    let mut sampler = Sampler::new(cfg.interval_cycles);
+                    let mut point_sampler = arena.take_sampler(cfg.interval_cycles);
                     driver.run_cancellable(
                         app.as_mut(),
                         &mut machine,
-                        &mut sampler,
+                        &mut point_sampler,
                         cfg.curve_samples.max(1),
                         &mut should_stop,
                     );
                     let bytes = machine_cfg.with_llc_ways(ways).llc_bytes();
-                    curve.push(curve_point(&sampler, bytes));
+                    curve.push(curve_point(&point_sampler, bytes));
+                    arena.recycle_sampler(point_sampler);
                 }
+                arena.recycle_machine(machine);
             }
         }
     }
@@ -238,7 +290,9 @@ pub fn profile_app_cancellable(
         sampler.samples()
     };
     // audit:allow(panic-safety): the fallback above makes emptiness impossible; a non-finite sample is a simulator bug worth a loud stop
-    Profile::from_samples(samples, curve).expect("finite samples build a profile")
+    let profile = Profile::from_samples(samples, curve).expect("finite samples build a profile");
+    arena.recycle_sampler(sampler);
+    profile
 }
 
 fn curve_point(sampler: &Sampler, cache_bytes: u64) -> CurvePoint {
@@ -324,6 +378,32 @@ mod tests {
         let p = profile_workload(&tiny_kv(), &MachineConfig::silvermont(), &cfg);
         assert!(p.curve().is_empty());
         assert!(p.mean(DistMetric::Ipc) > 0.0);
+    }
+
+    #[test]
+    fn pooled_profiles_are_bit_identical_to_fresh() {
+        let machine = MachineConfig::broadwell();
+        let cfg = ProfilingConfig::fast(); // Restart curves: exercises per-point recycling
+        let fresh = profile_workload(&tiny_kv(), &machine, &cfg);
+
+        // Warm the arena on a different workload AND machine model first,
+        // so every take has to reinit across state and geometry.
+        let mut arena = EvalArena::new();
+        let cancel = CancelToken::new();
+        let _ = profile_workload_cancellable_in(
+            &Workload::silo_bidding(),
+            &MachineConfig::silvermont(),
+            &ProfilingConfig::fast().without_curves(),
+            &cancel,
+            &mut arena,
+        );
+        let pooled =
+            profile_workload_cancellable_in(&tiny_kv(), &machine, &cfg, &cancel, &mut arena);
+
+        for m in DistMetric::ALL {
+            assert_eq!(fresh.dist(m).samples(), pooled.dist(m).samples(), "{m}");
+        }
+        assert_eq!(fresh.curve(), pooled.curve());
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! the paper's sequential loop; [`search_with_runtime`] exposes batching,
 //! worker pools, journaling and resume.
 
+use crate::arena::EvalArena;
 use crate::error_model::{profile_error, MetricWeights};
 use crate::generator::{DatasetGenerator, ParamSpec};
 use crate::profile::Profile;
-use crate::profiler::{profile_workload, profile_workload_cancellable, ProfilingConfig};
+use crate::profiler::{profile_workload, profile_workload_cancellable_in, ProfilingConfig};
 use crate::workload::Workload;
 use datamime_bayesopt::{BayesOpt, BlackBoxOptimizer, BoConfig, RandomSearch};
 use datamime_runtime::{
@@ -408,7 +409,12 @@ fn evaluate(
 ) -> f64 {
     let workload = stages.time("instantiate", || generator.instantiate(unit));
     let profile = stages.time("profile", || {
-        profile_workload_cancellable(&workload, &cfg.machine, &cfg.profiling, cancel)
+        // Each worker thread recycles its simulator state across
+        // evaluations (and across supervisor retries) through its
+        // thread-local arena; results are bit-identical to fresh state.
+        EvalArena::with_thread_local(|arena| {
+            profile_workload_cancellable_in(&workload, &cfg.machine, &cfg.profiling, cancel, arena)
+        })
     });
     let error = stages.time("error", || {
         profile_error(target_profile, &profile, &cfg.weights).total

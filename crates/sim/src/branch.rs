@@ -90,6 +90,32 @@ impl BranchPredictor {
         correct
     }
 
+    /// Resets the predictor in place to exactly the state
+    /// [`BranchPredictor::new(cfg)`](BranchPredictor::new) would produce,
+    /// reusing the pattern-history table allocation when its size is
+    /// unchanged (the arena-reuse hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_bits` is zero or above 28.
+    pub fn reinit(&mut self, cfg: BranchConfig) {
+        assert!(
+            cfg.table_bits > 0 && cfg.table_bits <= 28,
+            "unreasonable table size"
+        );
+        let n = 1usize << cfg.table_bits;
+        if n == self.table.len() {
+            self.table.fill(1); // weakly not-taken
+        } else {
+            self.table.clear();
+            self.table.resize(n, 1);
+        }
+        self.cfg = cfg;
+        self.history = 0;
+        self.lookups = 0;
+        self.mispredicts = 0;
+    }
+
     /// Cumulative predictions made.
     pub fn lookups(&self) -> u64 {
         self.lookups

@@ -115,30 +115,44 @@ impl Access {
 
 /// Sentinel tag marking an invalid (never-filled) way.
 ///
-/// A real tag is `addr >> set_shift`, which can only collide with the
-/// sentinel for 1-byte lines at the very top of the address space — a
-/// geometry no modeled machine uses (`debug_assert`ed in `access`).
-const INVALID_TAG: u64 = u64::MAX;
+/// Stored tags are *narrow*: the set-index bits are implied by the way's
+/// position in the tag array, so only `addr >> set_shift >> log2(sets)` is
+/// kept, truncated to 32 bits (asserted in [`Cache::narrow_tag`] — real
+/// tags never reach the sentinel).
+const INVALID_TAG: u32 = u32::MAX;
 
 /// A set-associative cache.
 ///
 /// The model is storage-free: only tags and metadata are tracked, which is
 /// all the performance metrics need. Storage is structure-of-arrays over a
 /// single contiguous ways axis (`set * ways + way`): the lookup scans a
-/// dense `u64` tag slice instead of wider per-line structs, which is what
-/// makes `access` cheap enough to run a 200-iteration Bayesian search
-/// against (see docs/PERFORMANCE.md).
+/// dense tag slice instead of wider per-line structs, which is what makes
+/// `access` cheap enough to run a 200-iteration Bayesian search against
+/// (see docs/PERFORMANCE.md). Tags are stored *narrow* — the set-index
+/// bits are implied by array position and dropped, and the rest fits a
+/// `u32` — so a 12 MB LLC model keeps its entire tag array under 800 KB of
+/// host memory; for mixed-locality streams the model's own metadata
+/// residency in the host's caches is the dominant cost.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: u64,
     set_mask: u64,
     set_shift: u32,
+    /// `log2(sets)`; shifted off stored tags and restored when a victim's
+    /// line address is reconstructed for write-back.
+    sets_shift: u32,
     ways: usize,
-    /// Per-way tags; `INVALID_TAG` marks an empty way.
-    tags: Vec<u64>,
-    /// Per-way LRU timestamp or RRPV depending on policy.
+    /// Per-way narrow tags; `INVALID_TAG` marks an empty way.
+    tags: Vec<u32>,
+    /// Per-way LRU timestamps (allocated only under [`Replacement::Lru`]).
     meta: Vec<u64>,
+    /// Per-way RRPVs, packed (allocated only under [`Replacement::Drrip`]).
+    /// RRPVs span `0..=RRPV_MAX`, so a byte lane holds one: on a
+    /// multi-megabyte LLC slice this keeps the replacement state 8x denser
+    /// in the *host's* caches than a `u64` lane, which is where a
+    /// mixed-locality stream spends its time.
+    rrpv: Vec<u8>,
     /// Per-way dirty bit.
     dirty: Vec<bool>,
     clock: u64,
@@ -150,8 +164,13 @@ pub struct Cache {
     misses: u64,
 }
 
-const RRPV_MAX: u64 = 3;
+const RRPV_MAX: u8 = 3;
 const PSEL_MAX: i32 = 1023;
+
+/// Maximum supported associativity. The set probe builds a per-way match
+/// bitmask in one `u64`, so a set must fit in 64 ways — far beyond any
+/// modeled machine (the widest is the 16-way Zen 2 L3 slice).
+const MAX_WAYS: u32 = 64;
 
 impl Cache {
     /// Builds a cache from its configuration.
@@ -161,15 +180,29 @@ impl Cache {
     /// Panics if the geometry is invalid (see [`CacheConfig::sets`]).
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
+        assert!(
+            cfg.ways <= MAX_WAYS,
+            "associativity above {MAX_WAYS} is unsupported"
+        );
         let n = (sets * cfg.ways as u64) as usize;
         Cache {
             cfg,
             sets,
             set_mask: sets - 1,
             set_shift: cfg.line_bytes.trailing_zeros(),
+            sets_shift: sets.trailing_zeros(),
             ways: cfg.ways as usize,
             tags: vec![INVALID_TAG; n],
-            meta: vec![0; n],
+            meta: if cfg.replacement == Replacement::Lru {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
+            rrpv: if cfg.replacement == Replacement::Drrip {
+                vec![0; n]
+            } else {
+                Vec::new()
+            },
             dirty: vec![false; n],
             clock: 0,
             psel: PSEL_MAX / 2,
@@ -200,91 +233,275 @@ impl Cache {
         (addr >> self.set_shift) & self.set_mask
     }
 
+    /// Narrow tag of `addr`: line index with the set bits shifted off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the narrow tag overflows 32 bits — i.e. `addr` is at or
+    /// beyond `2^(32 + log2(line_bytes) + log2(sets))`, which is 16 TiB for
+    /// the smallest modeled level. The simulated address spaces top out at
+    /// a few hundred GiB, so the guard is a always-predicted compare.
     #[inline]
-    fn tag_of(&self, addr: Addr) -> u64 {
-        addr >> self.set_shift
+    fn narrow_tag(&self, addr: Addr) -> u32 {
+        let t = (addr >> self.set_shift) >> self.sets_shift;
+        assert!(
+            t < u64::from(u32::MAX),
+            "address {addr:#x} beyond the 32-bit tag range of this geometry"
+        );
+        t as u32
+    }
+
+    /// Reconstructs the line-aligned address a narrow tag in `set` denotes
+    /// (the inverse of [`Cache::narrow_tag`], used for write-back victims).
+    #[inline]
+    fn line_of(&self, tag: u32, set: u64) -> Addr {
+        ((u64::from(tag) << self.sets_shift) | set) << self.set_shift
+    }
+
+    /// Set probe: scans the dense tag slice for the first way holding
+    /// `tag`. Empty ways hold `INVALID_TAG`, so probing for `INVALID_TAG`
+    /// finds the first free way. The scan early-exits on the match way —
+    /// measured faster than a full-width branch-free bitmask (both
+    /// runtime-width and const-unrolled variants), because the kernels'
+    /// access patterns are periodic enough that the host branch predictor
+    /// tracks the exit iteration, while the bitmask pays its full-width
+    /// cost on every probe.
+    #[inline]
+    fn probe(&self, base: usize, tag: u32) -> Option<usize> {
+        let set_tags = &self.tags[base..base + self.ways];
+        set_tags.iter().position(|&t| t == tag)
     }
 
     /// Accesses the line containing `addr`; `write` marks the line dirty.
     ///
     /// On a miss the line is allocated (write-allocate) and the victim's
     /// dirty state is reported so the caller can account write-back traffic.
+    ///
+    /// `#[inline]` is load-bearing: the workspace builds without LTO, so
+    /// without it cross-crate callers (the `Machine` hot loops, the bench
+    /// kernels) pay an opaque call per access and the compiler cannot
+    /// const-propagate `write` or the replacement policy.
+    #[inline]
     pub fn access(&mut self, addr: Addr, write: bool) -> Access {
         self.clock += 1;
         let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        debug_assert!(tag != INVALID_TAG, "tag collides with the invalid sentinel");
+        let tag = self.narrow_tag(addr);
         let base = set as usize * self.ways;
+        // Policy dispatch happens once per access, up front, so each
+        // specialized path is branch-free over the ways axis and inlines
+        // into callers that use a fixed policy per level.
+        match self.cfg.replacement {
+            Replacement::Lru => self.access_lru(base, set, tag, write),
+            Replacement::Drrip => self.access_drrip(base, set, tag, write),
+        }
+    }
 
-        // Lookup: one bounds check for the whole set, then a dense scan of
-        // the tag slice (empty ways hold INVALID_TAG and cannot match).
-        let set_tags = &self.tags[base..base + self.ways];
-        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+    /// LRU-specialized access path (bit-identical to the generic one).
+    #[inline]
+    fn access_lru(&mut self, base: usize, set: u64, tag: u32, write: bool) -> Access {
+        if let Some(way) = self.probe(base, tag) {
             let i = base + way;
             self.dirty[i] |= write;
-            self.meta[i] = match self.cfg.replacement {
-                Replacement::Lru => self.clock,
-                Replacement::Drrip => 0, // promote to near-immediate re-reference
-            };
+            self.meta[i] = self.clock;
             self.hits += 1;
             return Access::Hit;
         }
-
-        // Miss: choose a victim.
         self.misses += 1;
-        let victim = match self.cfg.replacement {
-            Replacement::Lru => {
-                // First empty way if any, else the least-recent stamp
-                // (first minimum — matching the pre-flattening scan order).
-                match set_tags.iter().position(|&t| t == INVALID_TAG) {
-                    Some(way) => base + way,
-                    None => {
-                        let meta = &self.meta[base..base + self.ways];
-                        let mut v = 0;
-                        for (w, &m) in meta.iter().enumerate() {
-                            if m < meta[v] {
-                                v = w;
-                            }
-                        }
-                        base + v
-                    }
+        let victim = base
+            + if self.ways == 8 {
+                // Packed first-min (see `lru8_victim`): first empty way,
+                // else first least-recent way, in a three-deep min tree.
+                Self::lru8_victim(&self.meta[base..base + 8])
+            } else {
+                // Victim selection in ONE pass over the set: track the
+                // first empty way and the first least-recent stamp
+                // simultaneously with conditional moves, then prefer the
+                // empty way. Equivalent to the two-scan formulation (probe
+                // for `INVALID_TAG`, else min-scan) because both pick the
+                // *first* qualifying way, but the set's tags and stamps
+                // are each read once.
+                let set_tags = &self.tags[base..base + self.ways];
+                let meta = &self.meta[base..base + self.ways];
+                let mut free = usize::MAX;
+                let mut v = 0usize;
+                let mut best = meta[0];
+                if set_tags[0] == INVALID_TAG {
+                    free = 0;
                 }
-            }
-            Replacement::Drrip => self.drrip_victim(base),
-        };
-
-        let writeback_of = if self.tags[victim] != INVALID_TAG && self.dirty[victim] {
-            Some(self.tags[victim] << self.set_shift)
+                for w in 1..self.ways {
+                    let empty = set_tags[w] == INVALID_TAG && free == usize::MAX;
+                    free = if empty { w } else { free };
+                    let better = meta[w] < best;
+                    v = if better { w } else { v };
+                    best = if better { meta[w] } else { best };
+                }
+                if free != usize::MAX {
+                    free
+                } else {
+                    v
+                }
+            };
+        // Dirty implies valid, so the install stores to the dirty array
+        // only when the bit actually changes — an all-clean stream (and
+        // every instruction-side caller) never touches it.
+        let was_dirty = self.tags[victim] != INVALID_TAG && self.dirty[victim];
+        let writeback_of = if was_dirty {
+            Some(self.line_of(self.tags[victim], set))
         } else {
             None
         };
-        let insert_meta = match self.cfg.replacement {
-            Replacement::Lru => self.clock,
-            Replacement::Drrip => self.drrip_insert_rrpv(set),
-        };
+        if was_dirty != write {
+            self.dirty[victim] = write;
+        }
         self.tags[victim] = tag;
-        self.dirty[victim] = write;
-        self.meta[victim] = insert_meta;
+        self.meta[victim] = self.clock;
         Access::Miss { writeback_of }
     }
 
-    fn drrip_victim(&mut self, base: usize) -> usize {
-        let tags = &self.tags[base..base + self.ways];
-        if let Some(way) = tags.iter().position(|&t| t == INVALID_TAG) {
-            return base + way;
+    /// DRRIP access for the per-access API. The hit check is an early-exit
+    /// probe — callers of `access` (the per-access cache kernels, curve
+    /// re-profiling) tend to cycle stable resident sets, so the exit
+    /// iteration is predictable and the scan beats a full-width mask; the
+    /// contested *block* path keeps the mask (see
+    /// [`Cache::access_drrip_w`]). The miss body is shared and dispatched
+    /// to a const-width specialization.
+    #[inline]
+    fn access_drrip(&mut self, base: usize, set: u64, tag: u32, write: bool) -> Access {
+        if let Some(way) = self.probe(base, tag) {
+            let i = base + way;
+            self.dirty[i] |= write;
+            self.rrpv[i] = 0; // promote to near-immediate re-reference
+            self.hits += 1;
+            return Access::Hit;
         }
-        let meta = &mut self.meta[base..base + self.ways];
-        loop {
-            if let Some(way) = meta.iter().position(|&m| m >= RRPV_MAX) {
-                return base + way;
-            }
-            for m in meta.iter_mut() {
-                *m += 1;
-            }
+        self.misses += 1;
+        match self.ways {
+            8 => self.drrip_miss_w::<8>(base, set, tag, write),
+            12 => self.drrip_miss_w::<12>(base, set, tag, write),
+            16 => self.drrip_miss_w::<16>(base, set, tag, write),
+            _ => self.drrip_miss_w::<0>(base, set, tag, write),
         }
     }
 
-    fn drrip_insert_rrpv(&mut self, set: u64) -> u64 {
+    /// DRRIP-specialized access path for the block arm (bit-identical to
+    /// [`Cache::access_drrip`]). `W` is the compile-time associativity, or
+    /// 0 for runtime width.
+    ///
+    /// Unlike the per-access path this probes with a full-width match
+    /// bitmask: block streams are another level's misses, so the matching
+    /// way of consecutive probes is unpredictable and an early-exit scan
+    /// mispredicts its exit iteration. The first matching way is the
+    /// mask's trailing zero — identical to what `position` returns, since
+    /// tags are unique within a set.
+    #[inline]
+    fn access_drrip_w<const W: usize>(
+        &mut self,
+        base: usize,
+        set: u64,
+        tag: u32,
+        write: bool,
+    ) -> Access {
+        let ways = if W == 0 { self.ways } else { W };
+        let set_tags = &self.tags[base..base + ways];
+        let mut hit_mask = 0u64;
+        for (w, &t) in set_tags.iter().enumerate() {
+            hit_mask |= u64::from(t == tag) << w;
+        }
+        if hit_mask != 0 {
+            let i = base + hit_mask.trailing_zeros() as usize;
+            self.dirty[i] |= write;
+            self.rrpv[i] = 0; // promote to near-immediate re-reference
+            self.hits += 1;
+            return Access::Hit;
+        }
+        self.misses += 1;
+        self.drrip_miss_w::<W>(base, set, tag, write)
+    }
+
+    /// Shared DRRIP miss body: victim selection with the aging rounds
+    /// collapsed, write-back detection, and the dueling-driven install.
+    /// The entire victim search is one fused pass: free-way mask plus the
+    /// RRPV threshold masks, from which the victim and the collapsed aging
+    /// delta both fall out (see `docs/PERFORMANCE.md`).
+    #[inline]
+    fn drrip_miss_w<const W: usize>(
+        &mut self,
+        base: usize,
+        set: u64,
+        tag: u32,
+        write: bool,
+    ) -> Access {
+        let ways = if W == 0 { self.ways } else { W };
+        let set_tags = &self.tags[base..base + ways];
+        // Victim selection with the textbook aging rounds collapsed. Aging
+        // bumps every RRPV by 1 until some way reaches RRPV_MAX; since
+        // RRPVs never exceed RRPV_MAX, that is equivalent to one uniform
+        // add of `RRPV_MAX - max`, and the victim is the first way holding
+        // the pre-aging maximum. One pass computes the free-way mask and
+        // the three RRPV threshold masks; the first set bit of the highest
+        // non-empty mask is exactly the way the round-by-round loop would
+        // surface first.
+        let rrpv = &self.rrpv[base..base + ways];
+        let mut free = 0u64;
+        let mut m3 = 0u64;
+        for w in 0..ways {
+            free |= u64::from(set_tags[w] == INVALID_TAG) << w;
+            m3 |= u64::from(rrpv[w] >= RRPV_MAX) << w;
+        }
+        let victim = if free != 0 {
+            // First never-filled way, like the old probe-for-invalid.
+            free.trailing_zeros() as usize
+        } else if m3 != 0 {
+            // A way is already distant: no aging round would run.
+            m3.trailing_zeros() as usize
+        } else {
+            // Aging actually runs — rare once the set is in steady
+            // state, so the threshold masks are computed lazily here.
+            let (mut m2, mut m1) = (0u64, 0u64);
+            for (w, &m) in rrpv.iter().enumerate() {
+                m2 |= u64::from(m >= RRPV_MAX - 1) << w;
+                m1 |= u64::from(m >= 1) << w;
+            }
+            let (delta, mask) = if m2 != 0 {
+                (1, m2)
+            } else if m1 != 0 {
+                (RRPV_MAX - 1, m1)
+            } else {
+                (RRPV_MAX, 1)
+            };
+            for m in &mut self.rrpv[base..base + ways] {
+                *m += delta;
+            }
+            mask.trailing_zeros() as usize
+        };
+        // `victim` comes from a trailing_zeros over a ways-wide mask, so
+        // the `min` is an identity that proves the stores below in-bounds.
+        let vw = victim.min(ways - 1);
+        let (sets_shift, set_shift) = (self.sets_shift, self.set_shift);
+        // `drrip_insert_rrpv` only touches psel/brrip_ctr/rng, so hoisting
+        // it above the set-array stores is order-equivalent; it runs first
+        // so the slice reborrows below don't conflict with `&mut self`.
+        let insert_rrpv = self.drrip_insert_rrpv(set);
+        let set_tags = &mut self.tags[base..base + ways];
+        let dirty = &mut self.dirty[base..base + ways];
+        let rrpv = &mut self.rrpv[base..base + ways];
+        // As in `access_lru`: dirty implies valid, so only store the bit
+        // when it changes.
+        let was_dirty = set_tags[vw] != INVALID_TAG && dirty[vw];
+        let writeback_of = if was_dirty {
+            Some(((u64::from(set_tags[vw]) << sets_shift) | set) << set_shift)
+        } else {
+            None
+        };
+        if was_dirty != write {
+            dirty[vw] = write;
+        }
+        set_tags[vw] = tag;
+        rrpv[vw] = insert_rrpv;
+        Access::Miss { writeback_of }
+    }
+
+    fn drrip_insert_rrpv(&mut self, set: u64) -> u8 {
         // Set dueling: low leader sets use SRRIP, high leader sets use
         // BRRIP; followers pick the policy favored by PSEL.
         const LEADERS: u64 = 32;
@@ -311,6 +528,384 @@ impl Cache {
         }
     }
 
+    /// LRU victim way for an 8-way set, given the set's stamp slice.
+    ///
+    /// One packed first-min over `(stamp << 3) | way` replaces the
+    /// two-chain scan (first `INVALID_TAG` way, else first least-recent
+    /// stamp): invalid ways hold stamp 0 by invariant — `new`/`reset`/
+    /// `reinit`/`set_ways` zero the stamps of invalid ways, installs stamp
+    /// `clock >= 1` (the caller increments `clock` before accessing) —
+    /// so a free way's key is always below any valid way's, and ties
+    /// between equal stamps resolve to the lower way via the packed low
+    /// bits. The tree of `min`s is 3 deep where the scan's dependent
+    /// conditional-move chain was 7.
+    ///
+    /// Stamps are access counts, so `stamp << 3` cannot overflow within
+    /// any physically possible run (that would take 2^61 accesses).
+    #[inline]
+    fn lru8_victim(meta: &[u64]) -> usize {
+        let key = |w: usize| (meta[w] << 3) | w as u64;
+        let a = key(0).min(key(1));
+        let b = key(2).min(key(3));
+        let c = key(4).min(key(5));
+        let d = key(6).min(key(7));
+        (a.min(b).min(c.min(d)) & 7) as usize
+    }
+
+    /// Maximum line count per [`Cache::access_span_clean`] call.
+    pub const SPAN_LINES: u32 = 8;
+
+    /// Accesses up to [`Cache::SPAN_LINES`] *consecutive* cache lines
+    /// starting at the line containing `addr`, read-only, and returns a
+    /// bitmask with bit `k` set if line `k` missed. Dirty victim lines
+    /// evicted by the installs are appended to `writebacks` in eviction
+    /// order.
+    ///
+    /// Equivalent to — and bit-identical with, including every counter and
+    /// replacement decision — `n` successive `access(addr + k * line,
+    /// false)` calls (property-tested in `tests/batched_equivalence.rs`).
+    /// The win is scan fusion: consecutive lines map to *distinct*
+    /// consecutive sets, so no line in the span can observe another's
+    /// install, and each line's probe, free-way search, and LRU victim
+    /// selection collapse into one constant-width pass over its set. A
+    /// plain `access` must probe first and only then victim-scan, because
+    /// hits dominate its callers; span callers are instruction-fetch loops
+    /// whose probes miss most of the time, where the fused pass halves the
+    /// per-line scan work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or above [`Cache::SPAN_LINES`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datamime_sim::{Cache, CacheConfig};
+    ///
+    /// let mut a = Cache::new(CacheConfig::new(32 * 1024, 8));
+    /// let mut b = Cache::new(CacheConfig::new(32 * 1024, 8));
+    /// let mut wb = Vec::new();
+    /// // One span call == four per-access calls.
+    /// let miss_mask = a.access_span_clean(0x4000_0000, 4, &mut wb);
+    /// let mut expect = 0u64;
+    /// for k in 0..4u64 {
+    ///     expect |= u64::from(b.access(0x4000_0000 + k * 64, false).is_miss()) << k;
+    /// }
+    /// assert_eq!(miss_mask, expect);
+    /// assert_eq!(a.hits(), b.hits());
+    /// assert!(wb.is_empty()); // clean lines: no dirty victims
+    /// ```
+    #[inline]
+    pub fn access_span_clean(&mut self, addr: Addr, n: u32, writebacks: &mut Vec<Addr>) -> u64 {
+        assert!((1..=Self::SPAN_LINES).contains(&n), "span of {n} lines");
+        let first_set = self.set_of(addr);
+        // The fast path wants: LRU replacement (the L1/L2 levels the span
+        // path serves), 8 ways (every modeled L1/L2), and a span that does
+        // not wrap the set array (wrapping would alias two lines onto one
+        // set and break the distinct-sets invariant).
+        if self.ways == 8
+            && self.cfg.replacement == Replacement::Lru
+            && first_set + u64::from(n) <= self.sets
+        {
+            return self.span_clean_lru8(addr, first_set, n, writebacks);
+        }
+        let mut miss_mask = 0u64;
+        for k in 0..u64::from(n) {
+            if let Access::Miss { writeback_of } =
+                self.access(addr + k * self.cfg.line_bytes, false)
+            {
+                miss_mask |= 1 << k;
+                if let Some(victim) = writeback_of {
+                    writebacks.push(victim);
+                }
+            }
+        }
+        miss_mask
+    }
+
+    /// Fast path of [`Cache::access_span_clean`]: 8-way LRU, non-wrapping
+    /// span. Each line runs one fused constant-width pass computing the
+    /// match bitmask, the first free way, and the first-minimum LRU victim
+    /// simultaneously, so misses need no second scan.
+    #[inline]
+    fn span_clean_lru8(
+        &mut self,
+        addr: Addr,
+        first_set: u64,
+        n: u32,
+        writebacks: &mut Vec<Addr>,
+    ) -> u64 {
+        const W: usize = 8;
+        // The narrow tag is *constant* across a non-wrapping span — the
+        // lines differ only in their set bits, which narrow tags drop — so
+        // one register feeds every line's compare.
+        let tag = self.narrow_tag(addr);
+        let base = first_set as usize * W;
+        let end = base + W * n as usize;
+        // One bounds check per array for the whole span; `chunks_exact`
+        // hands each line's set to the loop body as a full-width slice the
+        // compiler proves is 8 long, so the per-way indexing below compiles
+        // without further checks.
+        let tags = self.tags[base..end].chunks_exact_mut(W);
+        let meta = self.meta[base..end].chunks_exact_mut(W);
+        let dirty = self.dirty[base..end].chunks_exact_mut(W);
+        let clock0 = self.clock;
+        self.clock += u64::from(n);
+        let mut hits = 0u64;
+        let mut miss_mask = 0u64;
+        for (k, ((set_tags, meta), dirty)) in tags.zip(meta).zip(dirty).enumerate() {
+            let clock = clock0 + k as u64 + 1;
+            // Probe-first, unlike the fused block path: instruction spans
+            // are the one caller whose probes hit nearly always (hot code
+            // is L1I-resident in steady state), so the victim machinery —
+            // eight stamp loads and a cmov chain per set — is pure waste
+            // on the common path. `position` returns the first matching
+            // way, which for unique-within-a-set tags is exactly the
+            // `trailing_zeros` of the fused variant's match mask.
+            if let Some(w) = set_tags.iter().position(|&t| t == tag) {
+                meta[w] = clock;
+                hits += 1;
+                continue;
+            }
+            miss_mask |= 1 << k;
+            let victim = Self::lru8_victim(meta);
+            // Dirty implies valid (installs set both; invalidation clears
+            // both), so a clean install only needs to clear the bit when a
+            // write-back actually fired — the common all-clean stream never
+            // stores to the dirty array at all.
+            if set_tags[victim] != INVALID_TAG && dirty[victim] {
+                let set = first_set + k as u64;
+                writebacks.push(
+                    ((u64::from(set_tags[victim]) << self.sets_shift) | set) << self.set_shift,
+                );
+                dirty[victim] = false;
+            }
+            set_tags[victim] = tag;
+            meta[victim] = clock;
+        }
+        self.hits += hits;
+        self.misses += miss_mask.count_ones() as u64;
+        miss_mask
+    }
+
+    /// Fused 8-way LRU clean access: hit bitmask, first free way, and
+    /// first-minimum LRU victim computed in a single constant-width
+    /// branch-free pass. `access_lru` probes first and victim-scans only
+    /// on a miss, which is right for hit-dominated callers with
+    /// predictable hit ways; this path wins when probes miss often or hit
+    /// at unpredictable ways (instruction-fetch spans, contested
+    /// multi-level streams), where the early-exit scan mispredicts its
+    /// exit iteration. The hit/miss *outcome* stays a branch on purpose:
+    /// a cmov-merged single-store variant was measured slower (it chains
+    /// every store behind the full scan instead of letting the speculated
+    /// common path retire early), and so was deferring the stamp min-scan
+    /// to a second, misses-only pass (the scan overlaps the compares for
+    /// free; a separate pass re-waits on the stamp loads).
+    ///
+    /// Bit-identical to `access_lru(base, tag, false)`: tags are unique
+    /// within a set, so the mask's sole bit is the first-match way, and
+    /// both formulations pick the first free way, else the first
+    /// least-recent way. The caller passes the already-incremented access
+    /// `clock` and owns the hit/miss counters — keeping the counters and
+    /// the clock out of `self` lets the block loop carry them in
+    /// registers. Returns `(missed, dirty-victim line)`.
+    #[inline]
+    fn access_clean_lru8_fused(
+        &mut self,
+        base: usize,
+        set: u64,
+        tag: u32,
+        clock: u64,
+    ) -> (bool, Option<Addr>) {
+        const W: usize = 8;
+        // Slice the set's tags and stamps once and index way-relative with
+        // a `& 7` mask thereafter: every way index is provably in-bounds,
+        // so the body carries two bounds checks total instead of one per
+        // tag/stamp/dirty touch (`self.meta[base + w]` re-checks against
+        // the whole array; `meta[w & 7]` checks nothing).
+        let (sets_shift, set_shift) = (self.sets_shift, self.set_shift);
+        let set_tags = &mut self.tags[base..base + W];
+        let meta = &mut self.meta[base..base + W];
+        let mut hmask = 0u64;
+        for (w, &t) in set_tags.iter().enumerate() {
+            hmask |= u64::from(t == tag) << w;
+        }
+        if hmask != 0 {
+            meta[hmask.trailing_zeros() as usize & 7] = clock;
+            return (false, None);
+        }
+        let victim = Self::lru8_victim(meta) & 7;
+        // Dirty implies valid, so the clean install below only needs to
+        // clear the bit when a write-back fired (see `span_clean_lru8`).
+        let wb = if set_tags[victim] != INVALID_TAG && self.dirty[base + victim] {
+            self.dirty[base + victim] = false;
+            Some(((u64::from(set_tags[victim]) << sets_shift) | set) << set_shift)
+        } else {
+            None
+        };
+        set_tags[victim] = tag;
+        meta[victim] = clock;
+        (true, wb)
+    }
+
+    /// Accesses every address in `addrs` in order and appends the ones
+    /// that missed to `misses` (in access order) and any dirty victim
+    /// lines to `writebacks` (in eviction order).
+    ///
+    /// Equivalent to — and bit-identical with, including every counter and
+    /// replacement decision — looping over `access(addr, false)` yourself
+    /// (property-tested in `tests/batched_equivalence.rs`). The win is
+    /// structural: the replacement-policy dispatch happens once per block
+    /// instead of once per access, and the caller's loop body contains
+    /// nothing but this level's probe — so a multi-level lookup chain
+    /// (`L1 → misses → L2 → misses → LLC`) runs each level's probes in a
+    /// tight, well-predicted loop instead of interleaving three levels'
+    /// code behind data-dependent branches.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datamime_sim::{Cache, CacheConfig};
+    ///
+    /// let mut l1 = Cache::new(CacheConfig::new(32 * 1024, 8));
+    /// let mut l2 = Cache::new(CacheConfig::new(256 * 1024, 8));
+    /// let addrs: Vec<u64> = (0..1024u64).map(|i| 0x1000_0000 + i * 64).collect();
+    /// let (mut m1, mut m2, mut wb) = (Vec::new(), Vec::new(), Vec::new());
+    /// // L1 sweeps the block, then the L2 sees only the L1's misses.
+    /// l1.access_block_clean(&addrs, &mut m1, &mut wb);
+    /// l2.access_block_clean(&m1, &mut m2, &mut wb);
+    /// assert_eq!(l1.misses(), m1.len() as u64);
+    /// assert_eq!(l2.misses(), m2.len() as u64);
+    /// assert!(wb.is_empty()); // clean accesses: no dirty victims
+    /// ```
+    pub fn access_block_clean(
+        &mut self,
+        addrs: &[Addr],
+        misses: &mut Vec<Addr>,
+        writebacks: &mut Vec<Addr>,
+    ) {
+        // Hoist the policy dispatch out of the loop; each arm's body is the
+        // same specialized path `access` takes (or a bit-identical fused
+        // variant of it).
+        match self.cfg.replacement {
+            Replacement::Lru if self.ways == 8 => {
+                // Block streams are contested by construction (the caller
+                // feeds this level another level's misses, or a mixed
+                // stream), so hit ways are unpredictable and the fused
+                // constant-width pass beats the early-exit probe. The miss
+                // list is filled with a branchless write-index — the store
+                // always happens, the cursor advances only on a miss — so
+                // the unpredictable hit/miss outcome never becomes a
+                // branch.
+                let start = misses.len();
+                misses.resize(start + addrs.len(), 0);
+                let out = &mut misses[start..];
+                // saturating: an empty block runs zero iterations, but the
+                // bound itself must not underflow.
+                let last = addrs.len().saturating_sub(1);
+                let mut cursor = 0usize;
+                // The clock lives in a local for the duration of the block
+                // so the loop carries it in a register; hit/miss counts
+                // fall out of the final cursor (cursor == misses).
+                let mut clock = self.clock;
+                // The miss list is materialized per 64-access chunk: the
+                // access loop records outcomes in a register-resident
+                // bitmask (no store, no serial chain — a compacting
+                // `out[cursor] = addr; cursor += miss` write would make
+                // every store address depend on all prior hit/miss
+                // outcomes), then a set-bit walk appends the missing
+                // addresses in access order, paying only ~4 ops per miss.
+                // Address decomposition reads three geometry fields that
+                // never change mid-run; copied to locals so the stores
+                // into tags/meta (reached through the same `self`) cannot
+                // force a reload every iteration.
+                let (set_shift, sets_shift, set_mask) =
+                    (self.set_shift, self.sets_shift, self.set_mask);
+                for chunk in addrs.chunks(64) {
+                    let mut mask = 0u64;
+                    for (i, &addr) in chunk.iter().enumerate() {
+                        clock += 1;
+                        let set = (addr >> set_shift) & set_mask;
+                        let t = (addr >> set_shift) >> sets_shift;
+                        assert!(
+                            t < u64::from(u32::MAX),
+                            "address {addr:#x} beyond the 32-bit tag range of this geometry"
+                        );
+                        let tag = t as u32;
+                        let base = set as usize * 8;
+                        let (miss, wb) = self.access_clean_lru8_fused(base, set, tag, clock);
+                        mask |= u64::from(miss) << i;
+                        if let Some(victim) = wb {
+                            writebacks.push(victim);
+                        }
+                    }
+                    while mask != 0 {
+                        let i = mask.trailing_zeros() as usize;
+                        // `cursor` counts misses so far, which is at most
+                        // the number of accesses so far: the `min` is an
+                        // identity that proves the store in-bounds.
+                        out[cursor.min(last)] = chunk[i];
+                        cursor += 1;
+                        mask &= mask - 1;
+                    }
+                }
+                self.clock = clock;
+                self.misses += cursor as u64;
+                self.hits += (addrs.len() - cursor) as u64;
+                misses.truncate(start + cursor.min(addrs.len()));
+            }
+            Replacement::Lru => {
+                for &addr in addrs {
+                    self.clock += 1;
+                    let set = self.set_of(addr);
+                    let tag = self.narrow_tag(addr);
+                    let base = set as usize * self.ways;
+                    if let Access::Miss { writeback_of } = self.access_lru(base, set, tag, false) {
+                        misses.push(addr);
+                        if let Some(victim) = writeback_of {
+                            writebacks.push(victim);
+                        }
+                    }
+                }
+            }
+            Replacement::Drrip => match self.ways {
+                12 => self.block_clean_drrip_w::<12>(addrs, misses, writebacks),
+                16 => self.block_clean_drrip_w::<16>(addrs, misses, writebacks),
+                8 => self.block_clean_drrip_w::<8>(addrs, misses, writebacks),
+                _ => self.block_clean_drrip_w::<0>(addrs, misses, writebacks),
+            },
+        }
+    }
+
+    /// DRRIP arm of [`Cache::access_block_clean`]: the policy *and* width
+    /// dispatch are hoisted out of the loop, so the loop body is one
+    /// const-width specialized access — the match-bitmask loops unroll
+    /// and `base = set * W` strength-reduces. (An explicit software
+    /// prefetch of the upcoming access's tag line was tried here and
+    /// measured no better — the `black_box` it needs pins the value to
+    /// memory and costs the loop more than the early touch saves; see
+    /// docs/PERFORMANCE.md's loss table.)
+    fn block_clean_drrip_w<const W: usize>(
+        &mut self,
+        addrs: &[Addr],
+        misses: &mut Vec<Addr>,
+        writebacks: &mut Vec<Addr>,
+    ) {
+        let ways = if W == 0 { self.ways } else { W };
+        for &addr in addrs {
+            self.clock += 1;
+            let set = self.set_of(addr);
+            let tag = self.narrow_tag(addr);
+            let base = set as usize * ways;
+            if let Access::Miss { writeback_of } = self.access_drrip_w::<W>(base, set, tag, false) {
+                misses.push(addr);
+                if let Some(victim) = writeback_of {
+                    writebacks.push(victim);
+                }
+            }
+        }
+    }
+
     /// Repartitions the cache to `new_ways` ways in place, preserving the
     /// contents of the ways that remain — matching how CAT repartitioning
     /// behaves on hardware (lines in revoked ways are dropped; lines in
@@ -321,26 +916,36 @@ impl Cache {
     /// Panics if `new_ways` is zero or exceeds the original associativity
     /// implied by the set count (the set count never changes).
     pub fn set_ways(&mut self, new_ways: u32) {
-        assert!(new_ways > 0, "invalid way allocation");
+        assert!(
+            new_ways > 0 && new_ways <= MAX_WAYS,
+            "invalid way allocation"
+        );
         let old_ways = self.ways;
         let new = new_ways as usize;
         if new == old_ways {
             return;
         }
         let n = self.sets as usize * new;
-        let mut tags = vec![INVALID_TAG; n];
-        let mut meta = vec![0; n];
+        let mut tags: Vec<u32> = vec![INVALID_TAG; n];
+        let mut meta = vec![0u64; if self.meta.is_empty() { 0 } else { n }];
+        let mut rrpv = vec![0u8; if self.rrpv.is_empty() { 0 } else { n }];
         let mut dirty = vec![false; n];
         let keep = old_ways.min(new);
         for set in 0..self.sets as usize {
             for w in 0..keep {
                 tags[set * new + w] = self.tags[set * old_ways + w];
-                meta[set * new + w] = self.meta[set * old_ways + w];
+                if !meta.is_empty() {
+                    meta[set * new + w] = self.meta[set * old_ways + w];
+                }
+                if !rrpv.is_empty() {
+                    rrpv[set * new + w] = self.rrpv[set * old_ways + w];
+                }
                 dirty[set * new + w] = self.dirty[set * old_ways + w];
             }
         }
         self.tags = tags;
         self.meta = meta;
+        self.rrpv = rrpv;
         self.dirty = dirty;
         self.ways = new;
         self.cfg.ways = new_ways;
@@ -351,8 +956,70 @@ impl Cache {
     pub fn reset(&mut self) {
         self.tags.fill(INVALID_TAG);
         self.meta.fill(0);
+        self.rrpv.fill(0);
         self.dirty.fill(false);
         self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Reconfigures the cache in place to exactly the state
+    /// [`Cache::new(cfg)`](Cache::new) would produce, reusing the existing
+    /// tag/metadata allocations when the total way count is unchanged.
+    ///
+    /// This is the arena-reuse hook: a pooled `Cache` handed out by
+    /// `datamime`'s `EvalArena` is `reinit`ed instead of reallocated, which
+    /// removes ~3 MB of allocator traffic per evaluation for a Broadwell
+    /// LLC. Behaviour after `reinit(cfg)` is bit-identical to a fresh
+    /// `Cache::new(cfg)` — including the DRRIP set-dueling counters and the
+    /// seeded BRRIP tie-break RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::sets`]).
+    pub fn reinit(&mut self, cfg: CacheConfig) {
+        let sets = cfg.sets();
+        assert!(
+            cfg.ways <= MAX_WAYS,
+            "associativity above {MAX_WAYS} is unsupported"
+        );
+        let n = (sets * cfg.ways as u64) as usize;
+        if n == self.tags.len() {
+            self.tags.fill(INVALID_TAG);
+            self.dirty.fill(false);
+        } else {
+            self.tags.clear();
+            self.tags.resize(n, INVALID_TAG);
+            self.dirty.clear();
+            self.dirty.resize(n, false);
+        }
+        // Replacement state follows the (possibly changed) policy.
+        let (meta_n, rrpv_n) = match cfg.replacement {
+            Replacement::Lru => (n, 0),
+            Replacement::Drrip => (0, n),
+        };
+        if self.meta.len() == meta_n {
+            self.meta.fill(0);
+        } else {
+            self.meta.clear();
+            self.meta.resize(meta_n, 0);
+        }
+        if self.rrpv.len() == rrpv_n {
+            self.rrpv.fill(0);
+        } else {
+            self.rrpv.clear();
+            self.rrpv.resize(rrpv_n, 0);
+        }
+        self.cfg = cfg;
+        self.sets = sets;
+        self.set_mask = sets - 1;
+        self.set_shift = cfg.line_bytes.trailing_zeros();
+        self.sets_shift = sets.trailing_zeros();
+        self.ways = cfg.ways as usize;
+        self.clock = 0;
+        self.psel = PSEL_MAX / 2;
+        self.brrip_ctr = 0;
+        self.rng = Rng::with_seed(0xD12);
         self.hits = 0;
         self.misses = 0;
     }

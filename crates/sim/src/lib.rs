@@ -48,6 +48,7 @@ mod config;
 mod counters;
 mod machine;
 mod mem;
+pub mod reference;
 mod sampler;
 mod tlb;
 mod trace;
@@ -58,6 +59,7 @@ pub use config::{MachineConfig, Penalties};
 pub use counters::Counters;
 pub use machine::Machine;
 pub use mem::{lines_of, Addr, AllocError, Segment, SimAlloc, LINE_BYTES, PAGE_BYTES};
+pub use reference::{RefCache, RefTlb};
 pub use sampler::{MetricSample, Sampler, DEFAULT_INTERVAL_CYCLES};
 pub use tlb::{Tlb, TlbConfig};
 pub use trace::{Trace, TraceEvent};

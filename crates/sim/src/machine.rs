@@ -54,9 +54,26 @@ pub struct Machine {
     /// Event recorder, active between `start_recording` and
     /// `stop_recording`.
     recorder: Option<Trace>,
+    /// Reusable dirty-victim buffer for the span-probe calls.
+    wb_scratch: Vec<Addr>,
 }
 
+/// Lines per batch in the block-phased frontend and data paths — see
+/// [`Machine::BLOCK_LINES`].
+const BLOCK_LINES: usize = 64;
+
 impl Machine {
+    /// Lines per batch in the block-phased frontend and data paths.
+    ///
+    /// Multi-line spans are processed in blocks of this many cache lines:
+    /// within a block, each hardware unit (TLB, L1, the unified levels
+    /// below) performs all of its probes in one tight loop over the block
+    /// before the next unit runs, instead of every line taking a full trip
+    /// through every unit. Each unit still observes its own accesses in
+    /// original line order, so all counters stay bit-identical to the
+    /// line-at-a-time formulation (see docs/PERFORMANCE.md).
+    pub const BLOCK_LINES: usize = BLOCK_LINES;
+
     /// Builds a machine from its configuration.
     pub fn new(cfg: MachineConfig) -> Self {
         Machine {
@@ -72,8 +89,52 @@ impl Machine {
             streams: [Addr::MAX; 16],
             stream_cursor: 0,
             recorder: None,
+            wb_scratch: Vec::new(),
             cfg,
         }
+    }
+
+    /// Reconfigures the machine in place to exactly the state
+    /// [`Machine::new(cfg)`](Machine::new) would produce, reusing the cache,
+    /// TLB, and predictor allocations wherever the geometry permits.
+    ///
+    /// This is the arena-reuse hook behind `datamime`'s `EvalArena`: a
+    /// Broadwell machine owns ~3 MB of tag/metadata arrays, and a Bayesian
+    /// search builds one machine per evaluation plus one per
+    /// cache-sensitivity curve point — `reinit` turns each of those
+    /// allocations into a `memset`. Behaviour after `reinit` is
+    /// bit-identical to a fresh machine (property-tested in
+    /// `tests/machine_equivalence.rs`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datamime_sim::{Machine, MachineConfig};
+    ///
+    /// let mut m = Machine::new(MachineConfig::broadwell());
+    /// m.exec(0x4000_0000, 256, 64);
+    /// m.reinit(MachineConfig::broadwell());
+    /// assert_eq!(m.counters().instructions, 0); // fresh state, reused arrays
+    /// ```
+    pub fn reinit(&mut self, cfg: MachineConfig) {
+        self.l1i.reinit(cfg.l1i);
+        self.l1d.reinit(cfg.l1d);
+        self.l2.reinit(cfg.l2);
+        match (&mut self.llc, cfg.llc) {
+            (Some(c), Some(llc_cfg)) => c.reinit(llc_cfg),
+            (slot, Some(llc_cfg)) => *slot = Some(Cache::new(llc_cfg)),
+            (slot, None) => *slot = None,
+        }
+        self.itlb.reinit(cfg.itlb);
+        self.dtlb.reinit(cfg.dtlb);
+        self.bp.reinit(cfg.branch);
+        self.counters = Counters::new();
+        self.cycle_frac = 0.0;
+        self.streams = [Addr::MAX; 16];
+        self.stream_cursor = 0;
+        self.recorder = None;
+        self.wb_scratch.clear();
+        self.cfg = cfg;
     }
 
     /// Repartitions the LLC to `ways` ways (Intel CAT style) *during*
@@ -111,12 +172,21 @@ impl Machine {
     /// Returns `true` if `line` continues a tracked sequential stream
     /// (i.e. the hardware prefetcher would have the line in flight).
     /// Updates the stream table either way.
+    ///
+    /// The scan is branch-free: one match bitmask over all 16 slots (the
+    /// compiler vectorizes the compare loop), then the first matching slot
+    /// is updated — identical to the old early-exit loop, which also only
+    /// ever updated the first match.
+    #[inline]
     fn prefetcher_covers(&mut self, line: Addr) -> bool {
-        for s in &mut self.streams {
-            if line == s.wrapping_add(LINE_BYTES) || line == *s {
-                *s = line;
-                return true;
-            }
+        let mut mask: u32 = 0;
+        for (i, s) in self.streams.iter().enumerate() {
+            let m = line == s.wrapping_add(LINE_BYTES) || line == *s;
+            mask |= u32::from(m) << i;
+        }
+        if mask != 0 {
+            self.streams[mask.trailing_zeros() as usize] = line;
+            return true;
         }
         // New stream candidate: start tracking it.
         self.streams[self.stream_cursor] = line;
@@ -143,23 +213,32 @@ impl Machine {
     }
 
     /// Accesses the unified levels below L1 (L2, then LLC, then memory) and
-    /// returns the cycle penalty. `write` marks the line dirty in the level
-    /// where it lands.
-    fn below_l1(&mut self, line: Addr, write: bool) -> f64 {
-        let p = self.cfg.penalties;
-        match self.l2.access(line, write) {
-            Access::Hit => p.l2_hit,
-            Access::Miss { writeback_of } => {
-                self.counters.l2_misses += 1;
-                let mut penalty = p.l2_hit;
-                // Propagate the L2's dirty victim downward.
-                if let Some(victim) = writeback_of {
-                    self.write_llc_or_memory(victim);
-                }
-                penalty += self.fill_from_llc_or_memory(line, write);
-                penalty
-            }
+    /// returns the cycle penalty. Demand fills reaching this level are
+    /// always reads: write-allocate dirties the L1, and dirty victims take
+    /// [`Machine::below_l1_writeback`] instead.
+    ///
+    /// `#[inline]` + the outlined miss half keep the L2-hit case — the
+    /// steady state of every loop whose working set fits the L2 — down to
+    /// one probe and a constant, inlined into the fetch/data loops.
+    #[inline]
+    fn below_l1(&mut self, line: Addr) -> f64 {
+        match self.l2.access(line, false) {
+            Access::Hit => self.cfg.penalties.l2_hit,
+            Access::Miss { writeback_of } => self.below_l1_miss(line, writeback_of),
         }
+    }
+
+    /// Miss half of [`Machine::below_l1`]: writeback propagation plus the
+    /// LLC/memory fill.
+    fn below_l1_miss(&mut self, line: Addr, writeback_of: Option<Addr>) -> f64 {
+        self.counters.l2_misses += 1;
+        let mut penalty = self.cfg.penalties.l2_hit;
+        // Propagate the L2's dirty victim downward.
+        if let Some(victim) = writeback_of {
+            self.write_llc_or_memory(victim);
+        }
+        penalty += self.fill_from_llc_or_memory(line, false);
+        penalty
     }
 
     /// Fills `line` from the LLC (or memory when absent / missing).
@@ -235,33 +314,139 @@ impl Machine {
                 ilp,
             });
         }
-        let p = self.cfg.penalties;
         self.counters.instructions += instrs;
-        let mut penalty = 0.0;
-        let mut page = u64::MAX;
-        let mut first = true;
-        for line in lines_of(pc, code_bytes) {
-            let line_page = line / PAGE_BYTES;
-            if line_page != page {
-                page = line_page;
-                if !self.itlb.access(line) {
-                    self.counters.itlb_misses += 1;
-                    penalty += p.tlb_walk;
-                }
+        // Single-line fast path, mirroring `data_access`: most spans the
+        // workloads issue (and every span the request loops replay) fit in
+        // one cache line, and the block machinery below would spend more
+        // on its bookkeeping than on the two probes this needs.
+        let first_line = pc / LINE_BYTES;
+        let last_line = if code_bytes == 0 {
+            first_line
+        } else {
+            (pc + code_bytes - 1) / LINE_BYTES
+        };
+        if first_line == last_line {
+            let line = first_line * LINE_BYTES;
+            let mut penalty = 0.0;
+            if !self.itlb.access(line) {
+                self.counters.itlb_misses += 1;
+                penalty += self.cfg.penalties.tlb_walk;
             }
             if self.l1i.access(line, false).is_miss() {
                 self.counters.l1i_misses += 1;
-                let fill = self.below_l1(line, false) * p.frontend_stall_factor;
-                // Within a span, fetch is sequential: next-line prefetch
-                // hides part of the latency of all but the first line, but
-                // branchy server code cannot run fetch far ahead.
-                penalty += if first {
-                    fill
-                } else {
-                    fill * p.prefetch_exposed.max(0.5)
-                };
+                penalty += self.below_l1(line) * self.cfg.penalties.frontend_stall_factor;
+            }
+            self.charge(instrs as f64 / self.cfg.issue_width.min(ilp) + penalty);
+            return;
+        }
+        self.exec_span(first_line, last_line, instrs, ilp);
+    }
+
+    /// Multi-line half of [`Machine::exec_ilp`], kept out of line so the
+    /// dominant single-line path stays small enough to stay in registers.
+    fn exec_span(&mut self, first_line: u64, last_line: u64, instrs: u64, ilp: f64) {
+        let p = self.cfg.penalties;
+        let nlines = last_line - first_line + 1;
+        // Short-span fast path: a span that stays inside one page and one
+        // L1I probe window — the shape nearly every real code span has
+        // (compilers keep hot code compact; a 4 KiB page is 64 lines) —
+        // needs exactly one ITLB probe and one span call, so the generic
+        // block loop below with its per-line page dedup is pure overhead.
+        if nlines <= u64::from(Cache::SPAN_LINES)
+            && first_line * LINE_BYTES / PAGE_BYTES == last_line * LINE_BYTES / PAGE_BYTES
+        {
+            let span = first_line * LINE_BYTES;
+            let mut penalty = 0.0;
+            if !self.itlb.access(span) {
+                self.counters.itlb_misses += 1;
+                penalty += p.tlb_walk;
+            }
+            let miss_mask = self
+                .l1i
+                .access_span_clean(span, nlines as u32, &mut self.wb_scratch);
+            self.counters.l1i_misses += u64::from(miss_mask.count_ones());
+            debug_assert!(self.wb_scratch.is_empty(), "L1I lines are never dirty");
+            // Resolve misses in ascending line order (bit-identical f64
+            // accumulation order); only line 0 of the span pays the full
+            // fill, fetch-ahead hides part of the rest.
+            let exposed = p.prefetch_exposed.max(0.5);
+            let mut m = miss_mask;
+            while m != 0 {
+                let k = u64::from(m.trailing_zeros());
+                m &= m - 1;
+                let fill = self.below_l1((first_line + k) * LINE_BYTES) * p.frontend_stall_factor;
+                penalty += if k == 0 { fill } else { fill * exposed };
+            }
+            self.charge(instrs as f64 / self.cfg.issue_width.min(ilp) + penalty);
+            return;
+        }
+        let mut penalty = 0.0;
+        let mut page = u64::MAX;
+        let mut first = true;
+        // The span's lines go through the frontend in blocks of up to
+        // [`Machine::BLOCK_LINES`]: each hardware unit (ITLB, L1I, then the
+        // unified levels) sees its own access subsequence in original line
+        // order, so per-unit state evolves exactly as in the line-at-a-time
+        // formulation, while each probe loop stays tight enough to pipeline
+        // across the block. Per-line outcomes live in two u64 bitmasks —
+        // no scratch arrays to zero per call.
+        let mut ln = first_line;
+        while ln <= last_line {
+            let chunk = (last_line - ln + 1).min(BLOCK_LINES as u64);
+            // Phase 1: ITLB probes, page-dedup'd (carried across blocks).
+            let mut walk_mask = 0u64;
+            for k in 0..chunk {
+                let line = (ln + k) * LINE_BYTES;
+                let line_page = line / PAGE_BYTES;
+                if line_page != page {
+                    page = line_page;
+                    if !self.itlb.access(line) {
+                        self.counters.itlb_misses += 1;
+                        walk_mask |= 1 << k;
+                    }
+                }
+            }
+            // Phase 2: L1I probes, span-batched — one vectorized window
+            // sweep answers up to SPAN_LINES consecutive probes at once.
+            let mut miss_mask = 0u64;
+            let mut off = 0u64;
+            while off < chunk {
+                let n = (chunk - off).min(u64::from(Cache::SPAN_LINES));
+                let m = self.l1i.access_span_clean(
+                    (ln + off) * LINE_BYTES,
+                    n as u32,
+                    &mut self.wb_scratch,
+                );
+                miss_mask |= m << off;
+                off += n;
+            }
+            self.counters.l1i_misses += u64::from(miss_mask.count_ones());
+            debug_assert!(self.wb_scratch.is_empty(), "L1I lines are never dirty");
+            // Phase 3: misses descend the unified hierarchy in line order,
+            // and penalty terms are summed in the original interleaved
+            // per-line order, keeping the f64 accumulation bit-identical
+            // to the scalar formulation. Fully warm blocks skip this.
+            if walk_mask | miss_mask != 0 {
+                for k in 0..chunk {
+                    if walk_mask & (1 << k) != 0 {
+                        penalty += p.tlb_walk;
+                    }
+                    if miss_mask & (1 << k) != 0 {
+                        let fill = self.below_l1((ln + k) * LINE_BYTES) * p.frontend_stall_factor;
+                        // Within a span, fetch is sequential: next-line
+                        // prefetch hides part of the latency of all but
+                        // the first line, but branchy server code cannot
+                        // run fetch far ahead.
+                        penalty += if first && k == 0 {
+                            fill
+                        } else {
+                            fill * p.prefetch_exposed.max(0.5)
+                        };
+                    }
+                }
             }
             first = false;
+            ln += chunk;
         }
         self.charge(instrs as f64 / self.cfg.issue_width.min(ilp) + penalty);
     }
@@ -313,26 +498,67 @@ impl Machine {
             let mut penalty = 0.0;
             if !self.dtlb.access(line) {
                 self.counters.dtlb_misses += 1;
-                let p = self.cfg.penalties;
-                penalty += p.tlb_walk / p.mlp;
+                penalty += self.cfg.penalties.tlb_walk / self.cfg.penalties.mlp;
             }
             penalty += self.data_line_access(line, write);
             self.charge(penalty);
             return;
         }
+        self.data_span(addr, size, write);
+    }
+
+    /// Multi-line half of [`Machine::data_access`], kept out of line so the
+    /// dominant single-line path stays small.
+    fn data_span(&mut self, addr: Addr, size: u64, write: bool) {
         let p = self.cfg.penalties;
         let mut penalty = 0.0;
         let mut page = u64::MAX;
-        for line in lines_of(addr, size) {
-            let line_page = line / PAGE_BYTES;
-            if line_page != page {
-                page = line_page;
-                if !self.dtlb.access(line) {
-                    self.counters.dtlb_misses += 1;
-                    penalty += p.tlb_walk / p.mlp;
+        // Block-phased like `exec_ilp`: DTLB probes, then prefetcher
+        // stream scans, then L1D + the unified levels, each unit sweeping
+        // the whole block in line order before the next unit runs.
+        let mut lines = lines_of(addr, size);
+        let mut block = [0u64; BLOCK_LINES];
+        let mut tlb_walked = [false; BLOCK_LINES];
+        let mut covered = [false; BLOCK_LINES];
+        loop {
+            let mut n = 0;
+            for line in lines.by_ref() {
+                block[n] = line;
+                n += 1;
+                if n == BLOCK_LINES {
+                    break;
                 }
             }
-            penalty += self.data_line_access(line, write);
+            if n == 0 {
+                break;
+            }
+            // Phase 1: DTLB probes, page-dedup'd (carried across blocks).
+            for i in 0..n {
+                let line = block[i];
+                let line_page = line / PAGE_BYTES;
+                let mut walked = false;
+                if line_page != page {
+                    page = line_page;
+                    if !self.dtlb.access(line) {
+                        self.counters.dtlb_misses += 1;
+                        walked = true;
+                    }
+                }
+                tlb_walked[i] = walked;
+            }
+            // Phase 2: prefetcher stream scans across the block.
+            for i in 0..n {
+                covered[i] = self.prefetcher_covers(block[i]);
+            }
+            // Phase 3: L1D and the levels below, penalties summed in the
+            // original interleaved per-line order (bit-identical f64
+            // accumulation).
+            for i in 0..n {
+                if tlb_walked[i] {
+                    penalty += p.tlb_walk / p.mlp;
+                }
+                penalty += self.data_line_covered(block[i], write, covered[i]);
+            }
         }
         self.charge(penalty);
     }
@@ -343,8 +569,16 @@ impl Machine {
     /// charge bit-identical costs.
     #[inline]
     fn data_line_access(&mut self, line: Addr, write: bool) -> f64 {
-        let p = self.cfg.penalties;
         let covered = self.prefetcher_covers(line);
+        self.data_line_covered(line, write, covered)
+    }
+
+    /// The L1D-and-below half of [`Machine::data_line_access`], with the
+    /// prefetcher verdict supplied by the caller (the block-phased path
+    /// batches the stream scans separately).
+    #[inline]
+    fn data_line_covered(&mut self, line: Addr, write: bool, covered: bool) -> f64 {
+        let p = self.cfg.penalties;
         match self.l1d.access(line, write) {
             Access::Hit => 0.0,
             Access::Miss { writeback_of } => {
@@ -353,7 +587,7 @@ impl Machine {
                     // L1 dirty victim is absorbed by the L2 (or below).
                     let _ = self.below_l1_writeback(victim);
                 }
-                let fill = self.below_l1(line, false) / p.mlp;
+                let fill = self.below_l1(line) / p.mlp;
                 // A detected stream still counts misses and moves
                 // traffic, but the prefetcher hides most of the latency.
                 if covered {

@@ -131,6 +131,23 @@ impl Sampler {
         self.next_wall = wall.saturating_add(self.interval);
     }
 
+    /// Resets the sampler in place to exactly the state
+    /// [`Sampler::new(interval_cycles)`](Sampler::new) would produce,
+    /// keeping the sample buffer's allocation (the arena-reuse hook: a
+    /// pooled sampler stops reallocating its samples vector once it has
+    /// grown to a search's steady-state profile length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles` is zero.
+    pub fn reinit(&mut self, interval_cycles: u64) {
+        assert!(interval_cycles > 0, "interval must be positive");
+        self.interval = interval_cycles;
+        self.last = Counters::new();
+        self.next_wall = interval_cycles;
+        self.samples.clear();
+    }
+
     /// Discards accumulated state so the next sample starts fresh — used to
     /// skip warm-up.
     pub fn restart(&mut self, machine: &Machine) {

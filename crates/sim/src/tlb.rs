@@ -55,6 +55,7 @@ impl Tlb {
     /// not a multiple of `ways`, or a non-power-of-two set count).
     pub fn new(cfg: TlbConfig) -> Self {
         assert!(cfg.entries > 0 && cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways));
+        assert!(cfg.ways <= 64, "associativity above 64 is unsupported");
         let sets = (cfg.entries / cfg.ways) as u64;
         assert!(
             sets.is_power_of_two(),
@@ -73,6 +74,33 @@ impl Tlb {
         }
     }
 
+    /// Set probe: a way-0 fast check, then a branch-free match bitmask over
+    /// the remaining ways (first set bit wins, so the result is the first
+    /// matching way either way).
+    ///
+    /// The way-0 check is load-bearing: translations install into the first
+    /// free way, so a loop running over one hot page (the `sampler_poll`
+    /// shape — and every request-replay inner loop) hits way 0 with a
+    /// perfectly predicted branch and skips the full-width scan entirely.
+    /// Thrashing streams fall through to the bitmask, which beats an
+    /// early-exit scan there because the exit iteration is unpredictable.
+    #[inline]
+    fn probe(&self, base: usize, tag: u64) -> Option<usize> {
+        let set_tags = &self.tags[base..base + self.ways];
+        if set_tags[0] == tag {
+            return Some(0);
+        }
+        let mut mask: u64 = 0;
+        for (w, &t) in set_tags.iter().enumerate().skip(1) {
+            mask |= u64::from(t == tag) << w;
+        }
+        if mask != 0 {
+            Some(mask.trailing_zeros() as usize)
+        } else {
+            None
+        }
+    }
+
     /// Translates the page containing `addr`, returning `true` on a hit.
     /// Misses install the translation (LRU victim).
     #[inline]
@@ -82,26 +110,64 @@ impl Tlb {
         let set = page & (self.sets - 1);
         let tag = page;
         let base = (set as usize) * self.ways;
-        let set_tags = &self.tags[base..base + self.ways];
-        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+        if let Some(way) = self.probe(base, tag) {
             self.stamp[base + way] = self.clock;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        let mut v = base;
-        if let Some(way) = set_tags.iter().position(|&t| t == INVALID_TAG) {
-            v = base + way;
-        } else {
-            for i in base + 1..base + self.ways {
-                if self.stamp[i] < self.stamp[v] {
-                    v = i;
+        let v = match self.probe(base, INVALID_TAG) {
+            Some(way) => base + way,
+            None => {
+                // Conditional-move first-minimum scan over the stamps,
+                // matching the old `if stamp[i] < stamp[v]` loop.
+                let stamps = &self.stamp[base..base + self.ways];
+                let mut v = 0usize;
+                let mut best = stamps[0];
+                for (w, &s) in stamps.iter().enumerate().skip(1) {
+                    let better = s < best;
+                    v = if better { w } else { v };
+                    best = if better { s } else { best };
                 }
+                base + v
             }
-        }
+        };
         self.tags[v] = tag;
         self.stamp[v] = self.clock;
         false
+    }
+
+    /// Resets the TLB in place to exactly the state
+    /// [`Tlb::new(cfg)`](Tlb::new) would produce, reusing the entry arrays
+    /// when the geometry is unchanged (the arena-reuse hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (see [`Tlb::new`]).
+    pub fn reinit(&mut self, cfg: TlbConfig) {
+        assert!(cfg.entries > 0 && cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways));
+        assert!(cfg.ways <= 64, "associativity above 64 is unsupported");
+        let sets = (cfg.entries / cfg.ways) as u64;
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
+        let n = cfg.entries as usize;
+        if n == self.tags.len() {
+            self.tags.fill(INVALID_TAG);
+            self.stamp.fill(0);
+        } else {
+            self.tags.clear();
+            self.tags.resize(n, INVALID_TAG);
+            self.stamp.clear();
+            self.stamp.resize(n, 0);
+        }
+        self.cfg = cfg;
+        self.sets = sets;
+        self.ways = cfg.ways as usize;
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Cumulative hits.

@@ -1,0 +1,135 @@
+//! Arena-reuse equivalence: a `reinit`ed simulator must be bit-identical
+//! to a freshly constructed one on any subsequent event stream.
+//!
+//! This is what lets `EvalArena` (crates/core) recycle `Machine`s across
+//! search evaluations instead of reallocating the multi-megabyte LLC model
+//! per candidate: the pool hands out state that behaves exactly like
+//! `Machine::new`, counter for counter.
+
+use datamime_sim::{Cache, CacheConfig, Machine, MachineConfig, Replacement, Tlb, TlbConfig};
+use proptest::prelude::*;
+
+fn any_machine_config() -> impl Strategy<Value = MachineConfig> {
+    prop_oneof![
+        Just(MachineConfig::broadwell()),
+        Just(MachineConfig::zen2()),
+        Just(MachineConfig::silvermont()),
+    ]
+}
+
+/// One simulated event; streams of these drive both machines.
+#[derive(Debug, Clone)]
+enum Event {
+    Exec { pc: u64, bytes: u64, instrs: u64 },
+    Load { addr: u64, size: u64 },
+    Store { addr: u64, size: u64 },
+    Branch { pc: u64, taken: bool },
+}
+
+fn any_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u64..1 << 30, 0u64..1024, 1u64..256).prop_map(|(pc, bytes, instrs)| Event::Exec {
+            pc,
+            bytes,
+            instrs
+        }),
+        (0u64..1 << 30, 1u64..64).prop_map(|(addr, size)| Event::Load { addr, size }),
+        (0u64..1 << 30, 1u64..64).prop_map(|(addr, size)| Event::Store { addr, size }),
+        (0u64..1 << 20, any::<bool>()).prop_map(|(pc, taken)| Event::Branch { pc, taken }),
+    ]
+}
+
+fn replay(m: &mut Machine, events: &[Event]) {
+    for e in events {
+        match *e {
+            Event::Exec { pc, bytes, instrs } => m.exec(pc, bytes, instrs),
+            Event::Load { addr, size } => m.load(addr, size),
+            Event::Store { addr, size } => m.store(addr, size),
+            Event::Branch { pc, taken } => m.branch(pc, taken),
+        }
+    }
+}
+
+proptest! {
+    /// Run a machine through one stream, `reinit` it, replay a second
+    /// stream — the counters must equal a fresh machine's bit for bit.
+    #[test]
+    fn reinit_machine_matches_fresh(
+        cfg in any_machine_config(),
+        warmup in prop::collection::vec(any_event(), 0..60),
+        stream in prop::collection::vec(any_event(), 1..120),
+    ) {
+        let mut recycled = Machine::new(cfg.clone());
+        replay(&mut recycled, &warmup);
+        recycled.reinit(cfg.clone());
+
+        let mut fresh = Machine::new(cfg);
+        replay(&mut recycled, &stream);
+        replay(&mut fresh, &stream);
+        prop_assert_eq!(recycled.counters(), fresh.counters());
+    }
+
+    /// Same property one level down, for a pooled cache: `reinit` must
+    /// reproduce `Cache::new` exactly, including replacement state and the
+    /// DRRIP set-dueling counters — even across a geometry change, which
+    /// exercises the reallocation path.
+    #[test]
+    fn reinit_cache_matches_fresh(
+        warm_cfg in prop_oneof![
+            Just(CacheConfig::new(4 * 1024, 8)),
+            Just(CacheConfig {
+                size_bytes: 48 * 1024,
+                ways: 12,
+                line_bytes: 64,
+                replacement: Replacement::Drrip,
+            }),
+        ],
+        cfg in prop_oneof![
+            Just(CacheConfig::new(4 * 1024, 8)),
+            Just(CacheConfig::new(2 * 1024, 4)),
+            Just(CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                replacement: Replacement::Drrip,
+            }),
+        ],
+        warmup in prop::collection::vec((0u64..1 << 18, any::<bool>()), 0..200),
+        stream in prop::collection::vec((0u64..1 << 18, any::<bool>()), 1..400),
+    ) {
+        let mut recycled = Cache::new(warm_cfg);
+        for &(addr, write) in &warmup {
+            recycled.access(addr, write);
+        }
+        recycled.reinit(cfg);
+
+        let mut fresh = Cache::new(cfg);
+        for &(addr, write) in &stream {
+            prop_assert_eq!(recycled.access(addr, write), fresh.access(addr, write));
+        }
+        prop_assert_eq!(recycled.hits(), fresh.hits());
+        prop_assert_eq!(recycled.misses(), fresh.misses());
+    }
+
+    /// And for a pooled TLB.
+    #[test]
+    fn reinit_tlb_matches_fresh(
+        warm_cfg in prop_oneof![Just(TlbConfig::new(64, 4)), Just(TlbConfig::new(128, 8))],
+        cfg in prop_oneof![Just(TlbConfig::new(64, 4)), Just(TlbConfig::new(32, 32))],
+        warmup in prop::collection::vec(0u64..1 << 26, 0..200),
+        stream in prop::collection::vec(0u64..1 << 26, 1..400),
+    ) {
+        let mut recycled = Tlb::new(warm_cfg);
+        for &addr in &warmup {
+            recycled.access(addr);
+        }
+        recycled.reinit(cfg);
+
+        let mut fresh = Tlb::new(cfg);
+        for &addr in &stream {
+            prop_assert_eq!(recycled.access(addr), fresh.access(addr));
+        }
+        prop_assert_eq!(recycled.hits(), fresh.hits());
+        prop_assert_eq!(recycled.misses(), fresh.misses());
+    }
+}

@@ -12,6 +12,15 @@ use crate::ecdf::Ecdf;
 /// Computes the raw (un-normalized) EMD between two eCDFs: the area between
 /// their CDF curves, `∫ |F(x) − G(x)| dx`.
 ///
+/// This is the merge-walk fast path: one linear pass over the two sorted
+/// sample arrays (which [`Ecdf::new`] sorted once, at construction), with no
+/// allocation and no binary searches. The search loop calls it ten times per
+/// candidate — once per Table-I metric — against target eCDFs built once per
+/// search, so the comparison itself must be cheap. It is bit-identical
+/// (0 ULP) to [`emd_area_naive`], the direct transcription of the
+/// definition; `crates/stats/tests/properties.rs` asserts `to_bits`
+/// equality on random inputs.
+///
 /// # Examples
 ///
 /// ```
@@ -21,8 +30,49 @@ use crate::ecdf::Ecdf;
 /// assert!((emd_area(&a, &b) - 1.0).abs() < 1e-12);
 /// ```
 pub fn emd_area(a: &Ecdf, b: &Ecdf) -> f64 {
-    // Merge the two sorted sample sets into one breakpoint list and integrate
-    // the step-function difference exactly.
+    let xs_a = a.samples();
+    let xs_b = b.samples();
+    // Non-empty by Ecdf construction.
+    let (n, m) = (xs_a.len() as f64, xs_b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut area = 0.0;
+    let mut x0 = xs_a[0].min(xs_b[0]);
+    loop {
+        // Consume every sample equal to the current breakpoint so that
+        // `i`/`j` equal the partition points `#{x <= x0}` — the same counts
+        // `Ecdf::eval` computes by binary search. Between breakpoints both
+        // CDFs are constant, so each distinct-value gap contributes one
+        // rectangle, in ascending order — the identical term sequence the
+        // naive merged-window integration produces, which is what makes the
+        // two implementations agree to the last bit.
+        while i < xs_a.len() && xs_a[i] == x0 {
+            i += 1;
+        }
+        while j < xs_b.len() && xs_b[j] == x0 {
+            j += 1;
+        }
+        let x1 = match (xs_a.get(i), xs_b.get(j)) {
+            (Some(&u), Some(&v)) => u.min(v),
+            (Some(&u), None) => u,
+            (None, Some(&v)) => v,
+            (None, None) => break,
+        };
+        area += ((i as f64 / n) - (j as f64 / m)).abs() * (x1 - x0);
+        x0 = x1;
+    }
+    area
+}
+
+/// Reference implementation of [`emd_area`]: materialize the merged
+/// breakpoint list, then integrate the step-function difference window by
+/// window, evaluating both CDFs by binary search at every breakpoint.
+///
+/// This is the shape the definition suggests — and what `emd_area` was
+/// before the merge-walk rewrite. It allocates a merged `Vec` and performs
+/// `O((n+m) log)` work per comparison, so the hot path no longer uses it;
+/// it survives as the oracle the 0-ULP equivalence property test compares
+/// against, per the hot-path rules in docs/PERFORMANCE.md.
+pub fn emd_area_naive(a: &Ecdf, b: &Ecdf) -> f64 {
     let xs_a = a.samples();
     let xs_b = b.samples();
     let mut merged: Vec<f64> = Vec::with_capacity(xs_a.len() + xs_b.len());
@@ -83,17 +133,44 @@ pub fn emd_normalized(a: &Ecdf, b: &Ecdf) -> f64 {
 ///
 /// Panics if the curves have different lengths or are empty.
 pub fn curve_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "curves must share a grid");
-    assert!(!a.is_empty(), "curves must be non-empty");
+    curve_distance_iter(a.iter().copied(), b.iter().copied())
+}
+
+/// [`curve_distance`] over iterators, so callers holding curves in richer
+/// structures (e.g. `core`'s `CurvePoint` rows) can compare them without
+/// collecting y-values into temporary `Vec`s first. Two passes are made, so
+/// the iterators must be `Clone`; both passes visit elements in the same
+/// order as the slice version, keeping the result bit-identical to it.
+///
+/// # Panics
+///
+/// Panics if the curves have different lengths or are empty.
+pub fn curve_distance_iter(
+    a: impl Iterator<Item = f64> + Clone,
+    b: impl Iterator<Item = f64> + Clone,
+) -> f64 {
     let scale = a
-        .iter()
-        .chain(b.iter())
-        .fold(0.0f64, |m, &x| m.max(x.abs()));
+        .clone()
+        .chain(b.clone())
+        .fold(0.0f64, |m, x| m.max(x.abs()));
+    let (mut sum, mut n) = (0.0f64, 0usize);
+    let (mut ia, mut ib) = (a, b);
+    loop {
+        match (ia.next(), ib.next()) {
+            (Some(x), Some(y)) => {
+                sum += (x - y).abs();
+                n += 1;
+            }
+            (None, None) => break,
+            // audit:allow(panic-safety): mismatched grids are a caller bug; the documented panic mirrors the slice API's assert
+            _ => panic!("curves must share a grid"),
+        }
+    }
+    assert!(n > 0, "curves must be non-empty");
     if scale <= 0.0 {
         return 0.0;
     }
-    let mad = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64;
-    mad / scale
+    sum / n as f64 / scale
 }
 
 /// The two-sample Kolmogorov–Smirnov statistic, `max_x |F(x) − G(x)|`.
@@ -101,7 +178,41 @@ pub fn curve_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Provided as the alternative distribution distance the paper mentions
 /// (Sec. III-C cites Kolmogorov–Smirnov as a viable alternative to EMD);
 /// the `ablation_distance` bench compares search quality under both.
+///
+/// Like [`emd_area`], this is a merge walk over the two pre-sorted sample
+/// arrays: allocation-free, one pass, and bit-identical to the
+/// evaluate-at-every-sample reference [`ks_statistic_naive`] (the candidate
+/// values at duplicate samples repeat, and `|·|` maps every candidate to a
+/// non-negative with `+0.0` sign, so the running `max` is order-insensitive).
 pub fn ks_statistic(a: &Ecdf, b: &Ecdf) -> f64 {
+    let xs_a = a.samples();
+    let xs_b = b.samples();
+    let (n, m) = (xs_a.len() as f64, xs_b.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    loop {
+        let x = match (xs_a.get(i), xs_b.get(j)) {
+            (Some(&u), Some(&v)) => u.min(v),
+            (Some(&u), None) => u,
+            (None, Some(&v)) => v,
+            (None, None) => break,
+        };
+        while i < xs_a.len() && xs_a[i] == x {
+            i += 1;
+        }
+        while j < xs_b.len() && xs_b[j] == x {
+            j += 1;
+        }
+        d = d.max(((i as f64 / n) - (j as f64 / m)).abs());
+    }
+    d
+}
+
+/// Reference implementation of [`ks_statistic`]: evaluate both CDFs by
+/// binary search at every sample of both distributions and take the largest
+/// gap. Kept as the oracle for the 0-ULP equivalence property test; the hot
+/// path uses the merge walk.
+pub fn ks_statistic_naive(a: &Ecdf, b: &Ecdf) -> f64 {
     let mut d: f64 = 0.0;
     for &x in a.samples().iter().chain(b.samples()) {
         d = d.max((a.eval(x) - b.eval(x)).abs());

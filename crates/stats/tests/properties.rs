@@ -2,7 +2,10 @@
 //! the error model the whole search relies on.
 
 use datamime_stats::dist::{Categorical, Distribution, Normal, Zipf};
-use datamime_stats::emd::{curve_distance, emd_area, emd_normalized, ks_statistic};
+use datamime_stats::emd::{
+    curve_distance, curve_distance_iter, emd_area, emd_area_naive, emd_normalized, ks_statistic,
+    ks_statistic_naive,
+};
 use datamime_stats::{Ecdf, Rng, Summary};
 use proptest::prelude::*;
 
@@ -12,6 +15,18 @@ fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
 
 fn nonneg_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1e6, 1..max_len)
+}
+
+/// Samples with deliberate collisions: mixing a continuous range with small
+/// integers makes duplicate values within one distribution — and exact ties
+/// across the two distributions — common rather than measure-zero, which is
+/// exactly where the merge-walk fast paths have to agree with the naive
+/// evaluate-everywhere oracles.
+fn tied_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![-1e6f64..1e6, (-8i32..8).prop_map(f64::from)],
+        1..max_len,
+    )
 }
 
 proptest! {
@@ -65,6 +80,36 @@ proptest! {
         let d = curve_distance(&a, &b);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
         prop_assert!((d - curve_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    /// The merge-walk `emd_area` must reproduce the naive merged-window
+    /// integration bit for bit (0 ULP) — this is the gate that lets the
+    /// search hot path use the allocation-free version while the definition
+    /// stays readable in `emd_area_naive`.
+    #[test]
+    fn emd_merge_walk_matches_naive_to_the_bit(a in tied_samples(64), b in tied_samples(64)) {
+        let (ea, eb) = (Ecdf::new(a).unwrap(), Ecdf::new(b).unwrap());
+        prop_assert_eq!(emd_area(&ea, &eb).to_bits(), emd_area_naive(&ea, &eb).to_bits());
+        prop_assert_eq!(emd_area(&eb, &ea).to_bits(), emd_area_naive(&eb, &ea).to_bits());
+    }
+
+    /// Same 0-ULP gate for the Kolmogorov–Smirnov merge walk.
+    #[test]
+    fn ks_merge_walk_matches_naive_to_the_bit(a in tied_samples(64), b in tied_samples(64)) {
+        let (ea, eb) = (Ecdf::new(a).unwrap(), Ecdf::new(b).unwrap());
+        prop_assert_eq!(ks_statistic(&ea, &eb).to_bits(), ks_statistic_naive(&ea, &eb).to_bits());
+    }
+
+    /// And for the iterator form of `curve_distance`, which the error model
+    /// uses to compare curves straight off profile rows.
+    #[test]
+    fn curve_distance_iter_matches_slices_to_the_bit(
+        pairs in prop::collection::vec((0.0f64..1e3, 0.0f64..1e3), 1..16),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let by_iter = curve_distance_iter(pairs.iter().map(|p| p.0), pairs.iter().map(|p| p.1));
+        prop_assert_eq!(by_iter.to_bits(), curve_distance(&a, &b).to_bits());
     }
 
     #[test]

@@ -3,8 +3,12 @@
 #
 #   scripts/bench.sh                       # measure, write BENCH_sim.json
 #   scripts/bench.sh --baseline OLD.json   # also record before/after speedups
-#   scripts/bench.sh --check               # CI smoke: one rep per kernel plus
-#                                          # a tiny memo search, no report
+#   scripts/bench.sh --check               # CI gate: batched-vs-scalar
+#                                          # checksum cross-check, then a
+#                                          # 3-rep run gated against the
+#                                          # committed BENCH_sim.json —
+#                                          # fails on checksum drift OR a
+#                                          # >1.6x median regression
 #
 # Measurements use fixed seeds and report median + IQR ns/op; each kernel
 # also emits a counter checksum, and --baseline fails if a checksum moved
@@ -33,7 +37,16 @@ cargo build --release -q -p datamime-bench --bin bench_sim \
 
 if [ "$CHECK" = 1 ]; then
   target/release/memo_fig10 --check -o /dev/null
-  exec target/release/bench_sim --check
+  # Behaviour gate: every batched kernel must fingerprint identically to
+  # its scalar RefCache/RefTlb twin.
+  target/release/bench_sim --cross-check
+  # Speed gate: 3 reps per kernel against the committed baseline (or the
+  # one passed via --baseline). bench_sim exits nonzero on checksum drift
+  # or on any median beyond the documented regression threshold.
+  if [ ${#ARGS[@]} -eq 0 ]; then
+    ARGS=(--baseline BENCH_sim.json)
+  fi
+  exec target/release/bench_sim --check --reps 3 "${ARGS[@]}"
 fi
 
 MEMO_JSON="$(mktemp)"

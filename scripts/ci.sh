@@ -62,8 +62,14 @@ if [ -z "${SKIP_TESTS:-}" ]; then
   # Fault-injection stress pass: the supervisor must keep runs
   # deterministic and crash-free under injected panics/stalls/NaNs.
   run cargo test -q -p datamime-runtime --features faultinject
-  # Benchmark-harness smoke: every sim kernel runs once and fingerprints
-  # deterministically, and the memo accounting harness completes.
+  # bench_smoke: the benchmark-harness gate. Runs the batched-vs-scalar
+  # checksum cross-check (every sim/<k> kernel must fingerprint
+  # identically to its scalar/<k> RefCache/RefTlb twin), then a short
+  # gated measurement against the committed BENCH_sim.json that fails on
+  # checksum drift or a median regression beyond the documented
+  # threshold (docs/PERFORMANCE.md). The memo accounting harness runs
+  # its own smoke first.
+  echo "==> bench_smoke"
   run scripts/bench.sh --check
   # Multi-process smoke: a short fig10-style search on the process
   # backend (--backend proc --workers 2, each evaluation in its own
